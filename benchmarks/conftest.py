@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one paper figure's rows/series.  The rendered text
+is printed (visible with ``-s``) and also written under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from files.
+
+Scenario construction is session-scoped: the heavyweight wireline /
+wireless scenarios are built once per benchmark run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.experiments import (
+    standard_wireless_scenario,
+    standard_wireline_scenario,
+)
+from repro.scenarios.simple_network import paper_fig1_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Callable ``record(name, text)`` -> prints and persists a series."""
+
+    def _record(name: str, text: str) -> str:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return text
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def fig1_scenario():
+    """The deterministic Fig. 1 scenario (Section V-A/B setup)."""
+    return paper_fig1_scenario()
+
+
+@pytest.fixture(scope="session")
+def wireline_scenario():
+    """The AS1221-style wireline scenario (Section V-C setup)."""
+    return standard_wireline_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def wireless_scenario():
+    """The RGG wireless scenario (Section V-C setup)."""
+    return standard_wireless_scenario(seed=0)

@@ -1,0 +1,48 @@
+"""Ablation — trimmed least squares vs tampered measurement rows.
+
+Quantifies the robust estimator's recovery envelope on the Fig. 1
+scenario (23 rows, rank 10 => 13 rows of redundancy): exact recovery while
+few rows are forged, graceful degradation after, with the honest caveat
+that a *converged* trim is not automatically a *correct* one once the
+tampering rivals the redundancy.
+"""
+
+from repro.reporting.tables import format_table
+from repro.scenarios.defense_experiments import robust_recovery_experiment
+
+
+def test_ablation_robust_recovery(benchmark, fig1_scenario, record):
+    result = benchmark.pedantic(
+        lambda: robust_recovery_experiment(fig1_scenario, num_trials=20, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            r["tampered_rows"],
+            r["ls_error"],
+            r["robust_error"],
+            r["found_all_rate"],
+        ]
+        for r in result["rows"]
+    ]
+    text = (
+        "Ablation: plain LS vs trimmed LS under forged measurement rows\n"
+        + format_table(
+            ["tampered rows", "LS max error (ms)", "trimmed max error (ms)", "tamper found"],
+            rows,
+        )
+    )
+    record("ablation_robust", text)
+
+    by_k = {r["tampered_rows"]: r for r in result["rows"]}
+    # Single forged row: plain LS is badly wrong; the trimmer finds the
+    # forged row in nearly every trial (a direction with redundancy 1 is
+    # genuinely ambiguous — two conflicting rows, no way to tell which
+    # lies — the classic robust-regression breakdown) and cuts the error
+    # several-fold on average.
+    assert by_k[1]["ls_error"] > 10.0
+    assert by_k[1]["found_all_rate"] >= 0.9
+    assert by_k[1]["robust_error"] < by_k[1]["ls_error"] / 3
+    # Deep tampering (8 of 23 rows) cannot be reliably repaired.
+    assert by_k[8]["found_all_rate"] < 0.5

@@ -1,0 +1,77 @@
+"""Extension — scapegoating over a multi-round measurement campaign.
+
+An operator running tomography periodically acts on *persistent*
+anomalies.  This bench runs a 20-round campaign against the Fig. 1
+scenario for three attacker profiles and reports what the operator's
+logbook shows: the stealthy perfect-cut attacker frames link 1 in every
+round and is never detected; the imperfect-cut attacker is caught from
+its first active round; an intermittent attacker is caught exactly in its
+active rounds.
+"""
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.reporting.tables import format_table
+from repro.scenarios.timeseries import MeasurementCampaign
+
+ROUNDS = 20
+
+
+def test_ext_campaign_timeline(benchmark, fig1_scenario, record):
+    def run():
+        context = fig1_scenario.attack_context(["B", "C"])
+        stealthy = ChosenVictimAttack(context, [0], stealthy=True).run()
+        loud = ChosenVictimAttack(context, [9], mode="exclusive").run()
+        campaign = MeasurementCampaign(fig1_scenario)
+        return {
+            "stealthy": campaign.run(ROUNDS, manipulation=stealthy.manipulation, rng=0),
+            "persistent": campaign.run(ROUNDS, manipulation=loud.manipulation, rng=0),
+            "intermittent": campaign.run(
+                ROUNDS,
+                manipulation=loud.manipulation,
+                active_rounds=[3, 7, 8, 15],
+                rng=0,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, result in results.items():
+        latency = result.detection_latency()
+        rows.append(
+            [
+                label,
+                len(result.attacked_rounds),
+                len(result.detected_rounds),
+                latency if latency is not None else "never",
+                result.most_blamed_link(),
+                max(result.blame_counts.values(), default=0),
+            ]
+        )
+    text = (
+        f"Extension: {ROUNDS}-round measurement campaigns (Fig. 1 scenario)\n"
+        + format_table(
+            [
+                "attacker",
+                "attacked rounds",
+                "detected rounds",
+                "detection latency",
+                "most blamed link",
+                "blame rounds",
+            ],
+            rows,
+        )
+    )
+    record("ext_campaign", text)
+
+    stealthy = results["stealthy"]
+    assert stealthy.detected_rounds == ()
+    assert stealthy.most_blamed_link() == 0
+    assert stealthy.blame_counts[0] == ROUNDS
+
+    persistent = results["persistent"]
+    assert persistent.detection_latency() == 0
+    assert len(persistent.detected_rounds) == ROUNDS
+
+    intermittent = results["intermittent"]
+    assert set(intermittent.detected_rounds) == {3, 7, 8, 15}
+    assert intermittent.false_alarm_rounds == ()

@@ -1,0 +1,35 @@
+"""Fig. 4 — chosen-victim scapegoating of link 10 on the Fig. 1 network.
+
+Paper: attackers B and C target link 10 (which they do *not* perfectly
+cut); tomography shows link 10 above the 800 ms abnormal threshold while
+every other link looks normal; the attack's average path delay is
+820.87 ms.
+
+Shape targets asserted here: the attack succeeds despite the imperfect
+cut, the victim is the only abnormal link, attacker-controlled links stay
+normal, and the mean path measurement lands in the same regime (hundreds
+of ms) as the paper's 820.87 ms.
+"""
+
+from repro.reporting.figures import format_fig4_series
+from repro.scenarios.simple_network import PAPER_VICTIM_LINK, chosen_victim_case_study
+
+
+def test_fig4_chosen_victim(benchmark, record):
+    result = benchmark.pedantic(chosen_victim_case_study, rounds=1, iterations=1)
+    text = format_fig4_series(
+        result,
+        title=(
+            "Fig. 4 regeneration: chosen-victim attack on link 10 "
+            f"(presence ratio {result['presence_ratio']:.2f}, paper avg 820.87 ms)"
+        ),
+    )
+    record("fig4_chosen_victim", text)
+
+    assert result["feasible"]
+    assert not result["perfect_cut"]
+    assert result["abnormal_links"] == [PAPER_VICTIM_LINK]
+    assert result["estimates"][PAPER_VICTIM_LINK] > 800.0
+    for j in range(1, 8):  # paper links 2-8 are attacker-controlled
+        assert result["states"][j] == "normal"
+    assert 400.0 <= result["mean_path_delay"] <= 1600.0

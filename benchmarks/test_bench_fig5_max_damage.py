@@ -1,0 +1,48 @@
+"""Fig. 5 — maximum-damage scapegoating on the Fig. 1 network.
+
+Paper: the max-damage search by B and C yields an average end-to-end delay
+of 1239.4 ms — the highest over all chosen-victim attacks — and drives
+free links (the paper observes links 1 and 9) above the abnormal
+threshold.
+
+Shape targets: max-damage dominates every single-victim chosen-victim
+attack in damage, its mean path delay exceeds Fig. 4's, and the flagged
+links are free (non-controlled) links.
+"""
+
+import math
+
+from repro.reporting.figures import format_fig4_series
+from repro.scenarios.simple_network import (
+    chosen_victim_case_study,
+    max_damage_case_study,
+)
+
+
+def test_fig5_max_damage(benchmark, record):
+    result = benchmark.pedantic(max_damage_case_study, rounds=1, iterations=1)
+    text = format_fig4_series(
+        result,
+        title=(
+            "Fig. 5 regeneration: maximum-damage attack "
+            f"(mean path delay {result['mean_path_delay']:.1f} ms, paper 1239.4 ms)"
+        ),
+    )
+    per_victim = "\n".join(
+        f"  damage with victim link {k + 1}: "
+        + ("infeasible" if math.isnan(v) else f"{v:.1f} ms")
+        for k, v in sorted(result["damage_by_victim"].items())
+    )
+    record("fig5_max_damage", text + "\nper-victim search:\n" + per_victim)
+
+    assert result["feasible"]
+    fig4 = chosen_victim_case_study(mode="paper")
+    assert result["damage"] >= fig4["damage"] - 1e-6
+    assert result["mean_path_delay"] > fig4["mean_path_delay"] * 0.99
+    # Scapegoats are free links only (paper saw links 1 and 9; indices 0, 8).
+    assert set(result["abnormal_links"]) <= {0, 8, 9}
+    controlled = set(range(1, 8))
+    assert not set(result["abnormal_links"]) & controlled
+    # Dominates every feasible single-victim damage in its own search map.
+    finite = [v for v in result["damage_by_victim"].values() if not math.isnan(v)]
+    assert result["damage"] >= max(finite) - 1e-6

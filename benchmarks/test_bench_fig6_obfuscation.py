@@ -1,0 +1,27 @@
+"""Fig. 6 — obfuscation on the Fig. 1 network.
+
+Paper: attackers B and C drive every link's estimated delay into the
+intermediate band, so the operator cannot tell which link is actually
+problematic.
+
+Shape targets: the attack is feasible, every link classifies *uncertain*
+(estimates inside [100, 800] ms), and no single link dominates the way the
+scapegoats do in Figs. 4-5.
+"""
+
+from repro.reporting.figures import format_fig4_series
+from repro.scenarios.simple_network import obfuscation_case_study
+
+
+def test_fig6_obfuscation(benchmark, record):
+    result = benchmark.pedantic(obfuscation_case_study, rounds=1, iterations=1)
+    text = format_fig4_series(
+        result,
+        title="Fig. 6 regeneration: obfuscation — every link in the uncertain band",
+    )
+    record("fig6_obfuscation", text)
+
+    assert result["feasible"]
+    assert all(state == "uncertain" for state in result["states"])
+    assert all(100.0 <= value <= 800.0 for value in result["estimates"])
+    assert result["damage"] > 0

@@ -1,0 +1,74 @@
+"""Fig. 7 — chosen-victim success probability vs attack presence ratio.
+
+Paper: on the Rocketfuel AS1221 wireline topology and a 100-node RGG
+wireless topology, the success probability of chosen-victim scapegoating
+rises with the attack presence ratio (e.g. 19.5% at ratio ~0.6 rising to
+51.2% at ~0.7 on wireline) and the sparser wireless topology tracks below
+the wireline one.
+
+Shape targets: monotone-increasing trend in the ratio (low bins below high
+bins) and every perfect-cut trial succeeds (Theorem 1).  The paper's
+*cross-network* ordering (wireless below wireline) is not asserted: it is
+not stable in our reconstruction, because the synthetic ISP's leaf-heavy
+access layer makes sampled presence ratios bimodal (an attacker either
+fully covers an access link's few paths or misses them entirely), which
+thins the mid bins the comparison would need.  EXPERIMENTS.md records the
+deviation.
+"""
+
+import math
+
+from repro.reporting.figures import format_success_bins
+from repro.scenarios.experiments import success_probability_sweep
+
+NUM_TRIALS = 400
+
+
+def _mean_rate(bins, lo, hi):
+    rates = [
+        b["rate"]
+        for b in bins
+        if lo <= b["lo"] and b["hi"] <= hi and b["count"] > 0 and not math.isnan(b["rate"])
+    ]
+    return sum(rates) / len(rates) if rates else math.nan
+
+
+def test_fig7_success_vs_presence_ratio(
+    benchmark, wireline_scenario, wireless_scenario, record
+):
+    def run():
+        wireline = success_probability_sweep(
+            wireline_scenario, num_trials=NUM_TRIALS, seed=7
+        )
+        wireless = success_probability_sweep(
+            wireless_scenario, num_trials=NUM_TRIALS, seed=7
+        )
+        return wireline, wireless
+
+    wireline, wireless = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            format_success_bins(
+                wireline["bins"],
+                title=(
+                    "Fig. 7 regeneration — wireline (synthetic AS1221): "
+                    "chosen-victim success vs presence ratio"
+                ),
+            ),
+            format_success_bins(
+                wireless["bins"],
+                title="Fig. 7 regeneration — wireless (RGG n=100, lambda=5)",
+            ),
+        ]
+    )
+    record("fig7_success_vs_presence", text)
+
+    for result in (wireline, wireless):
+        # Theorem 1: perfect-cut trials always succeed.
+        for trial in result["trials"]:
+            if trial["perfect_cut"]:
+                assert trial["success"]
+        # Increasing trend: the low-ratio half is weaker than the top bins.
+        low = _mean_rate(result["bins"], 0.0, 0.5)
+        high = _mean_rate(result["bins"], 0.8, 1.0)
+        assert math.isnan(low) or math.isnan(high) or low <= high

@@ -1,0 +1,73 @@
+"""Fig. 9 — detection ratios of the consistency check (alpha = 200 ms).
+
+Paper prose and Theorem 3 disagree on direction (see DESIGN.md); the
+theorem is unambiguous: a perfect cut makes scapegoating *undetectable*,
+an imperfect cut detectable.  Under the paper's (confined, stealth-capable)
+attacker model we reproduce exactly that dichotomy for all three
+strategies, plus the paper's zero-false-alarm observation.
+
+An ablation row runs the *plain* damage-maximising attacker, which is
+caught even under perfect cuts — stealth is a choice, not a side effect.
+"""
+
+from repro.reporting.figures import format_detection_table
+from repro.scenarios.detection_experiments import (
+    detection_ratio_experiment,
+    false_alarm_experiment,
+)
+
+NUM_TRIALS = 40
+STRATEGIES = ("chosen-victim", "max-damage", "obfuscation")
+
+
+def test_fig9_detection_ratios(benchmark, fig1_scenario, record):
+    def run():
+        cells = []
+        for strategy in STRATEGIES:
+            for cut in ("perfect", "imperfect"):
+                cells.append(
+                    detection_ratio_experiment(
+                        fig1_scenario,
+                        strategy,
+                        cut,
+                        num_trials=NUM_TRIALS,
+                        alpha=200.0,
+                        seed=9,
+                    )
+                )
+        false_alarms = false_alarm_experiment(
+            fig1_scenario, num_trials=NUM_TRIALS, alpha=200.0, seed=9
+        )
+        plain = detection_ratio_experiment(
+            fig1_scenario,
+            "chosen-victim",
+            "perfect",
+            num_trials=NUM_TRIALS,
+            attacker_model="plain",
+            seed=9,
+        )
+        return cells, false_alarms, plain
+
+    cells, false_alarms, plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_detection_table(
+        cells,
+        title=(
+            "Fig. 9 regeneration: detection ratios, alpha=200 ms "
+            "(per Theorem 3: perfect cut -> 0%, imperfect -> 100%)"
+        ),
+    )
+    text += (
+        f"\nfalse alarm rate on clean rounds: {false_alarms['false_alarm_rate']:.2f}"
+        f"\nablation (plain LP attacker, perfect cut): "
+        f"detection {plain['detection_ratio']:.2f}"
+    )
+    record("fig9_detection", text)
+
+    for cell in cells:
+        assert cell["num_successful_attacks"] > 0, cell
+        if cell["cut"] == "perfect":
+            assert cell["detection_ratio"] == 0.0, cell
+        else:
+            assert cell["detection_ratio"] == 1.0, cell
+    assert false_alarms["false_alarm_rate"] == 0.0
+    assert plain["detection_ratio"] == 1.0

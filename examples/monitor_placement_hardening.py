@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Monitor-placement hardening — the paper's Section VI proposal, realised.
+
+The paper closes by suggesting that monitor placement should minimise
+every node's *presence ratio* on measurement paths (after ensuring
+identifiability), because Theorem 2 ties an attacker's success probability
+to how many victim-crossing paths it sits on.
+
+This example demonstrates both halves of that argument on a mesh topology
+without forced leaf monitors:
+
+1. **Theorem 2's lever is real**: within one placement, nodes are bucketed
+   by their presence ratio, and the empirical single-attacker max-damage
+   success rate climbs with the bucket — the attacker's power is its path
+   coverage.
+2. **The defender can pull the lever**: the security-aware placement
+   search picks, among identifiable placements, the one minimising the
+   worst node's presence ratio.
+
+Run:  python examples/monitor_placement_hardening.py   (~30 s)
+"""
+
+import numpy as np
+
+from repro import MaxDamageAttack
+from repro.metrics import uniform_delay_metrics
+from repro.monitors import (
+    incremental_identifiable_placement,
+    security_aware_placement,
+)
+from repro.monitors.placement import max_node_presence_ratio
+from repro.reporting import format_table
+from repro.scenarios.scenario import Scenario
+from repro.topology.generators.isp import barabasi_albert_topology
+
+
+def scenario_for(placement, topology, seed=3) -> Scenario:
+    return Scenario(
+        topology=topology,
+        monitors=placement.monitors,
+        path_set=placement.path_set,
+        true_metrics=uniform_delay_metrics(topology, rng=seed),
+        name="hardening",
+    )
+
+
+def success_by_presence_bucket(placement, topology) -> list[list]:
+    """Bucket nodes by presence ratio; measure attack success per bucket."""
+    scenario = scenario_for(placement, topology)
+    path_set = placement.path_set
+    rows = []
+    buckets = [(0.0, 0.1), (0.1, 0.25), (0.25, 1.0)]
+    for lo, hi in buckets:
+        members = []
+        for node in topology.nodes():
+            ratio = len(path_set.paths_containing_node(node)) / path_set.num_paths
+            if lo <= ratio < hi or (hi == 1.0 and ratio == 1.0):
+                members.append(node)
+        wins = 0
+        for node in members:
+            context = scenario.attack_context([node])
+            outcome = MaxDamageAttack(
+                context, stop_at_first_feasible=True, confined=True
+            ).run()
+            wins += bool(outcome.feasible)
+        rate = wins / len(members) if members else float("nan")
+        rows.append([f"{lo:.2f}-{hi:.2f}", len(members), rate])
+    return rows
+
+
+def main() -> None:
+    # A preferential-attachment mesh: minimum degree 2, so the MMP rule
+    # does not force most nodes to be monitors.
+    topology = barabasi_albert_topology(24, attach=2, seed=11)
+    print(f"topology: {topology.num_nodes} nodes, {topology.num_links} links")
+
+    placement = incremental_identifiable_placement(topology, initial_monitors=6, rng=2)
+    print(
+        f"\nbaseline placement: {len(placement.monitors)} monitors, "
+        f"rank {placement.identified_rank}/{topology.num_links}"
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Theorem 2's lever: presence ratio predicts attack success.
+    # ------------------------------------------------------------------
+    rows = success_by_presence_bucket(placement, topology)
+    print(
+        "\n"
+        + format_table(
+            ["node presence ratio", "nodes", "1-attacker success rate"], rows
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The defender's move: minimise the worst presence ratio.
+    # ------------------------------------------------------------------
+    hardened = security_aware_placement(
+        topology, candidates=10, initial_monitors=6, rng=2
+    )
+    compare = []
+    for label, pl in [("random", placement), ("security-aware", hardened)]:
+        worst = max_node_presence_ratio(pl.path_set, exclude=set(pl.monitors))
+        compare.append(
+            [label, len(pl.monitors), pl.identified_rank, f"{worst:.2f}"]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["placement", "monitors", "rank", "worst non-monitor presence ratio"],
+            compare,
+        )
+    )
+    print(
+        "\nA compromised node's scapegoating power is its measurement-path "
+        "coverage (Theorem 2); security-aware placement caps that coverage "
+        "while preserving identifiability."
+    )
+
+
+if __name__ == "__main__":
+    main()

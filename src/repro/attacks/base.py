@@ -1,0 +1,237 @@
+"""Shared attack context and outcome types.
+
+:class:`AttackContext` bundles everything every strategy needs — the path
+set, ground-truth metrics, thresholds, attacker nodes, per-path cap and
+band margin — and caches the derived objects (routing matrix, estimator
+operator, support rows, controlled link set).  Strategies consume a context
+and produce an :class:`AttackOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.attacks.constraints import attacker_links, manipulable_paths
+from repro.exceptions import AttackConstraintError, ValidationError
+from repro.metrics.states import StateThresholds
+from repro.routing.paths import PathSet
+from repro.tomography.diagnosis import DiagnosisReport, diagnose
+from repro.tomography.linear_system import estimator_operator
+from repro.topology.graph import NodeId
+from repro.utils.validation import check_finite_vector
+
+__all__ = ["AttackContext", "AttackOutcome"]
+
+
+class AttackContext:
+    """Everything a scapegoating strategy needs to plan.
+
+    Parameters
+    ----------
+    path_set:
+        The monitors' measurement paths (public knowledge the attacker has
+        obtained; Section VI discusses hiding it as a first line of
+        defence).
+    true_metrics:
+        Ground-truth link metrics ``x*`` (routine performance).
+    attacker_nodes:
+        The malicious node set ``V_m``.
+    thresholds:
+        The operator's link-state bounds ``(b_l, b_u)``.
+    cap:
+        Per-path manipulation cap (paper: 2000 ms); ``None`` = unlimited.
+    margin:
+        Safety margin pushed inside each strict band (Definition 1 uses
+        strict inequalities; the LP needs closed ones).
+    """
+
+    def __init__(
+        self,
+        path_set: PathSet,
+        true_metrics: np.ndarray,
+        attacker_nodes: Iterable[NodeId],
+        *,
+        thresholds: StateThresholds | None = None,
+        cap: float | None = 2000.0,
+        margin: float = 1.0,
+    ) -> None:
+        self.path_set = path_set
+        self.topology = path_set.topology
+        self.true_metrics = check_finite_vector(
+            true_metrics, "true_metrics", length=self.topology.num_links
+        )
+        self.attacker_nodes = tuple(dict.fromkeys(attacker_nodes))
+        if not self.attacker_nodes:
+            raise AttackConstraintError("attacker node set must not be empty")
+        self.thresholds = thresholds if thresholds is not None else StateThresholds()
+        if margin < 0:
+            raise ValidationError(f"margin must be non-negative, got {margin}")
+        if self.thresholds.is_two_state and margin == 0:
+            # Two-state thresholds with zero margin make "normal" and
+            # "abnormal" bands touch; allow it (closed-band semantics).
+            pass
+        self.cap = cap
+        self.margin = float(margin)
+
+        self.routing_matrix = path_set.routing_matrix()
+        self.operator = estimator_operator(self.routing_matrix)
+        #: What tomography estimates *without* any attack.  Equals the true
+        #: metrics when R has full column rank; under partial
+        #: identifiability the min-norm estimator mixes links, and attack
+        #: planning must anchor its bands to this baseline, not to x*.
+        self.baseline_estimate: np.ndarray = self.operator @ (
+            self.routing_matrix @ self.true_metrics
+        )
+        self._residual_projector: np.ndarray | None = None
+        self.controlled_links: frozenset[int] = frozenset(
+            attacker_links(self.topology, self.attacker_nodes)
+        )
+        self.support: tuple[int, ...] = tuple(
+            manipulable_paths(path_set, self.attacker_nodes)
+        )
+
+    @property
+    def num_paths(self) -> int:
+        """Number of measurement paths (rows of ``R``)."""
+        return self.routing_matrix.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        """Number of links (columns of ``R``)."""
+        return self.routing_matrix.shape[1]
+
+    def honest_measurements(self) -> np.ndarray:
+        """The noiseless honest vector ``y = R x*``."""
+        return self.routing_matrix @ self.true_metrics
+
+    def observed_measurements(self, manipulation: np.ndarray) -> np.ndarray:
+        """``y' = y + m`` (eq. 3)."""
+        m = check_finite_vector(manipulation, "manipulation", length=self.num_paths)
+        return self.honest_measurements() + m
+
+    def predicted_estimate(self, manipulation: np.ndarray) -> np.ndarray:
+        """What tomography will estimate under the manipulation.
+
+        ``x_hat = Q y' = Q R x* + Q m`` — equals ``x* + Q m`` when ``R``
+        has full column rank.
+        """
+        return self.operator @ self.observed_measurements(manipulation)
+
+    def residual_projector(self) -> np.ndarray:
+        """The matrix ``I - R R⁺`` whose kernel is the detector's blind set.
+
+        Manipulations ``m`` with ``(I - R R⁺) m = 0`` keep the forged
+        measurements inside the column space of ``R`` — zero residual in
+        eq. (23), hence undetectable.  Cached after first use (it needs a
+        |P| x |P| pseudo-inverse product).
+        """
+        if self._residual_projector is None:
+            identity = np.eye(self.num_paths)
+            self._residual_projector = identity - self.routing_matrix @ self.operator
+        return self._residual_projector
+
+    def manipulable_link_mask(self, tol: float = 1e-9) -> np.ndarray:
+        """Boolean mask of links whose estimate the attacker can *raise*.
+
+        Link ``j`` is upward-manipulable when some supported path has a
+        positive coefficient in ``Q[j]`` — pushing delay there inflates the
+        estimate.  Victim candidates outside this mask can never be made
+        to look abnormal.
+        """
+        mask = np.zeros(self.num_links, dtype=bool)
+        if self.support:
+            cols = np.asarray(self.support, dtype=int)
+            mask = np.max(self.operator[:, cols], axis=1) > tol
+        return mask
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of running one attack strategy.
+
+    Attributes
+    ----------
+    strategy:
+        Strategy name (``"chosen-victim"``, ``"max-damage"``,
+        ``"obfuscation"``, ``"naive"``).
+    feasible:
+        The paper's success criterion — a feasible manipulation exists.
+    manipulation:
+        The chosen vector ``m`` (None when infeasible).
+    damage:
+        ``||m||_1`` (Definition 2); 0.0 when infeasible.
+    victim_links:
+        The scapegoat set ``L_s`` (chosen or discovered).
+    predicted_estimate:
+        The estimate tomography will produce under ``m``.
+    diagnosis:
+        The operator's resulting :class:`DiagnosisReport`.
+    observed_measurements:
+        The forged measurement vector ``y'``.
+    status:
+        Solver / search detail for logs.
+    extras:
+        Strategy-specific annotations (e.g. the per-victim search trace of
+        max-damage).
+    """
+
+    strategy: str
+    feasible: bool
+    manipulation: np.ndarray | None
+    damage: float
+    victim_links: tuple[int, ...]
+    predicted_estimate: np.ndarray | None
+    diagnosis: DiagnosisReport | None
+    observed_measurements: np.ndarray | None
+    status: str
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mean_path_measurement(self) -> float:
+        """Average observed end-to-end measurement (the Figs. 4-5 statistic)."""
+        if self.observed_measurements is None:
+            return float("nan")
+        return float(np.mean(self.observed_measurements))
+
+    @classmethod
+    def infeasible(cls, strategy: str, status: str, victim_links: tuple[int, ...] = ()) -> "AttackOutcome":
+        """A failed attack with uniform empty fields."""
+        return cls(
+            strategy=strategy,
+            feasible=False,
+            manipulation=None,
+            damage=0.0,
+            victim_links=victim_links,
+            predicted_estimate=None,
+            diagnosis=None,
+            observed_measurements=None,
+            status=status,
+        )
+
+    @classmethod
+    def from_manipulation(
+        cls,
+        strategy: str,
+        context: AttackContext,
+        manipulation: np.ndarray,
+        victim_links: tuple[int, ...],
+        status: str,
+        extras: dict | None = None,
+    ) -> "AttackOutcome":
+        """Build a successful outcome, deriving estimate and diagnosis."""
+        estimate = context.predicted_estimate(manipulation)
+        return cls(
+            strategy=strategy,
+            feasible=True,
+            manipulation=manipulation,
+            damage=float(np.sum(manipulation)),
+            victim_links=tuple(sorted(victim_links)),
+            predicted_estimate=estimate,
+            diagnosis=diagnose(estimate, context.thresholds),
+            observed_measurements=context.observed_measurements(manipulation),
+            status=status,
+            extras=extras or {},
+        )

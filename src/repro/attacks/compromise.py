@@ -1,0 +1,126 @@
+"""Compromise planning: *which nodes* to capture for a target victim.
+
+The paper fixes the attacker set and asks what it can do; the natural
+planning question runs the other way — given a victim link the adversary
+wants to frame, which nodes must be compromised so that the attack is
+guaranteed feasible and undetectable (a *perfect cut*, Theorems 1 and 3)?
+
+A node set perfectly cuts a victim iff it hits every measurement path
+crossing the victim.  Minimum hitting set is NP-hard in general;
+:func:`minimum_perfect_cut_nodes` uses the standard greedy (ln-n
+approximation), which is exact on the small victim-path families
+measurement path sets produce in practice.  Victim endpoints are never
+eligible: compromising them would put the victim into the attacker's own
+link set ``L_m``, violating the disjointness constraint (eq. 7).
+
+:func:`compromise_budget_ranking` inverts the analysis across all links:
+for each potential victim, the minimum number of compromised nodes that
+suffices — the adversary's shopping list, and equally the defender's risk
+ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.attacks.cuts import is_perfect_cut, victim_paths
+from repro.exceptions import AttackConstraintError
+from repro.routing.paths import PathSet
+from repro.topology.graph import NodeId
+
+__all__ = ["minimum_perfect_cut_nodes", "compromise_budget_ranking"]
+
+
+def minimum_perfect_cut_nodes(
+    path_set: PathSet,
+    victim_links: Iterable[int],
+    *,
+    forbidden: Iterable[NodeId] = (),
+    max_nodes: int | None = None,
+) -> list[NodeId] | None:
+    """Greedy-minimal node set that perfectly cuts the victim links.
+
+    Returns ``None`` when no admissible set exists — some victim path has
+    no eligible node (e.g. a one-hop victim path whose two endpoints are
+    the victim's own endpoints), or the greedy set would exceed
+    ``max_nodes``.  ``forbidden`` adds extra ineligible nodes (e.g. ones
+    the adversary cannot reach); victim endpoints are always ineligible.
+    """
+    victims = sorted(set(int(v) for v in victim_links))
+    if not victims:
+        raise AttackConstraintError("victim link set must not be empty")
+    rows = victim_paths(path_set, victims)
+    if not rows:
+        return []  # unmeasured victims are vacuously cut (and pointless)
+
+    blocked: set[NodeId] = set(forbidden)
+    for v in victims:
+        link = path_set.topology.link(v)
+        blocked.add(link.u)
+        blocked.add(link.v)
+
+    uncovered: dict[int, frozenset] = {}
+    for row in rows:
+        eligible = frozenset(
+            node for node in path_set.path(row).nodes if node not in blocked
+        )
+        if not eligible:
+            return None
+        uncovered[row] = eligible
+
+    chosen: list[NodeId] = []
+    while uncovered:
+        if max_nodes is not None and len(chosen) >= max_nodes:
+            return None
+        counts: dict[NodeId, int] = {}
+        for eligible in uncovered.values():
+            for node in eligible:
+                counts[node] = counts.get(node, 0) + 1
+        # Deterministic tie-breaking by label repr keeps runs reproducible.
+        best = max(counts, key=lambda n: (counts[n], repr(n)))
+        chosen.append(best)
+        uncovered = {
+            row: eligible
+            for row, eligible in uncovered.items()
+            if best not in eligible
+        }
+    assert is_perfect_cut(path_set, chosen, victims)
+    return chosen
+
+
+def compromise_budget_ranking(
+    path_set: PathSet,
+    *,
+    forbidden: Iterable[NodeId] = (),
+    max_nodes: int | None = None,
+) -> list[dict]:
+    """Per-link compromise budget for a guaranteed, undetectable frame-up.
+
+    For every measured link, computes the greedy-minimal perfect-cut node
+    set (``None`` when impossible within ``max_nodes``).  Returns records
+    sorted by ascending budget — the adversary's cheapest victims first,
+    equivalently the links a defender should watch hardest.  Each record:
+    ``{"link": index, "endpoints": (u, v), "budget": int | None,
+    "nodes": [...] | None, "victim_paths": int}``.
+    """
+    ranking = []
+    for link in path_set.topology.links():
+        rows = path_set.paths_containing_link(link.index)
+        if not rows:
+            continue
+        nodes = minimum_perfect_cut_nodes(
+            path_set, [link.index], forbidden=forbidden, max_nodes=max_nodes
+        )
+        ranking.append(
+            {
+                "link": link.index,
+                "endpoints": (link.u, link.v),
+                "budget": len(nodes) if nodes is not None else None,
+                "nodes": nodes,
+                "victim_paths": len(rows),
+            }
+        )
+    ranking.sort(
+        key=lambda r: (r["budget"] is None, r["budget"] or 0, r["link"])
+    )
+    return ranking

@@ -1,0 +1,94 @@
+"""Constraint 1 machinery: what an attacker set can actually manipulate.
+
+Constraint 1 of the paper: the manipulation vector satisfies (i) ``m >= 0``
+— attackers degrade, never improve, performance — and (ii) ``m_i = 0`` for
+every path ``P_i`` containing no malicious node.  The helpers here compute
+the attacker's *support* (the manipulable path rows), the controlled link
+set ``L_m``, and validate candidate vectors against the constraint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import AttackConstraintError
+from repro.routing.paths import PathSet
+from repro.topology.graph import NodeId, Topology
+
+__all__ = [
+    "attacker_links",
+    "manipulable_paths",
+    "validate_manipulation_vector",
+]
+
+
+def attacker_links(topology: Topology, attacker_nodes: Iterable[NodeId]) -> set[int]:
+    """The controlled link set ``L_m``: links incident to any attacker.
+
+    A malicious node can degrade any link it terminates (Section III-B),
+    so those links must be made to *look* normal for the attack to remain
+    hidden — they are the constraint set of eq. (5).
+    """
+    nodes = list(attacker_nodes)
+    if not nodes:
+        raise AttackConstraintError("attacker node set must not be empty")
+    for node in nodes:
+        if not topology.has_node(node):
+            raise AttackConstraintError(f"attacker node {node!r} is not in the topology")
+    return topology.links_incident_to_nodes(nodes)
+
+
+def manipulable_paths(path_set: PathSet, attacker_nodes: Iterable[NodeId]) -> list[int]:
+    """Row indices of paths containing at least one attacker node.
+
+    These are exactly the entries of ``m`` allowed to be non-zero under
+    Constraint 1 — the attack's *support*.
+    """
+    nodes = list(attacker_nodes)
+    if not nodes:
+        raise AttackConstraintError("attacker node set must not be empty")
+    return path_set.paths_containing_any_node(nodes)
+
+
+def validate_manipulation_vector(
+    manipulation: np.ndarray,
+    support: Sequence[int],
+    num_paths: int,
+    *,
+    cap: float | None = None,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Check a manipulation vector against Constraint 1 (and the path cap).
+
+    Returns the coerced vector.  Raises :class:`AttackConstraintError` on
+    negative entries, non-zero entries outside ``support``, or entries
+    above ``cap`` (the practical per-path damage limit of Section V-A).
+    """
+    m = np.asarray(manipulation, dtype=float)
+    if m.shape != (num_paths,):
+        raise AttackConstraintError(
+            f"manipulation vector must have shape ({num_paths},), got {m.shape}"
+        )
+    if not np.all(np.isfinite(m)):
+        raise AttackConstraintError("manipulation vector must be finite")
+    if np.any(m < -atol):
+        raise AttackConstraintError(
+            f"manipulation vector must be non-negative (min {float(m.min())})"
+        )
+    support_mask = np.zeros(num_paths, dtype=bool)
+    support_list = list(support)
+    if support_list:
+        support_mask[np.asarray(support_list, dtype=int)] = True
+    off_support = np.abs(m[~support_mask])
+    if off_support.size and float(off_support.max()) > atol:
+        bad = int(np.argmax(~support_mask & (np.abs(m) > atol)))
+        raise AttackConstraintError(
+            f"path {bad} carries manipulation {m[bad]:.6g} but contains no attacker"
+        )
+    if cap is not None and np.any(m > cap + atol):
+        raise AttackConstraintError(
+            f"manipulation exceeds the per-path cap {cap} (max {float(m.max()):.6g})"
+        )
+    return m

@@ -1,0 +1,117 @@
+"""Perfect and imperfect cuts (Section IV-A of the paper).
+
+An attacker set *perfectly cuts* a victim link set when every measurement
+path containing a victim link also contains an attacker — then the
+attackers fully mediate the operator's view of the victims, scapegoating is
+always feasible (Theorem 1) and undetectable (Theorem 3).  The *attack
+presence ratio* generalises this: the fraction of victim-crossing paths
+the attackers sit on; success probability increases with it (Theorem 2,
+Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import AttackConstraintError
+from repro.routing.paths import PathSet
+from repro.topology.graph import NodeId
+
+__all__ = [
+    "victim_paths",
+    "uncut_victim_paths",
+    "is_perfect_cut",
+    "attack_presence_ratio",
+    "perfectly_cut_links",
+]
+
+
+def victim_paths(path_set: PathSet, victim_links: Iterable[int]) -> list[int]:
+    """Row indices of paths traversing at least one victim link."""
+    victims = list(victim_links)
+    if not victims:
+        raise AttackConstraintError("victim link set must not be empty")
+    return path_set.paths_containing_any_link(victims)
+
+
+def uncut_victim_paths(
+    path_set: PathSet,
+    attacker_nodes: Iterable[NodeId],
+    victim_links: Iterable[int],
+) -> list[int]:
+    """Victim-crossing paths with *no* attacker on them.
+
+    These rows are the attack's blind spot: their measurements cannot be
+    manipulated (Constraint 1), so any estimate shift on the victims shows
+    up as an inconsistency there — the witness paths of Theorem 3's
+    detectability direction.
+    """
+    attackers = set(attacker_nodes)
+    return [
+        row
+        for row in victim_paths(path_set, victim_links)
+        if not path_set.path(row).contains_any_node(attackers)
+    ]
+
+
+def is_perfect_cut(
+    path_set: PathSet,
+    attacker_nodes: Iterable[NodeId],
+    victim_links: Iterable[int],
+) -> bool:
+    """True when the attackers sit on every victim-crossing path.
+
+    Vacuously true when no measurement path crosses a victim link (the
+    operator then has no information about the victims at all).
+    """
+    return not uncut_victim_paths(path_set, attacker_nodes, victim_links)
+
+
+def attack_presence_ratio(
+    path_set: PathSet,
+    attacker_nodes: Iterable[NodeId],
+    victim_links: Iterable[int],
+) -> float:
+    """The Fig. 7 x-axis: attacker coverage of victim-crossing paths.
+
+    ``#(paths with >= 1 victim link and >= 1 attacker) / #(paths with >= 1
+    victim link)``.  Returns ``nan`` when no path crosses a victim link
+    (the ratio is undefined; the paper's experiments never sample such
+    victims because they are invisible to tomography anyway).
+    """
+    on_victim = victim_paths(path_set, victim_links)
+    if not on_victim:
+        return math.nan
+    attackers = set(attacker_nodes)
+    covered = sum(
+        1 for row in on_victim if path_set.path(row).contains_any_node(attackers)
+    )
+    return covered / len(on_victim)
+
+
+def perfectly_cut_links(
+    path_set: PathSet,
+    attacker_nodes: Iterable[NodeId],
+    *,
+    exclude_links: Iterable[int] = (),
+) -> list[int]:
+    """All links the attacker set perfectly cuts (candidate sure victims).
+
+    Links in ``exclude_links`` (typically the attacker-controlled set
+    ``L_m``, which may not be scapegoated — eq. 7) are skipped, as are
+    links no measurement path crosses (cutting them is vacuous and
+    scapegoating them pointless: tomography cannot estimate them).
+    """
+    excluded = set(exclude_links)
+    attackers = set(attacker_nodes)
+    result = []
+    for link in path_set.topology.links():
+        if link.index in excluded:
+            continue
+        rows = path_set.paths_containing_link(link.index)
+        if not rows:
+            continue
+        if all(path_set.path(row).contains_any_node(attackers) for row in rows):
+            result.append(link.index)
+    return result

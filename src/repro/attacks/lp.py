@@ -1,0 +1,267 @@
+"""The shared linear program behind every scapegoating strategy.
+
+All three strategies of Section III maximise damage ``||m||_1`` subject to
+Constraint 1 and *band constraints on the estimate*.  Because tomography's
+estimator is linear, the estimate under manipulation is affine in ``m``:
+
+    x_hat(m) = R⁺ (R x* + m) = x* + Q m        (Q = R⁺, full column rank)
+
+so "link j must look normal/abnormal/uncertain" becomes a pair of linear
+inequalities in ``m``, and each strategy is one LP (proof of Theorem 1
+writes the same thing from the ``Δx_hat`` side; :func:`theorem1_manipulation`
+implements that constructive direction for perfect cuts).
+
+Solved with scipy's HiGHS backend.  An unbounded LP (possible only with an
+infinite per-path cap) is reported as feasible with ``unbounded=True`` and
+re-solved under a large finite cap so callers still get a concrete vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import AttackError, ValidationError
+from repro.utils.validation import check_finite_vector
+
+__all__ = ["BandConstraints", "LpSolution", "solve_manipulation_lp", "theorem1_manipulation"]
+
+#: Cap substituted when re-solving an unbounded LP to return a finite vector.
+_UNBOUNDED_RESOLVE_CAP = 1e7
+
+
+@dataclass
+class BandConstraints:
+    """Per-link bounds on the *estimated* metric vector.
+
+    ``lower[j] <= x_hat[j] <= upper[j]``; entries default to unbounded.
+    Strategy classes translate Definition 1 states into these bands
+    (already including any strictness margin).
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @classmethod
+    def unbounded(cls, num_links: int) -> "BandConstraints":
+        """No constraints on any link estimate."""
+        return cls(
+            lower=np.full(num_links, -np.inf),
+            upper=np.full(num_links, np.inf),
+        )
+
+    def require_at_most(self, link_index: int, bound: float) -> None:
+        """Tighten: estimate of ``link_index`` must be <= ``bound``."""
+        self.upper[link_index] = min(self.upper[link_index], bound)
+
+    def require_at_least(self, link_index: int, bound: float) -> None:
+        """Tighten: estimate of ``link_index`` must be >= ``bound``."""
+        self.lower[link_index] = max(self.lower[link_index], bound)
+
+    def validate(self) -> None:
+        """Raise when some band is empty (lower > upper)."""
+        if self.lower.shape != self.upper.shape:
+            raise ValidationError("band bound vectors must have equal shape")
+        bad = np.nonzero(self.lower > self.upper)[0]
+        if bad.size:
+            j = int(bad[0])
+            raise ValidationError(
+                f"empty band for link {j}: [{self.lower[j]}, {self.upper[j]}]"
+            )
+
+
+@dataclass(frozen=True)
+class LpSolution:
+    """Outcome of one manipulation LP.
+
+    ``manipulation`` is the full-length vector (zeros off support).
+    ``damage`` is ``||m||_1`` (Definition 2).  ``feasible`` is the paper's
+    success criterion; ``unbounded`` flags an infinite-damage optimum that
+    was re-solved under a large finite cap.
+    """
+
+    feasible: bool
+    manipulation: np.ndarray | None
+    damage: float
+    status: str
+    unbounded: bool = False
+
+
+def solve_manipulation_lp(
+    estimator_operator: np.ndarray,
+    true_metrics: np.ndarray,
+    support: Sequence[int],
+    num_paths: int,
+    bands: BandConstraints,
+    *,
+    cap: float | None = 2000.0,
+    consistency_matrix: np.ndarray | None = None,
+) -> LpSolution:
+    """Maximise ``sum(m)`` subject to Constraint 1, ``m <= cap`` and bands.
+
+    Parameters
+    ----------
+    estimator_operator:
+        ``Q = R⁺`` (|L| x |P|) — the operator's public estimation map.
+    true_metrics:
+        The *baseline estimate* — what tomography reports with no attack
+        (``Q R x*``; equal to the ground truth ``x*`` under full column
+        rank).  The attacker observes its local links and, like the paper,
+        is assumed to know routine performance well enough to plan;
+        sensitivity to this assumption is explored in the ablation
+        benches.
+    support:
+        Manipulable path rows (paths containing an attacker).
+    bands:
+        Estimate bands encoding the strategy's state constraints.
+    cap:
+        Per-path manipulation cap in metric units (paper: 2000 ms).
+        ``None`` means unlimited.
+    consistency_matrix:
+        Optional *stealth* constraint ``C m = 0`` (|P| x |P|).  Passing the
+        residual projector ``I - R R⁺`` restricts the attacker to
+        manipulations lying in the column space of ``R`` — measurements
+        that remain perfectly consistent with *some* link-metric vector,
+        hence invisible to the eq. (23) detector.  Theorem 3: such a
+        solution always exists under a perfect cut and (generically) not
+        otherwise.
+    """
+    operator = np.asarray(estimator_operator, dtype=float)
+    if operator.ndim != 2 or operator.shape[1] != num_paths:
+        raise AttackError(
+            f"estimator operator must be (num_links x {num_paths}), got {operator.shape}"
+        )
+    num_links = operator.shape[0]
+    x_true = check_finite_vector(true_metrics, "true_metrics", length=num_links)
+    bands.validate()
+    if cap is not None and cap < 0:
+        raise ValidationError(f"cap must be non-negative or None, got {cap}")
+
+    support_list = sorted(set(int(s) for s in support))
+    for row in support_list:
+        if not 0 <= row < num_paths:
+            raise AttackError(f"support row {row} out of range [0, {num_paths})")
+
+    # Baseline estimate without manipulation is x* itself (honest system);
+    # bands must at least admit m = 0 on unconstrained links, but
+    # constrained links may *require* manipulation, so feasibility is the
+    # LP's job.  With an empty support the only candidate is m = 0.
+    if not support_list:
+        m0 = np.zeros(num_paths)
+        ok = bool(np.all(x_true >= bands.lower - 1e-9) and np.all(x_true <= bands.upper + 1e-9))
+        return LpSolution(
+            feasible=ok,
+            manipulation=m0 if ok else None,
+            damage=0.0,
+            status="empty support" + (" (baseline satisfies bands)" if ok else ""),
+        )
+
+    sub_operator = operator[:, support_list]  # |L| x k
+    k = len(support_list)
+
+    a_rows: list[np.ndarray] = []
+    b_vals: list[float] = []
+    for j in range(num_links):
+        if np.isfinite(bands.upper[j]):
+            a_rows.append(sub_operator[j])
+            b_vals.append(float(bands.upper[j] - x_true[j]))
+        if np.isfinite(bands.lower[j]):
+            a_rows.append(-sub_operator[j])
+            b_vals.append(float(x_true[j] - bands.lower[j]))
+
+    a_ub = np.vstack(a_rows) if a_rows else None
+    b_ub = np.asarray(b_vals) if b_vals else None
+
+    if cap is None:
+        # HiGHS can misclassify feasible-but-unbounded instances of this LP
+        # as infeasible when variables are uncapped; solve under a large
+        # finite cap instead and infer unboundedness from variables pinned
+        # at that cap.
+        capped = solve_manipulation_lp(
+            operator,
+            x_true,
+            support_list,
+            num_paths,
+            bands,
+            cap=_UNBOUNDED_RESOLVE_CAP,
+            consistency_matrix=consistency_matrix,
+        )
+        if not capped.feasible or capped.manipulation is None:
+            return capped
+        hit_cap = bool(
+            np.any(capped.manipulation >= _UNBOUNDED_RESOLVE_CAP * (1 - 1e-9))
+        )
+        if hit_cap:
+            return LpSolution(
+                feasible=True,
+                manipulation=capped.manipulation,
+                damage=float("inf"),
+                status="unbounded (re-solved with large cap)",
+                unbounded=True,
+            )
+        return capped
+
+    a_eq = None
+    b_eq = None
+    if consistency_matrix is not None:
+        cmat = np.asarray(consistency_matrix, dtype=float)
+        if cmat.shape != (num_paths, num_paths):
+            raise AttackError(
+                f"consistency matrix must be ({num_paths} x {num_paths}), got {cmat.shape}"
+            )
+        # Only the supported columns are variables; off-support entries of
+        # m are zero and drop out of C m = 0.  Keep only numerically
+        # non-trivial rows to help the solver.
+        sub = cmat[:, support_list]
+        keep = np.linalg.norm(sub, axis=1) > 1e-12
+        if np.any(keep):
+            a_eq = sub[keep]
+            b_eq = np.zeros(int(np.sum(keep)))
+
+    result = linprog(
+        c=-np.ones(k),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0.0, cap)] * k,
+        method="highs",
+    )
+
+    if not result.success:
+        return LpSolution(
+            feasible=False,
+            manipulation=None,
+            damage=0.0,
+            status=result.message,
+        )
+    m = np.zeros(num_paths)
+    m[support_list] = np.maximum(result.x, 0.0)  # clip solver round-off
+    return LpSolution(
+        feasible=True,
+        manipulation=m,
+        damage=float(m.sum()),
+        status=result.message,
+    )
+
+
+def theorem1_manipulation(
+    routing_matrix: np.ndarray,
+    delta_estimate: np.ndarray,
+) -> np.ndarray:
+    """The constructive manipulation of Theorem 1: ``m* = R Δx_hat*``.
+
+    Given a target estimate shift ``Δx_hat* = x_hat* - x*`` supported on
+    ``L_m ∪ L_s``, returns the manipulation vector that forges it exactly.
+    Under a perfect cut the result automatically satisfies Constraint 1
+    (zero on attacker-free paths) — the property test for Theorem 1
+    asserts precisely this.  ``Δx_hat*`` must be non-negative where the
+    corresponding rows of ``R`` touch it, or the resulting ``m`` may go
+    negative; callers keep Δ >= 0 (attacks only inflate estimates).
+    """
+    matrix = np.asarray(routing_matrix, dtype=float)
+    delta = check_finite_vector(delta_estimate, "delta_estimate", length=matrix.shape[1])
+    return matrix @ delta

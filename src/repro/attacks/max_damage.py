@@ -1,0 +1,188 @@
+"""Maximum-damage scapegoating (eq. 8 of the paper).
+
+The attacker searches over victim sets ``L_s ⊂ L`` for the one admitting
+the largest damage.  A useful structural fact (property-tested): the
+feasible region shrinks as ``L_s`` grows — requiring *more* links to look
+abnormal only adds constraints — so the unconstrained optimum over all
+non-empty victim sets is always attained at a singleton.  The default
+search therefore scans single victims exhaustively; explicit
+``victim_set_size > 1`` enumerates subsets of exactly that size for
+attackers who *want* several guaranteed scapegoats.
+
+Note the distinction the paper's Fig. 5 illustrates: the *required* victim
+set may be a single link, yet the damage-maximising manipulation typically
+drives several other free links above the abnormal threshold as a side
+effect.  The outcome's diagnosis reports every link the operator would
+actually blame.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, AttackOutcome
+from repro.attacks.chosen_victim import build_chosen_victim_bands
+from repro.attacks.lp import solve_manipulation_lp
+from repro.exceptions import ValidationError
+
+__all__ = ["MaxDamageAttack"]
+
+
+class MaxDamageAttack:
+    """Search victim sets for the damage-maximising scapegoating attack.
+
+    Parameters
+    ----------
+    context:
+        The shared attack context.
+    victim_set_size:
+        Exact size of the victim sets searched (default 1 — see module
+        docstring for why singletons already attain the optimum).
+    candidate_links:
+        Restrict the victim search (default: every non-controlled link the
+        attacker can push upward).
+    mode:
+        Chosen-victim constraint mode applied per candidate (``"paper"``
+        or ``"exclusive"``).
+    max_combinations:
+        Safety limit on enumerated subsets when ``victim_set_size > 1``.
+    stop_at_first_feasible:
+        Return the first feasible victim set instead of the best one.
+        Success-probability experiments (Fig. 8) only need existence, and
+        this short-circuits the candidate scan.
+    """
+
+    strategy_name = "max-damage"
+
+    def __init__(
+        self,
+        context: AttackContext,
+        *,
+        victim_set_size: int = 1,
+        candidate_links: Iterable[int] | None = None,
+        mode: str = "paper",
+        max_combinations: int = 20000,
+        stop_at_first_feasible: bool = False,
+        stealthy: bool = False,
+        confined: bool = False,
+    ) -> None:
+        if victim_set_size < 1:
+            raise ValidationError(f"victim_set_size must be >= 1, got {victim_set_size}")
+        if max_combinations < 1:
+            raise ValidationError(f"max_combinations must be >= 1, got {max_combinations}")
+        self.context = context
+        self.victim_set_size = victim_set_size
+        self.mode = mode
+        self.max_combinations = max_combinations
+        self.stop_at_first_feasible = stop_at_first_feasible
+        self.stealthy = stealthy
+        self.confined = confined
+        if candidate_links is None:
+            mask = context.manipulable_link_mask()
+            self.candidates = tuple(
+                j
+                for j in range(context.num_links)
+                if mask[j] and j not in context.controlled_links
+            )
+        else:
+            self.candidates = tuple(sorted(set(int(j) for j in candidate_links)))
+            for j in self.candidates:
+                if not 0 <= j < context.num_links:
+                    raise ValidationError(f"candidate link index {j} out of range")
+
+    def run(self) -> AttackOutcome:
+        """Scan candidate victim sets; return the best feasible outcome.
+
+        Infeasible when no candidate set admits a solution (e.g. the
+        attacker sits on no measurement path at all).
+        """
+        if not self.candidates:
+            return AttackOutcome.infeasible(
+                self.strategy_name, "no manipulable victim candidates"
+            )
+        best_solution = None
+        best_victims: tuple[int, ...] = ()
+        trace: list[dict] = []
+        enumerated = 0
+        for subset in combinations(self.candidates, self.victim_set_size):
+            if any(j in self.context.controlled_links for j in subset):
+                continue
+            if enumerated >= self.max_combinations:
+                break
+            enumerated += 1
+            bands = build_chosen_victim_bands(
+                self.context, subset, self.mode, confined=self.confined
+            )
+            solution = solve_manipulation_lp(
+                self.context.operator,
+                self.context.baseline_estimate,
+                self.context.support,
+                self.context.num_paths,
+                bands,
+                cap=self.context.cap,
+                consistency_matrix=(
+                    self.context.residual_projector() if self.stealthy else None
+                ),
+            )
+            trace.append(
+                {
+                    "victims": subset,
+                    "feasible": solution.feasible,
+                    "damage": solution.damage,
+                }
+            )
+            if solution.feasible and (
+                best_solution is None or solution.damage > best_solution.damage
+            ):
+                best_solution = solution
+                best_victims = subset
+                if self.stop_at_first_feasible:
+                    break
+        if best_solution is None or best_solution.manipulation is None:
+            return AttackOutcome.infeasible(
+                self.strategy_name,
+                f"no feasible victim set among {enumerated} candidates",
+            )
+        outcome = AttackOutcome.from_manipulation(
+            self.strategy_name,
+            self.context,
+            best_solution.manipulation,
+            best_victims,
+            best_solution.status,
+            extras={
+                "mode": self.mode,
+                "stealthy": self.stealthy,
+                "search_trace": trace,
+                "candidates_tried": enumerated,
+                "unbounded": best_solution.unbounded,
+            },
+        )
+        return outcome
+
+    def damage_by_victim(self) -> dict[int, float]:
+        """Damage achievable per single victim link (nan when infeasible).
+
+        Convenience for Fig. 5-style analysis: which scapegoat is most
+        profitable, and by how much.
+        """
+        result: dict[int, float] = {}
+        for j in self.candidates:
+            bands = build_chosen_victim_bands(
+                self.context, (j,), self.mode, confined=self.confined
+            )
+            solution = solve_manipulation_lp(
+                self.context.operator,
+                self.context.baseline_estimate,
+                self.context.support,
+                self.context.num_paths,
+                bands,
+                cap=self.context.cap,
+                consistency_matrix=(
+                    self.context.residual_projector() if self.stealthy else None
+                ),
+            )
+            result[j] = solution.damage if solution.feasible else float("nan")
+        return result

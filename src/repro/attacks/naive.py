@@ -1,0 +1,70 @@
+"""The naive (non-stealthy) baseline attack.
+
+Section II-C's strawman: malicious nodes simply delay every packet routed
+through them.  Damage is high, but tomography straightforwardly localises
+the attacker — the links incident to the malicious nodes show long delays,
+so the operator's report blames the attacker's own links.  The baseline
+exists to quantify the contrast with scapegoating: same damage budget,
+opposite attribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, AttackOutcome
+from repro.exceptions import ValidationError
+
+__all__ = ["NaiveDelayAttack"]
+
+
+class NaiveDelayAttack:
+    """Delay every probe on every path crossing the attacker.
+
+    Parameters
+    ----------
+    context:
+        Shared attack context.
+    per_path_delay:
+        Milliseconds added on every supported path (default: the context's
+        cap — maximal damage; 1000 ms when the cap is None).
+    """
+
+    strategy_name = "naive"
+
+    def __init__(self, context: AttackContext, *, per_path_delay: float | None = None) -> None:
+        self.context = context
+        if per_path_delay is None:
+            per_path_delay = context.cap if context.cap is not None else 1000.0
+        if per_path_delay < 0:
+            raise ValidationError(f"per_path_delay must be >= 0, got {per_path_delay}")
+        if context.cap is not None and per_path_delay > context.cap:
+            raise ValidationError(
+                f"per_path_delay {per_path_delay} exceeds the context cap {context.cap}"
+            )
+        self.per_path_delay = float(per_path_delay)
+
+    def run(self) -> AttackOutcome:
+        """Always 'succeeds' at doing damage — and at exposing the attacker.
+
+        ``victim_links`` is empty: the naive attack frames nobody.  The
+        interesting output is the diagnosis, which typically flags the
+        attacker-controlled links abnormal.
+        """
+        m = np.zeros(self.context.num_paths)
+        if self.context.support:
+            m[np.asarray(self.context.support, dtype=int)] = self.per_path_delay
+        outcome = AttackOutcome.from_manipulation(
+            self.strategy_name,
+            self.context,
+            m,
+            (),
+            f"uniform {self.per_path_delay} ms on {len(self.context.support)} paths",
+        )
+        assert outcome.diagnosis is not None
+        exposed = sorted(
+            set(outcome.diagnosis.abnormal) & set(self.context.controlled_links)
+        )
+        outcome.extras["exposed_controlled_links"] = exposed
+        outcome.extras["stealthy"] = not exposed
+        return outcome

@@ -1,0 +1,389 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points
+without writing any code:
+
+- ``info`` — version and system inventory;
+- ``topology`` — generate a topology and print its summary or edge list;
+- ``case-study`` — reproduce a Section V-B figure (fig4/fig5/fig6/loss);
+- ``attack`` — plan an attack on the Fig. 1 scenario and show the
+  operator's resulting view plus the detector's verdict;
+- ``experiment`` — run a Monte-Carlo experiment (fig7/fig8/fig9) at a
+  configurable trial count;
+- ``reproduce`` — regenerate every Section V-B case study (Figs. 4-6,
+  the naive baseline, and the loss-domain variant) into a directory.
+
+All output is plain text on stdout; exit status 0 on success, 2 on bad
+arguments (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scapegoating attacks on network tomography (ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and system inventory")
+
+    topo = sub.add_parser("topology", help="generate and describe a topology")
+    topo.add_argument(
+        "kind",
+        choices=["fig1", "isp", "rgg", "waxman", "fattree"],
+        help="topology family",
+    )
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--nodes", type=int, default=100, help="node count (rgg/waxman)")
+    topo.add_argument("--edges", action="store_true", help="print the edge list")
+
+    case = sub.add_parser("case-study", help="reproduce a Section V-B figure")
+    case.add_argument("figure", choices=["fig4", "fig5", "fig6", "naive", "loss"])
+    case.add_argument("--seed", type=int, default=2017)
+
+    attack = sub.add_parser("attack", help="plan an attack on the Fig. 1 scenario")
+    attack.add_argument(
+        "strategy",
+        choices=["chosen-victim", "max-damage", "obfuscation", "naive", "frame-and-blur"],
+    )
+    attack.add_argument(
+        "--attackers", nargs="+", default=["B", "C"], help="attacker node labels"
+    )
+    attack.add_argument(
+        "--victims",
+        nargs="*",
+        type=int,
+        default=None,
+        help="victim link indices (chosen-victim / frame-and-blur)",
+    )
+    attack.add_argument("--stealthy", action="store_true")
+    attack.add_argument("--confined", action="store_true")
+    attack.add_argument("--seed", type=int, default=2017)
+    attack.add_argument("--alpha", type=float, default=200.0)
+
+    experiment = sub.add_parser("experiment", help="run a Monte-Carlo experiment")
+    experiment.add_argument("figure", choices=["fig7", "fig8", "fig9"])
+    experiment.add_argument(
+        "--network", choices=["fig1", "wireline", "wireless"], default="fig1"
+    )
+    experiment.add_argument("--trials", type=int, default=40)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate all Section V-B case studies into a directory"
+    )
+    reproduce.add_argument("--out", default="reproduction", help="output directory")
+    reproduce.add_argument("--seed", type=int, default=2017)
+
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(__doc__.strip().splitlines()[0])
+    print()
+    inventory = [
+        ("repro.topology", "topologies, generators, serialization"),
+        ("repro.routing", "paths, k-shortest paths, routing matrices"),
+        ("repro.monitors", "monitor placement (incl. security-aware)"),
+        ("repro.metrics", "additive metrics, link states"),
+        ("repro.measurement", "analytic engine + packet DES (delay & loss)"),
+        ("repro.tomography", "least-squares / NNLS / ridge estimation"),
+        ("repro.attacks", "the scapegoating strategies and planning"),
+        ("repro.detection", "consistency detector, robust estimation"),
+        ("repro.scenarios", "case studies and Monte-Carlo experiments"),
+    ]
+    for name, what in inventory:
+        print(f"  {name:<20} {what}")
+    return 0
+
+
+def _build_topology(args):
+    if args.kind == "fig1":
+        from repro.topology import paper_example_network
+
+        return paper_example_network()
+    if args.kind == "isp":
+        from repro.topology import synthetic_rocketfuel
+
+        return synthetic_rocketfuel(seed=args.seed)
+    if args.kind == "rgg":
+        from repro.topology import random_geometric_topology
+
+        return random_geometric_topology(args.nodes, seed=args.seed)
+    if args.kind == "waxman":
+        from repro.topology import waxman_topology
+
+        return waxman_topology(args.nodes, seed=args.seed)
+    from repro.topology import fat_tree_topology
+
+    return fat_tree_topology(4)
+
+
+def _cmd_topology(args) -> int:
+    from repro.reporting import format_kv
+    from repro.topology.analysis import node_connectivity_summary
+    from repro.topology.serialization import topology_to_edge_list
+
+    topology = _build_topology(args)
+    print(format_kv(topology.name or args.kind, node_connectivity_summary(topology)))
+    if args.edges:
+        print()
+        try:
+            print(topology_to_edge_list(topology), end="")
+        except Exception:
+            # Tuple-labelled topologies (grid/fat-tree) need JSON.
+            from repro.topology.serialization import topology_to_json
+
+            print(topology_to_json(topology))
+    return 0
+
+
+def _cmd_case_study(args) -> int:
+    from repro.reporting import format_fig4_series
+
+    if args.figure == "fig4":
+        from repro.scenarios.simple_network import chosen_victim_case_study
+
+        record = chosen_victim_case_study(seed=args.seed)
+        print(format_fig4_series(record, title="Fig. 4: chosen-victim on link 10"))
+    elif args.figure == "fig5":
+        from repro.scenarios.simple_network import max_damage_case_study
+
+        record = max_damage_case_study(seed=args.seed)
+        print(format_fig4_series(record, title="Fig. 5: maximum damage"))
+    elif args.figure == "fig6":
+        from repro.scenarios.simple_network import obfuscation_case_study
+
+        record = obfuscation_case_study(seed=args.seed)
+        print(format_fig4_series(record, title="Fig. 6: obfuscation"))
+    elif args.figure == "naive":
+        from repro.scenarios.simple_network import naive_baseline_case_study
+
+        record = naive_baseline_case_study(seed=args.seed)
+        print(format_fig4_series(record, title="Naive baseline: delay everything"))
+        print(f"worst link is attacker-controlled: {record['worst_link_is_controlled']}")
+    else:  # loss
+        from repro.scenarios.loss_network import loss_chosen_victim_case_study
+
+        record = loss_chosen_victim_case_study(seed=args.seed)
+        if not record["feasible"]:
+            print("loss-domain attack infeasible for this seed")
+            return 1
+        print("Loss-domain chosen-victim (packet drops, simulated):")
+        print(f"  planned abnormal links : {record['planned_abnormal']}")
+        print(f"  measured abnormal links: {record['measured_abnormal']}")
+        print(
+            "  victim's estimated delivery ratio: "
+            f"{record['victim_delivery_estimate']:.2%} (true ~99%)"
+        )
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    import numpy as np
+
+    from repro.detection import TomographyAuditor
+    from repro.reporting import format_link_series
+    from repro.scenarios.simple_network import paper_fig1_scenario
+
+    scenario = paper_fig1_scenario(seed=args.seed)
+    try:
+        context = scenario.attack_context(args.attackers)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    victims = args.victims
+    if args.strategy == "chosen-victim":
+        from repro.attacks import ChosenVictimAttack
+
+        outcome = ChosenVictimAttack(
+            context,
+            victims if victims else [9],
+            stealthy=args.stealthy,
+            confined=args.confined,
+        ).run()
+    elif args.strategy == "max-damage":
+        from repro.attacks import MaxDamageAttack
+
+        outcome = MaxDamageAttack(
+            context, stealthy=args.stealthy, confined=args.confined
+        ).run()
+    elif args.strategy == "obfuscation":
+        from repro.attacks import ObfuscationAttack
+
+        outcome = ObfuscationAttack(
+            context, min_victims=1, stealthy=args.stealthy, confined=args.confined
+        ).run()
+    elif args.strategy == "frame-and-blur":
+        from repro.attacks import FrameAndBlurAttack
+
+        outcome = FrameAndBlurAttack(
+            context, victims if victims else [9], stealthy=args.stealthy
+        ).run()
+    else:
+        from repro.attacks import NaiveDelayAttack
+
+        outcome = NaiveDelayAttack(context).run()
+
+    if not outcome.feasible:
+        print(f"attack infeasible: {outcome.status}")
+        return 1
+    print(
+        format_link_series(
+            [float(v) for v in outcome.predicted_estimate],
+            [str(s) for s in outcome.diagnosis.states],
+            title=(
+                f"{args.strategy} by {args.attackers}: damage "
+                f"{outcome.damage:.0f} ms, mean path "
+                f"{outcome.mean_path_measurement:.1f} ms"
+            ),
+            victim_links=outcome.victim_links,
+            controlled_links=sorted(context.controlled_links),
+        )
+    )
+    report = TomographyAuditor(scenario.path_set, alpha=args.alpha).audit(
+        outcome.observed_measurements
+    )
+    print(
+        f"consistency detector (alpha={args.alpha}): "
+        f"{'DETECTED' if not report.trustworthy else 'not detected'} "
+        f"(residual {report.detection.residual_l1:.2f} ms)"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.reporting import format_detection_table, format_success_bins, format_table
+
+    if args.network == "wireline":
+        from repro.scenarios.experiments import standard_wireline_scenario
+
+        scenario = standard_wireline_scenario(seed=args.seed)
+    elif args.network == "wireless":
+        from repro.scenarios.experiments import standard_wireless_scenario
+
+        scenario = standard_wireless_scenario(seed=args.seed)
+    else:
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        scenario = paper_fig1_scenario()
+
+    if args.figure == "fig7":
+        from repro.scenarios.experiments import success_probability_sweep
+
+        result = success_probability_sweep(
+            scenario, num_trials=args.trials, seed=args.seed
+        )
+        print(
+            format_success_bins(
+                result["bins"],
+                title=f"Fig. 7 ({args.network}, {args.trials} trials)",
+            )
+        )
+    elif args.figure == "fig8":
+        from repro.scenarios.experiments import single_attacker_sweep
+
+        result = single_attacker_sweep(scenario, num_trials=args.trials, seed=args.seed)
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["max-damage success", result["max_damage_success_rate"]],
+                    ["obfuscation success", result["obfuscation_success_rate"]],
+                ],
+            )
+        )
+    else:  # fig9
+        from repro.scenarios.detection_experiments import detection_ratio_experiment
+
+        cells = []
+        for strategy in ("chosen-victim", "max-damage", "obfuscation"):
+            for cut in ("perfect", "imperfect"):
+                cells.append(
+                    detection_ratio_experiment(
+                        scenario,
+                        strategy,
+                        cut,
+                        num_trials=args.trials,
+                        seed=args.seed,
+                    )
+                )
+        print(
+            format_detection_table(
+                cells, title=f"Fig. 9 ({args.network}, {args.trials} trials/cell)"
+            )
+        )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from pathlib import Path
+
+    from repro.reporting import format_fig4_series
+    from repro.scenarios.loss_network import loss_chosen_victim_case_study
+    from repro.scenarios.simple_network import (
+        chosen_victim_case_study,
+        max_damage_case_study,
+        naive_baseline_case_study,
+        obfuscation_case_study,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    studies = [
+        ("fig4_chosen_victim", chosen_victim_case_study, "Fig. 4: chosen-victim on link 10"),
+        ("fig5_max_damage", max_damage_case_study, "Fig. 5: maximum damage"),
+        ("fig6_obfuscation", obfuscation_case_study, "Fig. 6: obfuscation"),
+        ("naive_baseline", naive_baseline_case_study, "Naive baseline"),
+    ]
+    for name, study, title in studies:
+        record = study(seed=args.seed)
+        text = format_fig4_series(record, title=title)
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {out / (name + '.txt')}")
+    loss = loss_chosen_victim_case_study(seed=args.seed)
+    if loss["feasible"]:
+        lines = [
+            "Loss-domain chosen-victim (simulated packet drops)",
+            f"planned abnormal links : {loss['planned_abnormal']}",
+            f"measured abnormal links: {loss['measured_abnormal']}",
+            f"victim estimated delivery: {loss['victim_delivery_estimate']:.2%}",
+        ]
+        (out / "loss_chosen_victim.txt").write_text("\n".join(lines) + "\n")
+        print(f"wrote {out / 'loss_chosen_victim.txt'}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "topology":
+        return _cmd_topology(args)
+    if args.command == "case-study":
+        return _cmd_case_study(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The consistency detector of eq. (23) / Remark 4.
+
+Declare scapegoating when ``||R x_hat - y'||_1 > alpha``.  With noiseless
+measurements any positive residual is suspicious; ``alpha`` absorbs real
+measurement randomness (the paper sets 200 ms empirically; the detection
+benches sweep it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DetectionError
+from repro.tomography.linear_system import estimator_operator, measurement_residual
+
+__all__ = ["DetectionResult", "ConsistencyDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detector invocation.
+
+    ``residual_l1`` is the statistic; ``detected`` the verdict;
+    ``per_path_residual`` the vector whose support localises witnesses.
+    """
+
+    detected: bool
+    residual_l1: float
+    threshold: float
+    per_path_residual: np.ndarray
+    estimate: np.ndarray
+
+    def max_path_residual(self) -> float:
+        """Largest single-path inconsistency (localisation headline)."""
+        if self.per_path_residual.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.per_path_residual)))
+
+
+class ConsistencyDetector:
+    """Residual-thresholding detector over a fixed routing matrix.
+
+    Parameters
+    ----------
+    routing_matrix:
+        The operator's ``R``.
+    alpha:
+        Detection threshold on the ``L_1`` residual (paper experiments:
+        200 ms).  Must be non-negative; zero implements the idealised
+        noiseless test of eq. (23).
+
+    Note the structural blind spots (Theorem 3): if ``R`` is square and
+    invertible the residual is *identically zero* whatever the attacker
+    does — the detector warns about this at construction via
+    :attr:`structurally_blind`.
+    """
+
+    def __init__(self, routing_matrix: np.ndarray, alpha: float = 200.0) -> None:
+        matrix = np.asarray(routing_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise DetectionError(f"degenerate routing matrix shape {matrix.shape}")
+        if alpha < 0:
+            raise DetectionError(f"alpha must be non-negative, got {alpha}")
+        self._matrix = matrix
+        self._operator = estimator_operator(matrix)
+        self.alpha = float(alpha)
+        rank = np.linalg.matrix_rank(matrix)
+        # Residuals vanish identically iff rows span no redundancy: every
+        # y' is consistent with some x.  That is rank == num_paths (which
+        # includes the square invertible case of Theorem 3).
+        self.structurally_blind = bool(rank == matrix.shape[0])
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """A copy of ``R``."""
+        return self._matrix.copy()
+
+    def check(self, observed: np.ndarray) -> DetectionResult:
+        """Run the detector on one observed measurement vector."""
+        y = np.asarray(observed, dtype=float)
+        if y.shape != (self._matrix.shape[0],):
+            raise DetectionError(
+                f"observed vector must have shape ({self._matrix.shape[0]},), got {y.shape}"
+            )
+        if not np.all(np.isfinite(y)):
+            raise DetectionError("observed measurements must be finite")
+        estimate = self._operator @ y
+        residual = measurement_residual(self._matrix, estimate, y)
+        residual_l1 = float(np.abs(residual).sum())
+        return DetectionResult(
+            detected=bool(residual_l1 > self.alpha),
+            residual_l1=residual_l1,
+            threshold=self.alpha,
+            per_path_residual=residual,
+            estimate=estimate,
+        )

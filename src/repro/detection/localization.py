@@ -1,0 +1,65 @@
+"""Residual localisation — which paths witness the manipulation.
+
+Beyond the paper's binary verdict, the per-path residual carries location
+information: under an imperfect cut, the attacker-free victim paths are
+the rows whose observed measurement cannot be reconciled with any link
+metric vector, so large-residual rows point at the neighbourhood of the
+inconsistency.  ``witness_report`` cross-references those rows with the
+links they traverse, giving the operator a starting set for out-of-band
+verification (e.g. direct SNMP polls on exactly those links).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.detection.consistency import DetectionResult
+from repro.routing.paths import PathSet
+
+__all__ = ["suspicious_paths", "witness_report"]
+
+
+def suspicious_paths(
+    result: DetectionResult, *, per_path_threshold: float | None = None
+) -> list[int]:
+    """Rows whose absolute residual exceeds the per-path threshold.
+
+    Default threshold: ``alpha / num_paths`` — the level at which a single
+    path would, on its own, account for an equal share of a barely-alarming
+    total residual.  Rows are returned most-suspicious first.
+    """
+    residual = np.abs(result.per_path_residual)
+    if per_path_threshold is None:
+        per_path_threshold = result.threshold / max(residual.size, 1)
+    rows = [int(i) for i in np.argsort(-residual) if residual[i] > per_path_threshold]
+    return rows
+
+
+def witness_report(
+    path_set: PathSet,
+    result: DetectionResult,
+    *,
+    per_path_threshold: float | None = None,
+    top_links: int = 10,
+) -> dict:
+    """Summarise where the inconsistency lives.
+
+    Returns a dict with the suspicious rows, and the links ranked by how
+    many suspicious paths traverse them (ties broken by link index).  The
+    ranking is a heuristic lead, not an identification — the true attacker
+    may or may not appear (their links *also* sit on suspicious rows in
+    imperfect-cut attacks).
+    """
+    rows = suspicious_paths(result, per_path_threshold=per_path_threshold)
+    counts: Counter[int] = Counter()
+    for row in rows:
+        counts.update(path_set.path(row).link_indices)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:top_links]
+    return {
+        "suspicious_paths": rows,
+        "implicated_links": [link for link, _ in ranked],
+        "link_hit_counts": dict(ranked),
+        "num_suspicious": len(rows),
+    }

@@ -1,0 +1,43 @@
+"""End-to-end measurement engines.
+
+Two backends produce the path-measurement vector ``y``:
+
+- :class:`~repro.measurement.engine.AnalyticMeasurementEngine` — evaluates
+  the paper's linear model ``y = R x (+ noise) (+ m)`` directly; used by the
+  Monte-Carlo experiments where thousands of rounds are needed.
+- :class:`~repro.measurement.simulator.NetworkSimulator` — a packet-level
+  discrete-event simulator: probes are injected at monitors, traverse links
+  with per-link delays, and malicious nodes intercept them according to a
+  compiled attack plan.  Integration tests assert that both backends drive
+  tomography to the same conclusions.
+"""
+
+from repro.measurement.engine import AnalyticMeasurementEngine
+from repro.measurement.loss import (
+    delivery_to_log_measurements,
+    drop_probabilities_to_manipulation,
+    log_measurements_to_delivery,
+    loss_thresholds,
+    manipulation_to_drop_probabilities,
+)
+from repro.measurement.noise import GaussianNoise, NoNoise, UniformNoise
+from repro.measurement.simulator import (
+    MeasurementRecord,
+    NetworkSimulator,
+    PathManipulationAgent,
+)
+
+__all__ = [
+    "AnalyticMeasurementEngine",
+    "delivery_to_log_measurements",
+    "drop_probabilities_to_manipulation",
+    "log_measurements_to_delivery",
+    "loss_thresholds",
+    "manipulation_to_drop_probabilities",
+    "GaussianNoise",
+    "NoNoise",
+    "UniformNoise",
+    "MeasurementRecord",
+    "NetworkSimulator",
+    "PathManipulationAgent",
+]

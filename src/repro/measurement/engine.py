@@ -1,0 +1,90 @@
+"""Analytic measurement engine.
+
+Evaluates the linear measurement model of eq. (1)/(3) directly:
+
+    y' = R x + noise + m
+
+where ``x`` is the ground-truth link metric vector, ``noise`` is drawn from
+a per-path noise model (zero by default), and ``m`` is an optional attack
+manipulation vector (Constraint 1 is the *attacker's* obligation; the
+engine validates only shape and sign so tests can also exercise dishonest
+vectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.measurement.noise import NoNoise
+from repro.routing.paths import PathSet
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_finite_vector
+
+__all__ = ["AnalyticMeasurementEngine"]
+
+
+class AnalyticMeasurementEngine:
+    """Computes path measurements from link metrics via ``y = R x``.
+
+    Parameters
+    ----------
+    path_set:
+        The measurement paths; the routing matrix is cached.
+    noise_model:
+        Callable ``(rng, size) -> ndarray`` adding per-path measurement
+        noise.  Defaults to :class:`~repro.measurement.noise.NoNoise`.
+
+    >>> from repro.topology import paper_example_network
+    >>> from repro.routing import MeasurementPath, PathSet
+    >>> import numpy as np
+    >>> topo = paper_example_network()
+    >>> ps = PathSet(topo, [MeasurementPath(topo, ["M1", "A", "C", "M2"])])
+    >>> engine = AnalyticMeasurementEngine(ps)
+    >>> x = np.arange(topo.num_links, dtype=float)
+    >>> float(engine.measure(x)[0]) == float(x[0] + x[3] + x[7])
+    True
+    """
+
+    def __init__(self, path_set: PathSet, noise_model=None) -> None:
+        self.path_set = path_set
+        self.noise_model = noise_model if noise_model is not None else NoNoise()
+        self._matrix = path_set.routing_matrix()
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """A copy of the cached routing matrix ``R``."""
+        return self._matrix.copy()
+
+    def measure(
+        self,
+        link_metrics: np.ndarray,
+        *,
+        manipulation: np.ndarray | None = None,
+        num_probes: int = 1,
+        rng: object = None,
+    ) -> np.ndarray:
+        """One measurement round; returns the observed vector ``y'``.
+
+        ``num_probes`` averages that many independent noise draws per path
+        (the noiseless model is unaffected), mirroring how monitors send
+        several probes and average.  ``manipulation`` is added after the
+        noise, exactly as eq. (3) composes ``y' = y + m``.
+        """
+        if num_probes < 1:
+            raise MeasurementError(f"num_probes must be >= 1, got {num_probes}")
+        x = check_finite_vector(
+            link_metrics, "link_metrics", length=self._matrix.shape[1]
+        )
+        generator = ensure_rng(rng)
+        y = self._matrix @ x
+        noise_total = np.zeros(self._matrix.shape[0])
+        for _ in range(num_probes):
+            noise_total += self.noise_model(generator, self._matrix.shape[0])
+        y = y + noise_total / num_probes
+        if manipulation is not None:
+            m = check_finite_vector(
+                manipulation, "manipulation", length=self._matrix.shape[0]
+            )
+            y = y + m
+        return y

@@ -1,0 +1,100 @@
+"""Loss-domain measurement helpers.
+
+The paper's additive-metric model covers packet loss via the logarithmic
+transform (Section II-A, Remark 2): with per-link delivery ratio ``d_j``,
+the additive link metric is ``-log d_j`` and a path's metric is the sum.
+This module converts between the three representations involved:
+
+- per-path *delivery ratios* measured by probing (the simulator's
+  :meth:`MeasurementRecord.delivery_ratio_vector`),
+- per-path *log metrics* (what tomography inverts), and
+- per-path *attack manipulations*: adding ``m_i`` to path ``i``'s log
+  metric is exactly dropping each of its probes independently with
+  probability ``1 - exp(-m_i)``.
+
+That last equivalence is what lets the same LP solutions drive a
+delay-based attack (hold packets) or a loss-based attack (drop packets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.metrics.states import StateThresholds
+
+__all__ = [
+    "delivery_to_log_measurements",
+    "log_measurements_to_delivery",
+    "manipulation_to_drop_probabilities",
+    "drop_probabilities_to_manipulation",
+    "loss_thresholds",
+]
+
+
+def delivery_to_log_measurements(
+    delivery_ratios: np.ndarray, *, floor: float = 1e-6
+) -> np.ndarray:
+    """Per-path delivery ratios -> the additive log-metric vector ``y``.
+
+    Ratios are clipped below at ``floor`` so a fully dead path (ratio 0,
+    e.g. every probe dropped in a finite sample) maps to a large finite
+    metric instead of infinity; the operator treats such paths as
+    maximally bad rather than crashing the estimator.
+    """
+    ratios = np.asarray(delivery_ratios, dtype=float)
+    if np.any(ratios < 0.0) or np.any(ratios > 1.0):
+        raise MeasurementError("delivery ratios must lie in [0, 1]")
+    if not 0.0 < floor <= 1.0:
+        raise MeasurementError(f"floor must be in (0, 1], got {floor}")
+    return -np.log(np.maximum(ratios, floor))
+
+
+def log_measurements_to_delivery(log_metrics: np.ndarray) -> np.ndarray:
+    """Inverse transform (for reporting): ``y -> exp(-y)``."""
+    values = np.asarray(log_metrics, dtype=float)
+    if np.any(values < -1e-9):
+        raise MeasurementError("log-domain measurements must be non-negative")
+    return np.exp(-np.maximum(values, 0.0))
+
+
+def manipulation_to_drop_probabilities(manipulation: np.ndarray) -> np.ndarray:
+    """Per-path log-metric manipulation ``m`` -> per-probe drop probability.
+
+    Dropping each probe of path ``i`` with probability ``1 - exp(-m_i)``
+    multiplies the expected delivery ratio by ``exp(-m_i)``, i.e. adds
+    ``m_i`` to the measured log metric — eq. (3) in the loss domain.
+    """
+    m = np.asarray(manipulation, dtype=float)
+    if np.any(m < -1e-9):
+        raise MeasurementError("manipulation must be non-negative (Constraint 1)")
+    return 1.0 - np.exp(-np.maximum(m, 0.0))
+
+
+def drop_probabilities_to_manipulation(drop_probabilities: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`manipulation_to_drop_probabilities`."""
+    p = np.asarray(drop_probabilities, dtype=float)
+    if np.any(p < 0.0) or np.any(p >= 1.0):
+        raise MeasurementError("drop probabilities must lie in [0, 1)")
+    return -np.log(1.0 - p)
+
+
+def loss_thresholds(
+    normal_delivery: float = 0.99, abnormal_delivery: float = 0.50
+) -> StateThresholds:
+    """Definition-1 thresholds expressed in the loss log domain.
+
+    A link is *normal* when its delivery ratio exceeds ``normal_delivery``
+    and *abnormal* below ``abnormal_delivery``; the returned thresholds
+    operate on the ``-log`` metric, so ``lower = -log(normal_delivery)``
+    and ``upper = -log(abnormal_delivery)``.
+    """
+    if not 0.0 < abnormal_delivery < normal_delivery <= 1.0:
+        raise MeasurementError(
+            "need 0 < abnormal_delivery < normal_delivery <= 1, got "
+            f"{abnormal_delivery}, {normal_delivery}"
+        )
+    return StateThresholds(
+        lower=float(-np.log(normal_delivery)),
+        upper=float(-np.log(abnormal_delivery)),
+    )

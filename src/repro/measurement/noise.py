@@ -1,0 +1,63 @@
+"""Measurement-noise models.
+
+The paper's simulations are noiseless (Remark 4 notes real measurements are
+not, motivating the detector threshold ``alpha``).  These models let
+experiments and ablation benches inject controlled per-path noise:
+each model is a callable ``model(rng, size) -> ndarray``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["NoNoise", "GaussianNoise", "UniformNoise"]
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """The noiseless model: always returns zeros."""
+
+    def __call__(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.zeros(size)
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Zero-mean Gaussian per-path noise with standard deviation ``sigma``.
+
+    Samples are truncated below at ``-truncate_at`` to keep measured delays
+    from going negative in realistic regimes (delays cannot be sped up;
+    the attacker constraint ``m >= 0`` has the same physical root).
+    """
+
+    sigma: float
+    truncate_at: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValidationError(f"sigma must be non-negative, got {self.sigma}")
+
+    def __call__(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        draw = rng.normal(0.0, self.sigma, size=size)
+        if np.isfinite(self.truncate_at):
+            draw = np.maximum(draw, -abs(self.truncate_at))
+        return draw
+
+
+@dataclass(frozen=True)
+class UniformNoise:
+    """Uniform per-path noise on ``[low, high]`` (jitter-style, can be one-sided)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValidationError(f"need low <= high, got [{self.low}, {self.high}]")
+
+    def __call__(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)

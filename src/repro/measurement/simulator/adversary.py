@@ -1,0 +1,77 @@
+"""Adversary behaviour inside the packet simulator.
+
+A malicious node's packet-level power is exactly what the paper's threat
+model grants: it forwards every probe routed through it, but may *delay*
+the probe or *drop* it, and can discriminate per measurement path (probes
+are source-routed, so the path is visible to on-path nodes).  The
+:class:`PathManipulationAgent` realises a per-path policy; attack planners
+compile an LP solution ``m*`` into one agent per attacker node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["PathAction", "PathManipulationAgent"]
+
+
+@dataclass(frozen=True)
+class PathAction:
+    """What an attacker does to probes of one path.
+
+    ``extra_delay``: milliseconds added to each probe of the path (>= 0 —
+    attackers can postpone forwarding but cannot make links faster).
+    ``drop_probability``: probability each probe is silently dropped.
+    """
+
+    extra_delay: float = 0.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_delay < 0:
+            raise ValidationError(
+                f"extra_delay must be non-negative, got {self.extra_delay}"
+            )
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValidationError(
+                f"drop_probability must be in [0, 1], got {self.drop_probability}"
+            )
+
+
+@dataclass
+class PathManipulationAgent:
+    """Per-path manipulation policy installed at one malicious node.
+
+    ``actions`` maps a path index (row of the routing matrix) to the
+    :class:`PathAction` applied when a probe of that path transits this
+    node.  Paths absent from the mapping pass through untouched — the
+    "cooperative on other paths" behaviour that makes scapegoating
+    stealthy (Section II-C).
+    """
+
+    node: object
+    actions: dict[int, PathAction] = field(default_factory=dict)
+
+    def set_action(
+        self, path_index: int, *, extra_delay: float = 0.0, drop_probability: float = 0.0
+    ) -> None:
+        """Install or replace the action for ``path_index``."""
+        self.actions[int(path_index)] = PathAction(
+            extra_delay=extra_delay, drop_probability=drop_probability
+        )
+
+    def on_probe(self, path_index: int, rng: np.random.Generator) -> tuple[float, bool]:
+        """Decide the fate of one probe: ``(extra_delay, dropped)``."""
+        action = self.actions.get(int(path_index))
+        if action is None:
+            return 0.0, False
+        dropped = bool(action.drop_probability > 0.0 and rng.random() < action.drop_probability)
+        return action.extra_delay, dropped
+
+    def total_planned_delay(self) -> float:
+        """Sum of configured per-path extra delays (diagnostics)."""
+        return float(sum(action.extra_delay for action in self.actions.values()))

@@ -1,0 +1,76 @@
+"""Event queue for the discrete-event simulator.
+
+A classic time-ordered priority queue.  Ties in simulated time break by
+insertion order (FIFO), which keeps runs deterministic for a fixed RNG and
+makes the simulator's behaviour reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, sequence, action)`` events.
+
+    ``action`` is a zero-argument callable executed when the event fires.
+    The queue never compares actions (the sequence number breaks time
+    ties), so any callable works.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the most recently fired event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def is_empty(self) -> bool:
+        """True when no events are pending."""
+        return not self._heap
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at simulated ``time``.
+
+        Scheduling in the past (before the last fired event) is a logic
+        error in the caller and raises ``ValueError``.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        heapq.heappush(self._heap, (float(time), self._sequence, action))
+        self._sequence += 1
+
+    def run_next(self) -> float:
+        """Fire the earliest event; returns its time."""
+        if not self._heap:
+            raise IndexError("event queue is empty")
+        time, _, action = heapq.heappop(self._heap)
+        self._now = time
+        action()
+        return time
+
+    def run_until_empty(self, *, max_events: int | None = None) -> int:
+        """Fire events until none remain; returns the number fired.
+
+        ``max_events`` is a safety valve for tests: exceeding it raises
+        ``RuntimeError`` (an unbounded event cascade is always a bug here —
+        probes traverse finite paths).
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}; runaway event loop?")
+            self.run_next()
+            fired += 1
+        return fired

@@ -1,0 +1,235 @@
+"""The packet-level network simulator.
+
+Probes are injected at their path's source monitor, hop across links (each
+adding the link's ground-truth delay plus optional jitter), transit
+malicious nodes that may add per-path delay or drop the probe, and are
+recorded on arrival at the destination monitor.  Per-path probe statistics
+(mean delivered delay, delivery ratio) become the observed measurement
+vector that tomography inverts.
+
+The attacker hook fires when a probe *arrives at* a malicious node: an
+interior attacker postpones *forwarding* (or silently drops the probe),
+and a malicious *destination monitor* — monitors are not specially
+protected in the paper's threat model — manipulates the measurement it
+reports, recording the probe late or discarding it.  Both realise the same
+per-path manipulation entry ``m_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.measurement.simulator.adversary import PathManipulationAgent
+from repro.measurement.simulator.events import EventQueue
+from repro.routing.paths import PathSet
+from repro.topology.graph import NodeId, Topology
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_nonnegative_vector
+
+__all__ = ["Probe", "MeasurementRecord", "NetworkSimulator"]
+
+
+@dataclass
+class Probe:
+    """One probe packet in flight."""
+
+    path_index: int
+    probe_number: int
+    route: tuple[NodeId, ...]
+    send_time: float
+    hop: int = 0
+    dropped: bool = False
+    arrival_time: float | None = None
+
+    @property
+    def delivered(self) -> bool:
+        """True once the probe reached its destination monitor."""
+        return self.arrival_time is not None
+
+    @property
+    def end_to_end_delay(self) -> float:
+        """Measured delay; raises when the probe was dropped or in flight."""
+        if self.arrival_time is None:
+            raise MeasurementError(
+                f"probe {self.probe_number} on path {self.path_index} was not delivered"
+            )
+        return self.arrival_time - self.send_time
+
+
+@dataclass
+class MeasurementRecord:
+    """Aggregated outcome of one simulated measurement round."""
+
+    num_paths: int
+    delays: list[list[float]] = field(default_factory=list)
+    sent: list[int] = field(default_factory=list)
+    delivered: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.delays:
+            self.delays = [[] for _ in range(self.num_paths)]
+            self.sent = [0] * self.num_paths
+            self.delivered = [0] * self.num_paths
+
+    def record_sent(self, path_index: int) -> None:
+        self.sent[path_index] += 1
+
+    def record_delivery(self, path_index: int, delay: float) -> None:
+        self.delivered[path_index] += 1
+        self.delays[path_index].append(delay)
+
+    def path_delay_vector(self) -> np.ndarray:
+        """Mean delivered delay per path — the observed ``y'``.
+
+        Paths whose probes were all dropped yield ``inf`` (the operator
+        sees a totally dead path, unambiguously alarming), so callers can
+        detect and handle that case explicitly.
+        """
+        out = np.empty(self.num_paths)
+        for i, samples in enumerate(self.delays):
+            out[i] = float(np.mean(samples)) if samples else float("inf")
+        return out
+
+    def delivery_ratio_vector(self) -> np.ndarray:
+        """Fraction of probes delivered per path (1.0 for unsent paths)."""
+        out = np.ones(self.num_paths)
+        for i in range(self.num_paths):
+            if self.sent[i]:
+                out[i] = self.delivered[i] / self.sent[i]
+        return out
+
+
+class NetworkSimulator:
+    """Discrete-event simulator for probe-based measurement rounds.
+
+    Parameters
+    ----------
+    topology:
+        The network graph.
+    link_delays:
+        Ground-truth per-link delay vector (ms), indexed by link index.
+    agents:
+        Malicious nodes' packet policies: mapping node label ->
+        :class:`PathManipulationAgent`.  Empty by default (honest network).
+    jitter:
+        Optional callable ``(rng) -> float`` added to every link traversal
+        (e.g. queueing noise).  Must return non-negative values.
+    link_loss:
+        Optional per-link drop probabilities in [0, 1) — the ground truth
+        for loss-domain tomography.  Each traversal of link ``j`` drops the
+        probe independently with probability ``link_loss[j]``, so a path's
+        delivery ratio is the product of its links' survival probabilities
+        (additive in the log domain, as the paper's Section II-A notes).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_delays: np.ndarray,
+        *,
+        agents: dict[NodeId, PathManipulationAgent] | None = None,
+        jitter=None,
+        link_loss: np.ndarray | None = None,
+    ) -> None:
+        self.topology = topology
+        self.link_delays = check_nonnegative_vector(
+            link_delays, "link_delays", length=topology.num_links
+        )
+        self.agents = dict(agents) if agents else {}
+        for node, agent in self.agents.items():
+            if not topology.has_node(node):
+                raise MeasurementError(f"agent node {node!r} is not in the topology")
+            if agent.node != node:
+                raise MeasurementError(
+                    f"agent at {node!r} declares a different node {agent.node!r}"
+                )
+        self.jitter = jitter
+        if link_loss is None:
+            self.link_loss = None
+        else:
+            loss = check_nonnegative_vector(
+                link_loss, "link_loss", length=topology.num_links
+            )
+            if np.any(loss >= 1.0):
+                raise MeasurementError("per-link loss rates must lie in [0, 1)")
+            self.link_loss = loss
+
+    def run_measurement(
+        self,
+        path_set: PathSet,
+        *,
+        probes_per_path: int = 1,
+        probe_spacing: float = 1.0,
+        rng: object = None,
+    ) -> MeasurementRecord:
+        """Simulate one measurement round and return the record.
+
+        Each path sends ``probes_per_path`` probes, spaced ``probe_spacing``
+        ms apart (spacing only staggers injections; paths do not interact,
+        matching the additive-metric model where probe load is negligible).
+        """
+        if probes_per_path < 1:
+            raise MeasurementError(f"probes_per_path must be >= 1, got {probes_per_path}")
+        if probe_spacing < 0:
+            raise MeasurementError(f"probe_spacing must be >= 0, got {probe_spacing}")
+        if path_set.topology is not self.topology:
+            raise MeasurementError("path_set was built on a different topology instance")
+        generator = ensure_rng(rng)
+        queue = EventQueue()
+        record = MeasurementRecord(num_paths=path_set.num_paths)
+
+        for path_index, path in enumerate(path_set):
+            for probe_number in range(probes_per_path):
+                probe = Probe(
+                    path_index=path_index,
+                    probe_number=probe_number,
+                    route=path.nodes,
+                    send_time=probe_number * probe_spacing,
+                )
+                record.record_sent(path_index)
+                queue.schedule(
+                    probe.send_time,
+                    self._make_arrival(probe, queue, record, path, generator),
+                )
+        # Each probe generates at most len(route) arrival events.
+        max_events = sum(len(path.nodes) for path in path_set) * probes_per_path + 1
+        queue.run_until_empty(max_events=max_events)
+        return record
+
+    def _make_arrival(self, probe: Probe, queue: EventQueue, record, path, rng):
+        """Build the arrival-event closure for the probe's current hop."""
+
+        def arrival() -> None:
+            node = probe.route[probe.hop]
+            at_destination = probe.hop == len(probe.route) - 1
+            hold = 0.0
+            agent = self.agents.get(node)
+            if agent is not None:
+                extra_delay, dropped = agent.on_probe(probe.path_index, rng)
+                if dropped:
+                    probe.dropped = True
+                    return
+                hold = extra_delay
+            if at_destination:
+                # A malicious destination monitor reports the probe late by
+                # ``hold``; an honest one records the true arrival time.
+                probe.arrival_time = queue.now + hold
+                record.record_delivery(probe.path_index, probe.end_to_end_delay)
+                return
+            link_index = path.link_indices[probe.hop]
+            if self.link_loss is not None and rng.random() < self.link_loss[link_index]:
+                probe.dropped = True
+                return
+            delay = self.link_delays[link_index]
+            if self.jitter is not None:
+                jitter_value = float(self.jitter(rng))
+                if jitter_value < 0:
+                    raise MeasurementError("jitter model returned a negative value")
+                delay += jitter_value
+            probe.hop += 1
+            queue.schedule(queue.now + hold + delay, self._make_arrival(probe, queue, record, path, rng))
+
+        return arrival

@@ -1,0 +1,34 @@
+"""Additive link metrics and link-state classification.
+
+The tomography model requires *additive* path metrics (Section II-A):
+delays add along a path, and packet delivery ratios multiply — hence add in
+the logarithmic domain.  This package provides generators for ground-truth
+link metric vectors, the delay/loss conversions, and the three-state link
+classifier of Definition 1 (normal / uncertain / abnormal).
+"""
+
+from repro.metrics.link_metrics import (
+    constant_delay_metrics,
+    delivery_ratio_to_log_metric,
+    log_metric_to_delivery_ratio,
+    loss_rate_to_log_metric,
+    uniform_delay_metrics,
+)
+from repro.metrics.states import (
+    LinkState,
+    StateThresholds,
+    classify_metric,
+    classify_vector,
+)
+
+__all__ = [
+    "constant_delay_metrics",
+    "delivery_ratio_to_log_metric",
+    "log_metric_to_delivery_ratio",
+    "loss_rate_to_log_metric",
+    "uniform_delay_metrics",
+    "LinkState",
+    "StateThresholds",
+    "classify_metric",
+    "classify_vector",
+]

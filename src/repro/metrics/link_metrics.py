@@ -1,0 +1,79 @@
+"""Ground-truth link metric generation and metric-domain conversions.
+
+The paper's experimental setup (Section V-A) puts "routine traffic on each
+link with random delay performance from 1 ms to 20 ms"; that is
+:func:`uniform_delay_metrics` with defaults.  The loss-domain helpers
+implement the standard logarithmic transform that makes packet delivery
+ratios additive: for per-link delivery ratio ``d``, the additive metric is
+``-log(d)``, so a path's metric is ``-log(prod d_i) = sum(-log d_i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import Topology
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "uniform_delay_metrics",
+    "constant_delay_metrics",
+    "delivery_ratio_to_log_metric",
+    "log_metric_to_delivery_ratio",
+    "loss_rate_to_log_metric",
+]
+
+
+def uniform_delay_metrics(
+    topology: Topology,
+    low: float = 1.0,
+    high: float = 20.0,
+    *,
+    rng: object = None,
+) -> np.ndarray:
+    """Per-link delays drawn uniformly from ``[low, high]`` milliseconds.
+
+    Matches the paper's routine-traffic model (1-20 ms).  Returns a vector
+    indexed by link index.
+    """
+    if low < 0 or high < low:
+        raise ValidationError(f"need 0 <= low <= high, got low={low}, high={high}")
+    generator = ensure_rng(rng)
+    return generator.uniform(low, high, size=topology.num_links)
+
+
+def constant_delay_metrics(topology: Topology, value: float = 10.0) -> np.ndarray:
+    """Every link gets the same delay ``value`` (useful in unit tests)."""
+    if value < 0:
+        raise ValidationError(f"delay must be non-negative, got {value}")
+    return np.full(topology.num_links, float(value))
+
+
+def delivery_ratio_to_log_metric(delivery_ratio: np.ndarray) -> np.ndarray:
+    """Convert per-link delivery ratios ``d`` in (0, 1] to additive ``-log d``.
+
+    A ratio of 1 maps to metric 0 (perfect link); smaller ratios map to
+    larger metrics, preserving the "bigger is worse" convention shared with
+    delays.
+    """
+    ratios = np.asarray(delivery_ratio, dtype=float)
+    if np.any(ratios <= 0.0) or np.any(ratios > 1.0):
+        raise ValidationError("delivery ratios must lie in (0, 1]")
+    return -np.log(ratios)
+
+
+def log_metric_to_delivery_ratio(metric: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`delivery_ratio_to_log_metric`."""
+    values = np.asarray(metric, dtype=float)
+    if np.any(values < 0.0):
+        raise ValidationError("log-domain loss metrics must be non-negative")
+    return np.exp(-values)
+
+
+def loss_rate_to_log_metric(loss_rate: np.ndarray) -> np.ndarray:
+    """Convert per-link loss rates in [0, 1) to the additive log metric."""
+    losses = np.asarray(loss_rate, dtype=float)
+    if np.any(losses < 0.0) or np.any(losses >= 1.0):
+        raise ValidationError("loss rates must lie in [0, 1)")
+    return delivery_ratio_to_log_metric(1.0 - losses)

@@ -1,0 +1,36 @@
+"""Placement-quality reporting.
+
+Bridges :mod:`repro.monitors.placement` and the rank analysis in
+:mod:`repro.routing.routing_matrix` into one call that experiments and
+examples use to log how good a placement is.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.placement import PlacementResult, max_node_presence_ratio
+from repro.routing.routing_matrix import IdentifiabilityReport, identifiability_report
+
+__all__ = ["placement_report"]
+
+
+def placement_report(placement: PlacementResult) -> dict:
+    """Return a flat summary dict for a placement.
+
+    Keys: ``monitors``, ``num_paths``, ``rank``, ``num_links``,
+    ``fully_identifiable``, ``redundancy``, ``coverage``,
+    ``max_presence_ratio``.  The presence ratio excludes the monitors
+    themselves (their own paths trivially contain them).
+    """
+    report: IdentifiabilityReport = identifiability_report(placement.path_set)
+    return {
+        "monitors": list(placement.monitors),
+        "num_paths": report.num_paths,
+        "rank": report.rank,
+        "num_links": report.num_links,
+        "fully_identifiable": report.full_column_rank,
+        "redundancy": report.redundancy,
+        "coverage": report.coverage(),
+        "max_presence_ratio": max_node_presence_ratio(
+            placement.path_set, exclude=set(placement.monitors)
+        ),
+    }

@@ -1,0 +1,51 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["xx", float("nan")]]))
+    a   b
+    --  ---
+    1   2.5
+    xx  n/a
+    """
+    string_rows = [[_cell(v) for v in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in string_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}"
+            )
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(header_cells, widths)).rstrip(),
+        "  ".join("-" * w for w in widths).rstrip(),
+    ]
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(title: str, mapping: dict) -> str:
+    """Render a titled key/value block for scenario descriptions."""
+    width = max((len(str(k)) for k in mapping), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)}  {_cell(value)}")
+    return "\n".join(lines)

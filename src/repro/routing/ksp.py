@@ -1,0 +1,176 @@
+"""Shortest paths and Yen's k-shortest simple paths, from scratch.
+
+Monitors with controllable routing pick probe routes explicitly; candidate
+routes come from shortest / near-shortest simple paths between monitor
+pairs.  Hop count is the metric (every link has unit cost), which matches
+the path-selection practice of the identifiability literature the paper
+builds on.
+
+Also provides an exhaustive simple-path enumerator (depth-first, lazily
+yielded) used on small topologies such as the paper's Fig. 1 network.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import NoPathError, ValidationError
+from repro.topology.graph import NodeId, Topology
+
+__all__ = ["shortest_path", "k_shortest_paths", "all_simple_paths"]
+
+
+def shortest_path(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    *,
+    banned_nodes: frozenset = frozenset(),
+    banned_links: frozenset = frozenset(),
+) -> list[NodeId]:
+    """Minimum-hop path from ``source`` to ``target`` as a node list.
+
+    ``banned_nodes`` / ``banned_links`` (link indices) are excluded — this
+    is the spur computation Yen's algorithm needs.  Ties are broken
+    deterministically by the topology's link insertion order.  Raises
+    :class:`NoPathError` when no path survives the bans.
+    """
+    if not topology.has_node(source):
+        raise NoPathError(source, target)
+    if not topology.has_node(target):
+        raise NoPathError(source, target)
+    if source in banned_nodes or target in banned_nodes:
+        raise NoPathError(source, target)
+    if source == target:
+        raise ValidationError("source and target must differ for a measurement path")
+
+    # Uniform weights: BFS via a heap with (dist, order) keys keeps the
+    # deterministic tie-breaking explicit and generalises to weighted links.
+    counter = 0
+    heap: list[tuple[int, int, NodeId]] = [(0, counter, source)]
+    parent: dict[NodeId, NodeId] = {}
+    dist: dict[NodeId, int] = {source: 0}
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node == target:
+            break
+        if d > dist.get(node, float("inf")):
+            continue
+        for link in topology.incident_links(node):
+            if link.index in banned_links:
+                continue
+            neighbor = link.other(node)
+            if neighbor in banned_nodes:
+                continue
+            nd = d + 1
+            if nd < dist.get(neighbor, float("inf")):
+                dist[neighbor] = nd
+                parent[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (nd, counter, neighbor))
+    if target not in dist:
+        raise NoPathError(source, target)
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def k_shortest_paths(
+    topology: Topology, source: NodeId, target: NodeId, k: int
+) -> list[list[NodeId]]:
+    """Yen's algorithm: up to ``k`` shortest *simple* paths by hop count.
+
+    Returns fewer than ``k`` paths when the graph does not contain that many
+    simple paths.  The first entry is the shortest path; subsequent entries
+    are non-decreasing in length.  Raises :class:`NoPathError` when the
+    endpoints are disconnected.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    first = shortest_path(topology, source, target)
+    accepted: list[list[NodeId]] = [first]
+    # Candidate heap entries: (length, insertion order, path).
+    candidates: list[tuple[int, int, list[NodeId]]] = []
+    seen: set[tuple] = {tuple(first)}
+    counter = 0
+
+    while len(accepted) < k:
+        prev_path = accepted[-1]
+        for spur_index in range(len(prev_path) - 1):
+            root = prev_path[: spur_index + 1]
+            spur_node = prev_path[spur_index]
+            banned_links: set[int] = set()
+            for path in accepted:
+                if len(path) > spur_index and path[: spur_index + 1] == root:
+                    link = topology.link_between(path[spur_index], path[spur_index + 1])
+                    banned_links.add(link.index)
+            banned_nodes = frozenset(root[:-1])
+            try:
+                spur = shortest_path(
+                    topology,
+                    spur_node,
+                    target,
+                    banned_nodes=banned_nodes,
+                    banned_links=frozenset(banned_links),
+                )
+            except NoPathError:
+                continue
+            total = root[:-1] + spur
+            key = tuple(total)
+            if key not in seen:
+                seen.add(key)
+                counter += 1
+                heapq.heappush(candidates, (len(total) - 1, counter, total))
+        if not candidates:
+            break
+        _, _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted
+
+
+def all_simple_paths(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    *,
+    max_hops: int | None = None,
+) -> Iterator[list[NodeId]]:
+    """Lazily enumerate every simple path from ``source`` to ``target``.
+
+    Depth-first with an optional hop cutoff; order is deterministic
+    (adjacency in link-insertion order).  Intended for small topologies —
+    the count is exponential in general.
+    """
+    if not topology.has_node(source) or not topology.has_node(target):
+        raise NoPathError(source, target)
+    if source == target:
+        raise ValidationError("source and target must differ")
+    limit = max_hops if max_hops is not None else topology.num_nodes - 1
+    if limit < 1:
+        return
+
+    path: list[NodeId] = [source]
+    on_path: set[NodeId] = {source}
+    stack: list[Iterator[NodeId]] = [iter(topology.neighbors(source))]
+    while stack:
+        children = stack[-1]
+        advanced = False
+        for child in children:
+            if child in on_path:
+                continue
+            if child == target:
+                yield path + [target]
+                continue
+            if len(path) < limit:
+                path.append(child)
+                on_path.add(child)
+                stack.append(iter(topology.neighbors(child)))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            removed = path.pop()
+            on_path.discard(removed)

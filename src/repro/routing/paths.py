@@ -1,0 +1,218 @@
+"""Measurement paths and path sets.
+
+A measurement path is the route a probe packet takes between two monitors.
+Monitors in network tomography control probe routing (source routing /
+SDN-installed routes — Section II-A of the paper), so a path here is an
+explicit node sequence, validated link-by-link against the topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidPathError, ValidationError
+from repro.topology.graph import NodeId, Topology
+
+__all__ = ["MeasurementPath", "PathSet"]
+
+
+class MeasurementPath:
+    """A simple path through the topology, resolved to link indices.
+
+    Parameters
+    ----------
+    topology:
+        The topology the path lives in.
+    nodes:
+        The node sequence, starting and ending at (distinct) monitors.  The
+        sequence must be a *simple* path: consecutive nodes adjacent, no
+        repeated nodes.
+
+    >>> from repro.topology import paper_example_network
+    >>> topo = paper_example_network()
+    >>> p = MeasurementPath(topo, ["M1", "A", "C", "D", "M2"])
+    >>> p.link_indices
+    (0, 3, 6, 9)
+    >>> p.contains_node("C"), p.contains_node("B")
+    (True, False)
+    """
+
+    __slots__ = ("_nodes", "_link_indices", "_node_set")
+
+    def __init__(self, topology: Topology, nodes: Sequence[NodeId]) -> None:
+        node_list = list(nodes)
+        if len(node_list) < 2:
+            raise InvalidPathError(f"a path needs at least 2 nodes, got {len(node_list)}")
+        if len(set(node_list)) != len(node_list):
+            raise InvalidPathError(f"path visits a node twice: {node_list!r}")
+        links = []
+        for u, v in zip(node_list, node_list[1:]):
+            if not topology.has_link(u, v):
+                raise InvalidPathError(f"nodes {u!r} and {v!r} are not adjacent in the topology")
+            links.append(topology.link_between(u, v).index)
+        self._nodes: tuple[NodeId, ...] = tuple(node_list)
+        self._link_indices: tuple[int, ...] = tuple(links)
+        self._node_set = frozenset(node_list)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """The node sequence, source first."""
+        return self._nodes
+
+    @property
+    def link_indices(self) -> tuple[int, ...]:
+        """Indices of the links traversed, in traversal order."""
+        return self._link_indices
+
+    @property
+    def source(self) -> NodeId:
+        """First node (the probing monitor)."""
+        return self._nodes[0]
+
+    @property
+    def target(self) -> NodeId:
+        """Last node (the receiving monitor)."""
+        return self._nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        """Number of links traversed."""
+        return len(self._link_indices)
+
+    @property
+    def interior_nodes(self) -> tuple[NodeId, ...]:
+        """Nodes strictly between the endpoints."""
+        return self._nodes[1:-1]
+
+    def contains_node(self, node: NodeId) -> bool:
+        """True when ``node`` lies anywhere on the path (endpoints included)."""
+        return node in self._node_set
+
+    def contains_any_node(self, nodes: Iterable[NodeId]) -> bool:
+        """True when any of ``nodes`` lies on the path."""
+        return any(node in self._node_set for node in nodes)
+
+    def contains_link(self, link_index: int) -> bool:
+        """True when the path traverses the link with index ``link_index``."""
+        return link_index in self._link_indices
+
+    def contains_any_link(self, link_indices: Iterable[int]) -> bool:
+        """True when the path traverses any of the given links."""
+        mine = set(self._link_indices)
+        return any(index in mine for index in link_indices)
+
+    def reversed(self, topology: Topology) -> "MeasurementPath":
+        """The same route traversed in the opposite direction."""
+        return MeasurementPath(topology, list(reversed(self._nodes)))
+
+    def key(self) -> tuple:
+        """Direction-insensitive identity (a path equals its reverse)."""
+        fwd = self._nodes
+        rev = tuple(reversed(self._nodes))
+        return min(fwd, rev, key=repr)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MeasurementPath):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        route = " -> ".join(str(node) for node in self._nodes)
+        return f"<MeasurementPath {route}>"
+
+
+class PathSet:
+    """An ordered collection of measurement paths over one topology.
+
+    The order is significant: path *i* is row *i* of the routing matrix and
+    entry *i* of measurement vectors.  The class offers the membership
+    queries that attack and detection code needs (which paths cross a node
+    set, which paths cross a link set).
+    """
+
+    def __init__(self, topology: Topology, paths: Iterable[MeasurementPath] = ()) -> None:
+        self.topology = topology
+        self._paths: list[MeasurementPath] = []
+        for path in paths:
+            self.append(path)
+
+    @classmethod
+    def from_node_sequences(
+        cls, topology: Topology, sequences: Iterable[Sequence[NodeId]]
+    ) -> "PathSet":
+        """Build a path set from raw node sequences, validating each."""
+        return cls(topology, (MeasurementPath(topology, seq) for seq in sequences))
+
+    def append(self, path: MeasurementPath) -> None:
+        """Append ``path`` (validated to belong to this topology's links)."""
+        for index in path.link_indices:
+            # Raises LinkNotFoundError if the index is out of range.
+            self.topology.link(index)
+        self._paths.append(path)
+
+    @property
+    def num_paths(self) -> int:
+        """Number of measurement paths ``|P|``."""
+        return len(self._paths)
+
+    def paths(self) -> list[MeasurementPath]:
+        """All paths in row order (fresh list)."""
+        return list(self._paths)
+
+    def path(self, index: int) -> MeasurementPath:
+        """Path at row ``index``."""
+        if not 0 <= index < len(self._paths):
+            raise ValidationError(f"path index {index} out of range [0, {len(self._paths)})")
+        return self._paths[index]
+
+    def paths_containing_node(self, node: NodeId) -> list[int]:
+        """Row indices of paths passing through ``node``."""
+        return [i for i, path in enumerate(self._paths) if path.contains_node(node)]
+
+    def paths_containing_any_node(self, nodes: Iterable[NodeId]) -> list[int]:
+        """Row indices of paths passing through any node in ``nodes``."""
+        node_set = set(nodes)
+        return [i for i, path in enumerate(self._paths) if path.contains_any_node(node_set)]
+
+    def paths_containing_link(self, link_index: int) -> list[int]:
+        """Row indices of paths traversing the given link."""
+        return [i for i, path in enumerate(self._paths) if path.contains_link(link_index)]
+
+    def paths_containing_any_link(self, link_indices: Iterable[int]) -> list[int]:
+        """Row indices of paths traversing any of the given links."""
+        link_set = set(link_indices)
+        return [i for i, path in enumerate(self._paths) if path.contains_any_link(link_set)]
+
+    def monitor_pairs(self) -> set[frozenset]:
+        """The set of unordered endpoint pairs covered by the paths."""
+        return {frozenset((path.source, path.target)) for path in self._paths}
+
+    def routing_matrix(self) -> np.ndarray:
+        """The 0/1 measurement matrix ``R`` (|P| x |L|), float dtype.
+
+        ``R[i, j] = 1`` iff path ``i`` traverses link ``j`` — eq. (1) of the
+        paper.  Float dtype because the matrix immediately enters numerical
+        linear algebra.
+        """
+        matrix = np.zeros((len(self._paths), self.topology.num_links), dtype=float)
+        for i, path in enumerate(self._paths):
+            for j in path.link_indices:
+                matrix[i, j] = 1.0
+        return matrix
+
+    def __iter__(self) -> Iterator[MeasurementPath]:
+        return iter(self._paths)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PathSet: {len(self._paths)} paths over {self.topology!r}>"

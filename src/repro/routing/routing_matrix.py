@@ -1,0 +1,102 @@
+"""Routing-matrix construction and identifiability analysis.
+
+The measurement model is ``y = R x`` (eq. 1).  A link metric ``x_j`` is
+*identifiable* from the chosen paths exactly when the coordinate vector
+``e_j`` lies in the row space of ``R`` — equivalently, when ``e_j`` is
+orthogonal to the null space of ``R``.  Full column rank means every link
+is identifiable and eq. (2)'s least-squares inverse is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.paths import PathSet
+from repro.utils.linalg import column_rank, is_full_column_rank, nullspace
+
+__all__ = [
+    "routing_matrix",
+    "identifiable_links",
+    "identifiability_report",
+    "IdentifiabilityReport",
+]
+
+#: Threshold on null-space row norms below which a link counts identifiable.
+_IDENTIFIABLE_TOL = 1e-8
+
+
+def routing_matrix(path_set: PathSet) -> np.ndarray:
+    """The 0/1 measurement matrix ``R`` of the path set (|P| x |L|)."""
+    return path_set.routing_matrix()
+
+
+def identifiable_links(matrix: np.ndarray, tol: float = _IDENTIFIABLE_TOL) -> list[int]:
+    """Indices of links whose metric is uniquely determined by ``R``.
+
+    Link ``j`` is identifiable iff row ``j`` of a null-space basis of ``R``
+    is (numerically) zero: any two metric vectors consistent with the same
+    measurements then agree in coordinate ``j``.
+    """
+    mat = np.asarray(matrix, dtype=float)
+    basis = nullspace(mat)
+    if basis.shape[1] == 0:
+        return list(range(mat.shape[1]))
+    row_norms = np.linalg.norm(basis, axis=1)
+    return [j for j in range(mat.shape[1]) if row_norms[j] < tol]
+
+
+@dataclass(frozen=True)
+class IdentifiabilityReport:
+    """Summary of how well a path set identifies the topology's links.
+
+    Attributes
+    ----------
+    num_paths, num_links:
+        Dimensions of ``R``.
+    rank:
+        Numerical rank of ``R``.
+    full_column_rank:
+        True when every link is identifiable (eq. 2 well posed).
+    identifiable:
+        Sorted link indices with uniquely determined metrics.
+    unidentifiable:
+        The complement.
+    redundancy:
+        ``num_paths - rank`` — the number of consistency checks available
+        to the scapegoating detector; zero redundancy (square invertible
+        ``R``) makes every attack undetectable (Theorem 3).
+    """
+
+    num_paths: int
+    num_links: int
+    rank: int
+    full_column_rank: bool
+    identifiable: tuple[int, ...]
+    unidentifiable: tuple[int, ...]
+    redundancy: int
+
+    def coverage(self) -> float:
+        """Fraction of links identifiable (1.0 when fully identifiable)."""
+        if self.num_links == 0:
+            return 1.0
+        return len(self.identifiable) / self.num_links
+
+
+def identifiability_report(path_set: PathSet) -> IdentifiabilityReport:
+    """Build an :class:`IdentifiabilityReport` for ``path_set``."""
+    matrix = path_set.routing_matrix()
+    rank = column_rank(matrix)
+    ident = identifiable_links(matrix)
+    ident_set = set(ident)
+    unident = [j for j in range(matrix.shape[1]) if j not in ident_set]
+    return IdentifiabilityReport(
+        num_paths=matrix.shape[0],
+        num_links=matrix.shape[1],
+        rank=rank,
+        full_column_rank=is_full_column_rank(matrix),
+        identifiable=tuple(ident),
+        unidentifiable=tuple(unident),
+        redundancy=matrix.shape[0] - rank,
+    )

@@ -1,0 +1,208 @@
+"""Detection experiments (Section V-D — Fig. 9).
+
+For each strategy and cut regime, trials sample an attacker set, pick
+victims that the attackers do (perfect) or do not (imperfect) fully cut,
+plan the attack, feed the forged measurements to the consistency detector
+(alpha = 200 ms, the paper's setting), and record whether it fires.  Clean
+rounds measure the false-alarm rate.
+
+Three attacker models are supported (``attacker_model``):
+
+- ``"confined"`` (default — the paper's model): estimate changes are
+  restricted to ``L_m ∪ L_s`` (exactly the assumption inside the Theorem
+  1/3 proofs), and the attacker prefers measurement-consistent solutions
+  when they exist.  Reproduces Theorem 3's dichotomy: perfect cut =>
+  0% detection, imperfect cut => 100% detection.
+- ``"unconfined"`` — the strictly stronger LP attacker that may also move
+  estimates of uninvolved links and prefers consistent solutions.  It
+  evades the detector in a fraction of *imperfect*-cut cases too (a
+  finding beyond the paper, recorded in EXPERIMENTS.md).
+- ``"plain"`` — the naive damage-maximising LP with no care for
+  consistency; detected essentially always, under both cut regimes.
+
+Note: the paper's prose for Fig. 9 states the ratios inverted relative to
+its own Theorem 3; we follow the theorem (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.attacks.cuts import attack_presence_ratio, perfectly_cut_links
+from repro.attacks.max_damage import MaxDamageAttack
+from repro.attacks.obfuscation import ObfuscationAttack
+from repro.detection.consistency import ConsistencyDetector
+from repro.exceptions import ValidationError
+from repro.scenarios.montecarlo import run_trials, success_rate
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["detection_ratio_experiment", "false_alarm_experiment"]
+
+_STRATEGIES = ("chosen-victim", "max-damage", "obfuscation")
+_CUTS = ("perfect", "imperfect")
+
+
+def _victim_pools(scenario: Scenario, attackers, controlled: set[int]) -> tuple[list[int], list[int]]:
+    """Candidate victims split into perfectly cut and imperfectly cut.
+
+    Imperfect candidates must still be *touchable* (presence ratio > 0) or
+    no strategy could move their estimate at all.
+    """
+    perfect = perfectly_cut_links(scenario.path_set, attackers, exclude_links=controlled)
+    perfect_set = set(perfect)
+    imperfect = []
+    for link in scenario.topology.links():
+        j = link.index
+        if j in controlled or j in perfect_set:
+            continue
+        ratio = attack_presence_ratio(scenario.path_set, attackers, [j])
+        if np.isfinite(ratio) and 0.0 < ratio < 1.0:
+            imperfect.append(j)
+    return perfect, imperfect
+
+
+def _run_strategy(strategy, context, victims, rng, *, stealthy, confined):
+    """Run one strategy restricted to the given victim pool."""
+    if strategy == "chosen-victim":
+        victim = victims[int(rng.integers(len(victims)))]
+        return ChosenVictimAttack(
+            context, [victim], stealthy=stealthy, confined=confined
+        ).run()
+    if strategy == "max-damage":
+        return MaxDamageAttack(
+            context,
+            candidate_links=victims,
+            stop_at_first_feasible=True,
+            stealthy=stealthy,
+            confined=confined,
+        ).run()
+    if strategy == "obfuscation":
+        min_victims = min(2, len(victims))
+        return ObfuscationAttack(
+            context,
+            candidate_links=victims,
+            min_victims=min_victims,
+            max_victims=max(min_victims, min(5, len(victims))),
+            stealthy=stealthy,
+            confined=confined,
+        ).run()
+    raise ValidationError(f"unknown strategy {strategy!r}")
+
+
+def detection_ratio_experiment(
+    scenario: Scenario,
+    strategy: str,
+    cut: str,
+    *,
+    num_trials: int = 50,
+    alpha: float = 200.0,
+    attacker_sizes=(1, 2, 3),
+    attacker_model: str = "confined",
+    seed: object = 0,
+) -> dict:
+    """Detection ratio for one (strategy, cut-regime) cell of Fig. 9.
+
+    Returns the detection ratio over *successful* attacks (an infeasible
+    attack leaves nothing to detect), the per-trial records, and the count
+    of valid trials.  See the module docstring for the three
+    ``attacker_model`` values; ``"confined"`` reproduces the paper.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValidationError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+    if cut not in _CUTS:
+        raise ValidationError(f"cut must be one of {_CUTS}, got {cut!r}")
+    if attacker_model not in ("confined", "unconfined", "plain"):
+        raise ValidationError(
+            f"attacker_model must be 'confined', 'unconfined' or 'plain', got {attacker_model!r}"
+        )
+    confined = attacker_model == "confined"
+    stealth_first = attacker_model in ("confined", "unconfined")
+    detector = ConsistencyDetector(scenario.path_set.routing_matrix(), alpha=alpha)
+
+    def trial(rng: np.random.Generator) -> dict | None:
+        nodes = scenario.topology.nodes()
+        size = int(rng.choice(list(attacker_sizes)))
+        picks = rng.choice(len(nodes), size=min(size, len(nodes)), replace=False)
+        attackers = [nodes[int(i)] for i in picks]
+        context = scenario.attack_context(attackers)
+        perfect, imperfect = _victim_pools(
+            scenario, attackers, set(context.controlled_links)
+        )
+        victims = perfect if cut == "perfect" else imperfect
+        if not victims:
+            return None
+        if stealth_first:
+            outcome = _run_strategy(
+                strategy, context, victims, rng, stealthy=True, confined=confined
+            )
+            used_stealth = True
+            if not outcome.feasible:
+                outcome = _run_strategy(
+                    strategy, context, victims, rng, stealthy=False, confined=confined
+                )
+                used_stealth = False
+        else:
+            outcome = _run_strategy(
+                strategy, context, victims, rng, stealthy=False, confined=False
+            )
+            used_stealth = False
+        if not outcome.feasible:
+            return {"attack_success": False, "detected": None, "stealthy": None}
+        assert outcome.observed_measurements is not None
+        result = detector.check(outcome.observed_measurements)
+        return {
+            "attack_success": True,
+            "detected": result.detected,
+            "residual_l1": result.residual_l1,
+            "stealthy": used_stealth,
+            "num_attackers": len(attackers),
+            "victims": list(outcome.victim_links),
+        }
+
+    trials = run_trials(num_trials, trial, seed=seed)
+    successful = [t for t in trials if t["attack_success"]]
+    detected = [t for t in successful if t["detected"]]
+    return {
+        "scenario": scenario.describe(),
+        "strategy": strategy,
+        "cut": cut,
+        "alpha": alpha,
+        "num_valid_trials": len(trials),
+        "num_successful_attacks": len(successful),
+        "detection_ratio": (len(detected) / len(successful)) if successful else float("nan"),
+        "attack_success_rate": success_rate(trials, "attack_success"),
+        "trials": trials,
+    }
+
+
+def false_alarm_experiment(
+    scenario: Scenario,
+    *,
+    num_trials: int = 50,
+    alpha: float = 200.0,
+    noise_model=None,
+    seed: object = 0,
+) -> dict:
+    """False-alarm rate of the detector on honest measurement rounds.
+
+    With the paper's noiseless model the residual is numerically zero and
+    no alarms fire; passing a noise model measures how ``alpha`` absorbs
+    real measurement randomness (ablation bench).
+    """
+    detector = ConsistencyDetector(scenario.path_set.routing_matrix(), alpha=alpha)
+    engine = scenario.engine(noise_model)
+
+    def trial(rng: np.random.Generator) -> dict:
+        observed = engine.measure(scenario.true_metrics, rng=rng)
+        result = detector.check(observed)
+        return {"detected": result.detected, "residual_l1": result.residual_l1}
+
+    trials = run_trials(num_trials, trial, seed=seed)
+    return {
+        "scenario": scenario.describe(),
+        "alpha": alpha,
+        "false_alarm_rate": success_rate(trials, "detected"),
+        "max_residual": max(t["residual_l1"] for t in trials),
+        "trials": trials,
+    }

@@ -1,0 +1,105 @@
+"""Scenario serialization: freeze an experiment setting to JSON.
+
+A :class:`~repro.scenarios.scenario.Scenario` pins everything a result
+depends on — topology, monitors, the exact measurement paths, the ground
+truth metrics, thresholds, cap and margin.  Freezing it to a JSON document
+makes experiments portable and re-runnable bit-for-bit (the RNG seeds in
+the drivers cover the rest).  Node labels follow the topology
+serializer's conventions (tuples are tagged and restored as tuples).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.metrics.states import StateThresholds
+from repro.routing.paths import PathSet
+from repro.scenarios.scenario import Scenario
+from repro.topology.serialization import (
+    _decode_label,
+    _encode_label,
+    topology_from_json,
+    topology_to_json,
+)
+
+__all__ = ["scenario_to_json", "scenario_from_json", "save_scenario", "load_scenario"]
+
+_FORMAT_VERSION = 1
+
+
+def scenario_to_json(scenario: Scenario) -> str:
+    """Serialize ``scenario`` to a JSON string."""
+    doc = {
+        "format": "repro-scenario",
+        "version": _FORMAT_VERSION,
+        "name": scenario.name,
+        "topology": json.loads(topology_to_json(scenario.topology)),
+        "monitors": [_encode_label(m) for m in scenario.monitors],
+        "paths": [
+            [_encode_label(node) for node in path.nodes]
+            for path in scenario.path_set
+        ],
+        "true_metrics": [float(v) for v in scenario.true_metrics],
+        "thresholds": {
+            "lower": scenario.thresholds.lower,
+            "upper": scenario.thresholds.upper,
+        },
+        "cap": scenario.cap,
+        "margin": scenario.margin,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def scenario_from_json(text: str) -> Scenario:
+    """Parse a scenario from :func:`scenario_to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid scenario JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-scenario":
+        raise SerializationError("not a repro-scenario JSON document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported scenario format version {doc.get('version')!r}"
+        )
+    topology = topology_from_json(json.dumps(doc["topology"]))
+    try:
+        path_set = PathSet.from_node_sequences(
+            topology,
+            [[_decode_label(n) for n in nodes] for nodes in doc["paths"]],
+        )
+        thresholds = StateThresholds(
+            lower=float(doc["thresholds"]["lower"]),
+            upper=float(doc["thresholds"]["upper"]),
+        )
+        return Scenario(
+            topology=topology,
+            monitors=tuple(_decode_label(m) for m in doc["monitors"]),
+            path_set=path_set,
+            true_metrics=np.asarray(doc["true_metrics"], dtype=float),
+            thresholds=thresholds,
+            cap=doc["cap"],
+            margin=float(doc["margin"]),
+            name=doc.get("name", ""),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed scenario document: {exc}") from exc
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> None:
+    """Write ``scenario`` to a JSON file."""
+    Path(path).write_text(scenario_to_json(scenario))
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario written by :func:`save_scenario`."""
+    file_path = Path(path)
+    try:
+        text = file_path.read_text()
+    except OSError as exc:
+        raise SerializationError(f"cannot read scenario file {file_path}: {exc}") from exc
+    return scenario_from_json(text)

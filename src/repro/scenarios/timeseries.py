@@ -1,0 +1,172 @@
+"""Multi-round measurement campaigns: scapegoating over time.
+
+The paper analyses a single measurement round; a real operator runs
+tomography periodically and acts on *persistent* anomalies.  This module
+simulates a campaign of rounds against one scenario, with an optionally
+intermittent attacker, and aggregates what the operator would see:
+
+- per-round audited diagnoses (estimate + link states + detector verdict);
+- the *detection latency* — how many attacked rounds pass before the
+  consistency detector first fires (zero-based; 0 = caught immediately;
+  ``None`` = never, e.g. a stealthy perfect-cut attacker);
+- the cumulative *blame tally* — how many rounds each link was flagged
+  abnormal.  A persistent scapegoat accumulates blame exactly like a
+  genuinely failing link would, which is the paper's point: follow-up
+  recovery actions would target the victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.detection.auditor import AuditReport, TomographyAuditor
+from repro.exceptions import ValidationError
+from repro.measurement.engine import AnalyticMeasurementEngine
+from repro.scenarios.scenario import Scenario
+from repro.utils.rng import ensure_rng
+
+__all__ = ["RoundResult", "CampaignResult", "MeasurementCampaign"]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """One measurement round of a campaign."""
+
+    index: int
+    attacked: bool
+    observed: np.ndarray
+    audit: AuditReport
+
+    @property
+    def detected(self) -> bool:
+        """True when the consistency detector fired this round."""
+        return not self.audit.trustworthy
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated outcome of a multi-round campaign."""
+
+    rounds: tuple[RoundResult, ...]
+    blame_counts: dict = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def attacked_rounds(self) -> tuple[int, ...]:
+        """Indices of rounds in which the attacker was active."""
+        return tuple(r.index for r in self.rounds if r.attacked)
+
+    @property
+    def detected_rounds(self) -> tuple[int, ...]:
+        """Indices of rounds in which the detector fired."""
+        return tuple(r.index for r in self.rounds if r.detected)
+
+    @property
+    def false_alarm_rounds(self) -> tuple[int, ...]:
+        """Detector firings in rounds with no active attacker."""
+        return tuple(r.index for r in self.rounds if r.detected and not r.attacked)
+
+    def detection_latency(self) -> int | None:
+        """Attacked rounds elapsed before the first detection.
+
+        0 means the very first attacked round was caught; ``None`` means
+        the attacker was never caught (or never active).
+        """
+        elapsed = 0
+        for round_result in self.rounds:
+            if not round_result.attacked:
+                continue
+            if round_result.detected:
+                return elapsed
+            elapsed += 1
+        return None
+
+    def most_blamed_link(self) -> int | None:
+        """The link flagged abnormal in the most rounds (ties: lowest index)."""
+        if not self.blame_counts:
+            return None
+        return min(self.blame_counts, key=lambda j: (-self.blame_counts[j], j))
+
+
+class MeasurementCampaign:
+    """Run repeated audited measurement rounds against one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The tomography setting (topology, paths, ground truth).
+    noise_model:
+        Optional per-path measurement noise applied every round.
+    alpha:
+        Consistency-detector threshold (paper: 200 ms).
+    """
+
+    def __init__(self, scenario: Scenario, *, noise_model=None, alpha: float = 200.0) -> None:
+        self.scenario = scenario
+        self.engine = AnalyticMeasurementEngine(scenario.path_set, noise_model=noise_model)
+        self.auditor = TomographyAuditor(
+            scenario.path_set, thresholds=scenario.thresholds, alpha=alpha
+        )
+
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        manipulation: np.ndarray | None = None,
+        active_rounds: Iterable[int] | float | None = None,
+        rng: object = None,
+    ) -> CampaignResult:
+        """Simulate ``num_rounds`` rounds and aggregate the results.
+
+        ``manipulation`` is the attack vector applied in active rounds
+        (``None`` = fully honest campaign).  ``active_rounds`` selects when
+        the attacker acts: an iterable of round indices, a float in (0, 1]
+        interpreted as an independent per-round activity probability, or
+        ``None`` for "every round" (when a manipulation is given).
+        """
+        if num_rounds < 1:
+            raise ValidationError(f"num_rounds must be >= 1, got {num_rounds}")
+        generator = ensure_rng(rng)
+
+        if manipulation is None:
+            active = set()
+        elif active_rounds is None:
+            active = set(range(num_rounds))
+        elif isinstance(active_rounds, float):
+            if not 0.0 < active_rounds <= 1.0:
+                raise ValidationError(
+                    f"activity probability must be in (0, 1], got {active_rounds}"
+                )
+            active = {
+                i for i in range(num_rounds) if generator.random() < active_rounds
+            }
+        else:
+            active = set(int(i) for i in active_rounds)
+            out_of_range = [i for i in active if not 0 <= i < num_rounds]
+            if out_of_range:
+                raise ValidationError(
+                    f"active round {out_of_range[0]} outside [0, {num_rounds})"
+                )
+
+        rounds: list[RoundResult] = []
+        blame: dict[int, int] = {}
+        for index in range(num_rounds):
+            attacked = index in active
+            observed = self.engine.measure(
+                self.scenario.true_metrics,
+                manipulation=manipulation if attacked else None,
+                rng=generator,
+            )
+            audit = self.auditor.audit(observed)
+            for j in audit.diagnosis.abnormal:
+                blame[j] = blame.get(j, 0) + 1
+            rounds.append(
+                RoundResult(index=index, attacked=attacked, observed=observed, audit=audit)
+            )
+        return CampaignResult(rounds=tuple(rounds), blame_counts=blame)

@@ -1,0 +1,32 @@
+"""Network tomography: inverting ``y = R x`` into link-metric estimates.
+
+- :mod:`~repro.tomography.linear_system` — residuals, consistency, and the
+  estimator operator ``R⁺``;
+- :mod:`~repro.tomography.estimators` — the paper's least-squares estimator
+  (eq. 2) plus non-negative and ridge-regularised variants;
+- :mod:`~repro.tomography.diagnosis` — turn an estimate into the link-state
+  report a network operator would act on.
+"""
+
+from repro.tomography.estimators import (
+    LeastSquaresEstimator,
+    NonNegativeEstimator,
+    RidgeEstimator,
+)
+from repro.tomography.linear_system import (
+    estimator_operator,
+    measurement_residual,
+    residual_l1_norm,
+)
+from repro.tomography.diagnosis import DiagnosisReport, diagnose
+
+__all__ = [
+    "LeastSquaresEstimator",
+    "NonNegativeEstimator",
+    "RidgeEstimator",
+    "estimator_operator",
+    "measurement_residual",
+    "residual_l1_norm",
+    "DiagnosisReport",
+    "diagnose",
+]

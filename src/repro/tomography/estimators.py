@@ -1,0 +1,121 @@
+"""Link-metric estimators.
+
+:class:`LeastSquaresEstimator` is the paper's estimator (eq. 2).  The two
+variants are defensive alternatives a cautious operator might deploy —
+non-negative least squares (link delays cannot be negative) and ridge
+regularisation (stabilises near-dependent path sets); the ablation benches
+measure whether they change scapegoating feasibility (they do not, for
+perfect cuts — the attack forges measurements that are *exactly* consistent
+with a legitimate metric vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.exceptions import SingularSystemError, TomographyError
+from repro.utils.linalg import is_full_column_rank, least_squares_pinv
+from repro.utils.validation import check_finite_vector
+
+__all__ = ["LeastSquaresEstimator", "NonNegativeEstimator", "RidgeEstimator"]
+
+
+class LeastSquaresEstimator:
+    """The least-squares inversion of eq. (2): ``x_hat = R⁺ y``.
+
+    Parameters
+    ----------
+    routing_matrix:
+        The 0/1 measurement matrix ``R``.
+    require_full_rank:
+        When True (default), refuse rank-deficient systems with
+        :class:`SingularSystemError` instead of silently returning the
+        minimum-norm solution — an operator should know when links are
+        unidentifiable.  Pass False to opt into the pseudo-inverse
+        behaviour.
+    """
+
+    def __init__(self, routing_matrix: np.ndarray, *, require_full_rank: bool = True) -> None:
+        matrix = np.asarray(routing_matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise TomographyError(f"routing matrix must be 2-D, got ndim={matrix.ndim}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
+        if require_full_rank and not is_full_column_rank(matrix):
+            raise SingularSystemError(
+                f"routing matrix with shape {matrix.shape} is rank-deficient; "
+                "some link metrics are unidentifiable"
+            )
+        self._matrix = matrix
+        self._operator = least_squares_pinv(matrix)
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """A copy of ``R``."""
+        return self._matrix.copy()
+
+    @property
+    def operator(self) -> np.ndarray:
+        """A copy of the estimator operator ``R⁺``."""
+        return self._operator.copy()
+
+    def estimate(self, measurements: np.ndarray) -> np.ndarray:
+        """Estimate the link-metric vector from path measurements."""
+        y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
+        return self._operator @ y
+
+
+class NonNegativeEstimator:
+    """Non-negative least squares: ``min ||R x - y||_2`` s.t. ``x >= 0``.
+
+    Physically-constrained variant (delays are non-negative).  Solved with
+    the Lawson-Hanson active-set method from scipy.
+    """
+
+    def __init__(self, routing_matrix: np.ndarray) -> None:
+        matrix = np.asarray(routing_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
+        self._matrix = matrix
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """A copy of ``R``."""
+        return self._matrix.copy()
+
+    def estimate(self, measurements: np.ndarray) -> np.ndarray:
+        """Estimate non-negative link metrics from path measurements."""
+        y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
+        solution, _ = nnls(self._matrix, y)
+        return solution
+
+
+class RidgeEstimator:
+    """Tikhonov-regularised inversion: ``(R^T R + lam I)^{-1} R^T y``.
+
+    ``lam > 0`` always yields a well-posed system, at the cost of a small
+    bias toward zero.  Useful as a robustness baseline when the path set is
+    nearly rank-deficient.
+    """
+
+    def __init__(self, routing_matrix: np.ndarray, lam: float = 1e-6) -> None:
+        matrix = np.asarray(routing_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
+        if lam <= 0:
+            raise TomographyError(f"ridge parameter must be positive, got {lam}")
+        self._matrix = matrix
+        self.lam = float(lam)
+        gram = matrix.T @ matrix + self.lam * np.eye(matrix.shape[1])
+        self._operator = np.linalg.solve(gram, matrix.T)
+
+    @property
+    def routing_matrix(self) -> np.ndarray:
+        """A copy of ``R``."""
+        return self._matrix.copy()
+
+    def estimate(self, measurements: np.ndarray) -> np.ndarray:
+        """Estimate link metrics with ridge regularisation."""
+        y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
+        return self._operator @ y

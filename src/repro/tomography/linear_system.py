@@ -1,0 +1,53 @@
+"""Linear-system utilities for the tomography model ``y = R x``.
+
+The *estimator operator* is the matrix that maps measurements to estimates;
+for the paper's least-squares estimator it is the Moore-Penrose
+pseudo-inverse ``R⁺ = (R^T R)^{-1} R^T`` (eq. 2) when ``R`` has full column
+rank.  The *measurement residual* ``R x_hat - y'`` is the quantity the
+scapegoating detector thresholds (eq. 23 / Remark 4): honest measurements
+lie in the column space of ``R`` (up to noise), manipulated ones generally
+do not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.linalg import least_squares_pinv
+from repro.utils.validation import check_finite_vector
+
+__all__ = ["estimator_operator", "measurement_residual", "residual_l1_norm"]
+
+
+def estimator_operator(routing_matrix: np.ndarray) -> np.ndarray:
+    """The measurement-to-estimate operator ``R⁺`` (|L| x |P|).
+
+    Equals ``(R^T R)^{-1} R^T`` for full-column-rank ``R``; otherwise the
+    minimum-norm least-squares operator.  Attack planners use the *same*
+    operator to predict what tomography will conclude — the attacker and
+    the operator share the public algorithm, only the attacker also knows
+    the manipulation.
+    """
+    return least_squares_pinv(routing_matrix)
+
+
+def measurement_residual(
+    routing_matrix: np.ndarray, estimate: np.ndarray, observed: np.ndarray
+) -> np.ndarray:
+    """Per-path residual vector ``R x_hat - y'``.
+
+    Entry ``i`` is how far path ``i``'s observed measurement is from the sum
+    of the estimated link metrics along it — the per-path consistency check
+    underlying eq. (23).
+    """
+    matrix = np.asarray(routing_matrix, dtype=float)
+    x_hat = check_finite_vector(estimate, "estimate", length=matrix.shape[1])
+    y = check_finite_vector(observed, "observed", length=matrix.shape[0])
+    return matrix @ x_hat - y
+
+
+def residual_l1_norm(
+    routing_matrix: np.ndarray, estimate: np.ndarray, observed: np.ndarray
+) -> float:
+    """The detector statistic ``||R x_hat - y'||_1`` of Remark 4."""
+    return float(np.abs(measurement_residual(routing_matrix, estimate, observed)).sum())

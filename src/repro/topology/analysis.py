@@ -1,0 +1,182 @@
+"""Structural analysis of topologies.
+
+Connectivity checks, degree statistics, and link cuts.  The cut routines
+back the *perfect cut* reasoning of the paper's Section IV (an attacker set
+perfectly cuts a victim link when every measurement path through the victim
+also crosses an attacker); the graph-level helpers here answer the related
+structural questions independent of any particular path set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from collections.abc import Iterable
+
+from repro.exceptions import NodeNotFoundError
+from repro.topology.graph import NodeId, Topology
+
+__all__ = [
+    "is_connected",
+    "connected_components",
+    "bfs_distances",
+    "degree_histogram",
+    "link_cut_between",
+    "node_connectivity_summary",
+    "articulation_points",
+]
+
+
+def connected_components(topology: Topology) -> list[set[NodeId]]:
+    """Connected components as node sets, discovered in node order."""
+    seen: set[NodeId] = set()
+    components: list[set[NodeId]] = []
+    for start in topology.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in topology.neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(topology: Topology) -> bool:
+    """True when the topology has exactly one connected component.
+
+    An empty topology is vacuously connected; a single node is connected.
+    """
+    if topology.num_nodes <= 1:
+        return True
+    return len(connected_components(topology)) == 1
+
+
+def bfs_distances(topology: Topology, source: NodeId) -> dict[NodeId, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    if not topology.has_node(source):
+        raise NodeNotFoundError(source)
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in topology.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def degree_histogram(topology: Topology) -> dict[int, int]:
+    """Mapping ``degree -> number of nodes with that degree``."""
+    counts = Counter(topology.degree(node) for node in topology.nodes())
+    return dict(sorted(counts.items()))
+
+
+def articulation_points(topology: Topology) -> set[NodeId]:
+    """Nodes whose removal disconnects their component (cut vertices).
+
+    Iterative Hopcroft-Tarjan lowpoint computation (no recursion so large
+    ISP-scale topologies do not hit Python's recursion limit).
+    """
+    disc: dict[NodeId, int] = {}
+    low: dict[NodeId, int] = {}
+    parent: dict[NodeId, NodeId | None] = {}
+    points: set[NodeId] = set()
+    counter = 0
+
+    for root in topology.nodes():
+        if root in disc:
+            continue
+        parent[root] = None
+        root_children = 0
+        stack: list[tuple[NodeId, iter]] = [(root, iter(topology.neighbors(root)))]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in disc:
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, iter(topology.neighbors(neighbor))))
+                    advanced = True
+                    break
+                if neighbor != parent[node]:
+                    low[node] = min(low[node], disc[neighbor])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    parent_node = stack[-1][0]
+                    low[parent_node] = min(low[parent_node], low[node])
+                    if parent_node != root and low[node] >= disc[parent_node]:
+                        points.add(parent_node)
+        if root_children >= 2:
+            points.add(root)
+    return points
+
+
+def link_cut_between(topology: Topology, sources: Iterable[NodeId], targets: Iterable[NodeId]) -> set[int]:
+    """A (not necessarily minimum) link cut separating ``sources`` from ``targets``.
+
+    Returns the indices of links crossing the BFS-reachable side of
+    ``sources`` when all links incident to ``targets`` are kept intact; used
+    by attack planning to reason about which links *must* be crossed.  For a
+    minimum cut use :mod:`networkx` via :meth:`Topology.to_networkx`.
+    """
+    source_set = set(sources)
+    target_set = set(targets)
+    for node in source_set | target_set:
+        if not topology.has_node(node):
+            raise NodeNotFoundError(node)
+    if source_set & target_set:
+        raise ValueError("source and target sets must be disjoint")
+    reachable = set(source_set)
+    queue = deque(source_set)
+    while queue:
+        node = queue.popleft()
+        for neighbor in topology.neighbors(node):
+            if neighbor in target_set or neighbor in reachable:
+                continue
+            reachable.add(neighbor)
+            queue.append(neighbor)
+    cut: set[int] = set()
+    for link in topology.links():
+        if (link.u in reachable) != (link.v in reachable):
+            cut.add(link.index)
+    return cut
+
+
+def node_connectivity_summary(topology: Topology) -> dict[str, float]:
+    """Summary statistics used by experiment logs and EXPERIMENTS.md.
+
+    Returns node/link counts, min/mean/max degree, and whether the topology
+    is connected — the quantities the paper's Section V setup paragraphs
+    quote for each evaluated network.
+    """
+    degrees = [topology.degree(node) for node in topology.nodes()]
+    if not degrees:
+        return {
+            "nodes": 0,
+            "links": 0,
+            "min_degree": 0.0,
+            "mean_degree": 0.0,
+            "max_degree": 0.0,
+            "connected": 1.0,
+        }
+    return {
+        "nodes": topology.num_nodes,
+        "links": topology.num_links,
+        "min_degree": float(min(degrees)),
+        "mean_degree": float(sum(degrees)) / len(degrees),
+        "max_degree": float(max(degrees)),
+        "connected": 1.0 if is_connected(topology) else 0.0,
+    }

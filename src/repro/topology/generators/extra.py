@@ -1,0 +1,116 @@
+"""Additional topology families: Waxman random graphs and fat trees.
+
+Two further substrates round out the evaluation surface:
+
+- :func:`waxman_topology` — the classic Waxman (1988) random-graph model
+  widely used for synthetic internetworks: nodes scattered in the unit
+  square, each pair connected with probability
+  ``alpha * exp(-d / (beta * L))`` where ``d`` is their distance and ``L``
+  the maximum distance.  Locality-biased like a real WAN, heavier-tailed
+  than an RGG.
+- :func:`fat_tree_topology` — the k-ary fat tree of Al-Fares et al.
+  (SIGCOMM 2008), the canonical data-centre fabric.  Scapegoating in a
+  data-centre context (compromised ToR or aggregation switch framing a
+  core link) exercises highly regular, high-redundancy routing matrices.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import DisconnectedTopologyError, ValidationError
+from repro.topology.analysis import connected_components
+from repro.topology.graph import Topology
+from repro.utils.rng import ensure_rng
+
+__all__ = ["waxman_topology", "fat_tree_topology"]
+
+
+def waxman_topology(
+    num_nodes: int,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    *,
+    connect: str = "giant",
+    max_retries: int = 50,
+    seed: object = None,
+) -> Topology:
+    """Generate a Waxman random topology on the unit square.
+
+    ``alpha`` scales overall edge density; ``beta`` controls the locality
+    bias (small beta = only short links).  ``connect`` handles
+    disconnected samples like the RGG generator: ``"giant"`` keeps the
+    largest component, ``"retry"`` redraws, ``"none"`` returns raw.
+    Node positions are retained as the ``positions`` attribute.
+    """
+    if num_nodes < 2:
+        raise ValidationError(f"num_nodes must be >= 2, got {num_nodes}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValidationError(f"alpha must be in (0, 1], got {alpha}")
+    if beta <= 0.0:
+        raise ValidationError(f"beta must be positive, got {beta}")
+    if connect not in ("giant", "retry", "none"):
+        raise ValidationError(f"connect must be 'giant', 'retry' or 'none', got {connect!r}")
+
+    rng = ensure_rng(seed)
+    attempts = max_retries if connect == "retry" else 1
+    max_distance = math.sqrt(2.0)
+    for _ in range(max(attempts, 1)):
+        positions = rng.uniform(0.0, 1.0, size=(num_nodes, 2))
+        topo = Topology(name=f"waxman-{num_nodes}")
+        topo.add_nodes(range(num_nodes))
+        for i in range(num_nodes):
+            for j in range(i + 1, num_nodes):
+                dx = positions[i, 0] - positions[j, 0]
+                dy = positions[i, 1] - positions[j, 1]
+                distance = math.hypot(dx, dy)
+                probability = alpha * math.exp(-distance / (beta * max_distance))
+                if rng.random() < probability:
+                    topo.add_link(i, j)
+        topo.positions = {  # type: ignore[attr-defined]
+            i: (float(positions[i, 0]), float(positions[i, 1]))
+            for i in range(num_nodes)
+        }
+        components = connected_components(topo)
+        if len(components) == 1:
+            return topo
+        if connect == "giant":
+            giant = max(components, key=len)
+            sub = topo.subgraph(giant)
+            sub.name = topo.name
+            sub.positions = {  # type: ignore[attr-defined]
+                node: topo.positions[node] for node in sub.nodes()
+            }
+            return sub
+        if connect == "none":
+            return topo
+    raise DisconnectedTopologyError(
+        f"failed to draw a connected Waxman graph in {max_retries} retries "
+        f"(n={num_nodes}, alpha={alpha}, beta={beta})"
+    )
+
+
+def fat_tree_topology(k: int = 4) -> Topology:
+    """The k-ary fat tree (k even): (k/2)^2 core switches, k pods.
+
+    Each pod has k/2 aggregation and k/2 edge switches; every edge switch
+    connects to every aggregation switch in its pod; aggregation switch
+    ``a`` of each pod connects to core switches ``a*(k/2) .. a*(k/2)+k/2-1``.
+    Hosts are omitted (tomography monitors sit on switches).  Node labels:
+    ``("core", i)``, ``("agg", pod, i)``, ``("edge", pod, i)``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValidationError(f"k must be an even integer >= 2, got {k}")
+    half = k // 2
+    topo = Topology(name=f"fat-tree-{k}")
+    cores = [("core", i) for i in range(half * half)]
+    topo.add_nodes(cores)
+    for pod in range(k):
+        aggs = [("agg", pod, i) for i in range(half)]
+        edges = [("edge", pod, i) for i in range(half)]
+        for agg_index, agg in enumerate(aggs):
+            for core_index in range(agg_index * half, (agg_index + 1) * half):
+                topo.add_link(agg, cores[core_index])
+            for edge in edges:
+                topo.add_link(agg, edge)
+    return topo

@@ -1,0 +1,172 @@
+"""Wireline (ISP) topology substrate.
+
+The paper's wireline experiments run on the Rocketfuel AS1221 (Telstra)
+router-level map.  The Rocketfuel dataset cannot be fetched in this offline
+environment, so :func:`synthetic_rocketfuel` generates a *Rocketfuel-style*
+topology: a small, densely meshed backbone, per-backbone points of presence
+(PoPs) with aggregation routers multi-homed into the backbone, and access
+routers hanging off the aggregation layer.  The result has the heavy-tailed
+degree distribution and hierarchical path structure that drive the paper's
+success-probability experiments; DESIGN.md records this substitution.
+
+:func:`load_rocketfuel_edges` parses real Rocketfuel-format edge lists for
+users who have the dataset, so the same experiments can run on the original
+topology.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import SerializationError, ValidationError
+from repro.topology.graph import Topology
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "synthetic_rocketfuel",
+    "barabasi_albert_topology",
+    "load_rocketfuel_edges",
+]
+
+
+def synthetic_rocketfuel(
+    name: str = "AS1221",
+    *,
+    backbone_nodes: int = 12,
+    pops_per_backbone: int = 2,
+    access_per_pop: tuple[int, int] = (2, 5),
+    extra_backbone_chords: int = 6,
+    seed: object = 0,
+) -> Topology:
+    """Generate a hierarchical Rocketfuel-style ISP topology.
+
+    Structure:
+
+    - **Backbone**: ``backbone_nodes`` core routers on a ring (guaranteeing
+      2-connectivity) plus ``extra_backbone_chords`` random chords, giving
+      the dense national core seen in Rocketfuel maps.
+    - **Aggregation**: each backbone router hosts ``pops_per_backbone``
+      PoPs; each PoP's aggregation router is dual-homed to its own backbone
+      router and one other random backbone router (path diversity).
+    - **Access**: each PoP serves a uniform-random number of access routers
+      in ``access_per_pop`` (inclusive), each single- or dual-homed to the
+      aggregation layer.
+
+    Node labels are strings ``"bb<i>"``, ``"agg<i>"``, ``"acc<i>"`` so that
+    the hierarchy remains visible in experiment logs.  With the defaults
+    this yields roughly 100-120 routers, comparable to the AS1221
+    router-level map used in the paper.
+
+    The generator is deterministic for a fixed ``seed``.
+    """
+    if backbone_nodes < 3:
+        raise ValidationError(f"backbone_nodes must be >= 3, got {backbone_nodes}")
+    if pops_per_backbone < 0:
+        raise ValidationError(f"pops_per_backbone must be >= 0, got {pops_per_backbone}")
+    lo, hi = access_per_pop
+    if lo < 0 or hi < lo:
+        raise ValidationError(f"access_per_pop must be a (lo, hi) range with 0 <= lo <= hi, got {access_per_pop}")
+
+    rng = ensure_rng(seed)
+    topo = Topology(name=f"synthetic-rocketfuel-{name}")
+
+    backbone = [f"bb{i}" for i in range(backbone_nodes)]
+    topo.add_nodes(backbone)
+    for i in range(backbone_nodes):
+        topo.add_link(backbone[i], backbone[(i + 1) % backbone_nodes])
+
+    # Random chords thicken the core without creating duplicates.
+    chords_added = 0
+    attempts = 0
+    max_attempts = 50 * max(extra_backbone_chords, 1)
+    while chords_added < extra_backbone_chords and attempts < max_attempts:
+        attempts += 1
+        i, j = rng.choice(backbone_nodes, size=2, replace=False)
+        u, v = backbone[int(i)], backbone[int(j)]
+        if not topo.has_link(u, v):
+            topo.add_link(u, v)
+            chords_added += 1
+
+    agg_count = 0
+    acc_count = 0
+    for bb_index, bb in enumerate(backbone):
+        for _ in range(pops_per_backbone):
+            agg = f"agg{agg_count}"
+            agg_count += 1
+            topo.add_link(bb, agg)
+            # Dual-home the aggregation router to a second backbone node.
+            others = [k for k in range(backbone_nodes) if k != bb_index]
+            second = backbone[int(rng.choice(others))]
+            if not topo.has_link(agg, second):
+                topo.add_link(agg, second)
+            num_access = int(rng.integers(lo, hi + 1))
+            pop_aggs = [agg]
+            for _ in range(num_access):
+                acc = f"acc{acc_count}"
+                acc_count += 1
+                topo.add_link(acc, pop_aggs[int(rng.integers(len(pop_aggs)))])
+                # Occasionally dual-home access routers for path diversity.
+                if rng.random() < 0.3 and not topo.has_link(acc, bb):
+                    topo.add_link(acc, bb)
+    return topo
+
+
+def barabasi_albert_topology(num_nodes: int, attach: int = 2, *, seed: object = 0) -> Topology:
+    """Preferential-attachment (Barabasi-Albert) topology.
+
+    A standard heavy-tailed random graph, useful as a second wireline
+    substrate for robustness checks of the experiments.  Starts from a
+    clique on ``attach + 1`` nodes; every new node attaches to ``attach``
+    distinct existing nodes chosen proportionally to degree.
+    """
+    if attach < 1:
+        raise ValidationError(f"attach must be >= 1, got {attach}")
+    if num_nodes <= attach:
+        raise ValidationError(f"num_nodes must exceed attach={attach}, got {num_nodes}")
+    rng = ensure_rng(seed)
+    topo = Topology(name=f"ba-{num_nodes}-{attach}")
+    seed_size = attach + 1
+    topo.add_links((i, j) for i in range(seed_size) for j in range(i + 1, seed_size))
+    # repeated-nodes trick: sampling uniformly from link endpoints is
+    # sampling proportional to degree.
+    endpoint_pool: list[int] = []
+    for link in topo.links():
+        endpoint_pool.extend((link.u, link.v))
+    for new_node in range(seed_size, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < attach:
+            targets.add(endpoint_pool[int(rng.integers(len(endpoint_pool)))])
+        for target in targets:
+            topo.add_link(new_node, target)
+            endpoint_pool.extend((new_node, target))
+    return topo
+
+
+def load_rocketfuel_edges(path: str | Path, *, name: str | None = None) -> Topology:
+    """Parse a Rocketfuel-style edge list into a topology.
+
+    Accepts the simple whitespace-separated ``u v [weight]`` format used by
+    the published ``weights.intra`` files.  Lines starting with ``#`` and
+    blank lines are ignored; duplicate edges (either direction) and
+    self-loops are skipped, matching the paper's simple-graph model.
+    """
+    file_path = Path(path)
+    try:
+        text = file_path.read_text()
+    except OSError as exc:
+        raise SerializationError(f"cannot read Rocketfuel file {file_path}: {exc}") from exc
+    topo = Topology(name=name if name is not None else file_path.stem)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise SerializationError(
+                f"{file_path}:{line_number}: expected 'u v [weight]', got {line!r}"
+            )
+        u, v = parts[0], parts[1]
+        if u == v or topo.has_link(u, v):
+            continue
+        topo.add_link(u, v)
+    return topo

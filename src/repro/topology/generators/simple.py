@@ -1,0 +1,175 @@
+"""Deterministic small topologies.
+
+Includes :func:`paper_example_network`, a reconstruction of the example
+network in Fig. 1 of the paper (7 nodes, 10 links, monitors M1/M2/M3,
+malicious nodes B and C), plus the canonical graph families used by tests
+and property-based checks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import Topology
+
+__all__ = [
+    "paper_example_network",
+    "PAPER_EXAMPLE_MONITORS",
+    "PAPER_EXAMPLE_ATTACKERS",
+    "path_topology",
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "tree_topology",
+    "clique_topology",
+    "ladder_topology",
+]
+
+#: Monitor nodes of the Fig. 1 example network.
+PAPER_EXAMPLE_MONITORS = ("M1", "M2", "M3")
+
+#: Malicious nodes of the Fig. 1 example network.
+PAPER_EXAMPLE_ATTACKERS = ("B", "C")
+
+
+def paper_example_network() -> Topology:
+    """The Fig. 1 example network of the paper.
+
+    7 nodes (monitors ``M1``, ``M2``, ``M3`` and internal nodes ``A``,
+    ``B``, ``C``, ``D``), 10 links.  Link indices here are 0-based; the
+    paper numbers them 1-10, so paper link *k* is index *k-1*:
+
+    ========  ============  =============================================
+    index     paper number  endpoints
+    ========  ============  =============================================
+    0         1             M1 - A
+    1         2             A - B
+    2         3             B - M3
+    3         4             A - C
+    4         5             B - D
+    5         6             B - C
+    6         7             C - D
+    7         8             C - M2
+    8         9             M3 - D
+    9         10            D - M2
+    ========  ============  =============================================
+
+    The reconstruction preserves the structural facts the paper uses:
+    node ``A`` reaches the rest of the network only through the malicious
+    nodes ``B`` and ``C`` (so they perfectly cut link 1 = M1-A), the path
+    ``M2 -> C -> D -> B -> M3`` uses paper links 8, 7, 5, 3 in turn, and
+    the path ``M3 -> D -> M2`` (paper links 9, 10) avoids both attackers.
+    The exact figure is not fully specified in the paper text; the
+    reconstruction procedure is recorded in DESIGN.md.
+    """
+    topo = Topology(name="paper-fig1")
+    topo.add_nodes(["M1", "M2", "M3", "A", "B", "C", "D"])
+    topo.add_links(
+        [
+            ("M1", "A"),  # 1
+            ("A", "B"),  # 2
+            ("B", "M3"),  # 3
+            ("A", "C"),  # 4
+            ("B", "D"),  # 5
+            ("B", "C"),  # 6
+            ("C", "D"),  # 7
+            ("C", "M2"),  # 8
+            ("M3", "D"),  # 9
+            ("D", "M2"),  # 10
+        ]
+    )
+    return topo
+
+
+def _check_count(value: int, name: str, minimum: int) -> int:
+    count = int(value)
+    if count < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {count}")
+    return count
+
+
+def path_topology(num_nodes: int) -> Topology:
+    """A simple path ``0 - 1 - ... - (n-1)``."""
+    n = _check_count(num_nodes, "num_nodes", 2)
+    topo = Topology(name=f"path-{n}")
+    topo.add_links((i, i + 1) for i in range(n - 1))
+    return topo
+
+
+def ring_topology(num_nodes: int) -> Topology:
+    """A cycle on ``num_nodes`` nodes (needs at least 3)."""
+    n = _check_count(num_nodes, "num_nodes", 3)
+    topo = Topology(name=f"ring-{n}")
+    topo.add_links((i, (i + 1) % n) for i in range(n))
+    return topo
+
+
+def star_topology(num_leaves: int) -> Topology:
+    """A hub node ``0`` connected to ``num_leaves`` leaves."""
+    n = _check_count(num_leaves, "num_leaves", 1)
+    topo = Topology(name=f"star-{n}")
+    topo.add_links((0, leaf) for leaf in range(1, n + 1))
+    return topo
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` 4-neighbour grid; nodes are ``(r, c)`` tuples."""
+    num_rows = _check_count(rows, "rows", 1)
+    num_cols = _check_count(cols, "cols", 1)
+    if num_rows * num_cols < 2:
+        raise ValidationError("grid must contain at least 2 nodes")
+    topo = Topology(name=f"grid-{num_rows}x{num_cols}")
+    for r in range(num_rows):
+        for c in range(num_cols):
+            if c + 1 < num_cols:
+                topo.add_link((r, c), (r, c + 1))
+            if r + 1 < num_rows:
+                topo.add_link((r, c), (r + 1, c))
+    return topo
+
+
+def tree_topology(depth: int, branching: int) -> Topology:
+    """A complete ``branching``-ary tree of the given ``depth``.
+
+    Node labels are integers in breadth-first order, root = 0.  ``depth`` is
+    the number of link levels (depth 0 is a single root node, invalid here).
+    """
+    levels = _check_count(depth, "depth", 1)
+    arity = _check_count(branching, "branching", 1)
+    topo = Topology(name=f"tree-d{levels}-b{arity}")
+    next_label = 1
+    frontier = [0]
+    topo.add_node(0)
+    for _ in range(levels):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(arity):
+                topo.add_link(parent, next_label)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return topo
+
+
+def clique_topology(num_nodes: int) -> Topology:
+    """The complete graph on ``num_nodes`` nodes."""
+    n = _check_count(num_nodes, "num_nodes", 2)
+    topo = Topology(name=f"clique-{n}")
+    topo.add_links((i, j) for i in range(n) for j in range(i + 1, n))
+    return topo
+
+
+def ladder_topology(rungs: int) -> Topology:
+    """Two parallel paths of length ``rungs`` joined by rung links.
+
+    Nodes are ``("top", i)`` and ``("bot", i)``.  Ladders are the smallest
+    family with many link-disjoint monitor-to-monitor paths, which makes
+    them useful in identifiability and cut tests.
+    """
+    n = _check_count(rungs, "rungs", 2)
+    topo = Topology(name=f"ladder-{n}")
+    for i in range(n):
+        topo.add_link(("top", i), ("bot", i))
+        if i + 1 < n:
+            topo.add_link(("top", i), ("top", i + 1))
+            topo.add_link(("bot", i), ("bot", i + 1))
+    return topo

@@ -1,0 +1,131 @@
+"""Topology serialization: JSON documents and plain edge lists.
+
+The JSON form preserves node order and link indices exactly, so a topology
+round-trips bit-for-bit (important because link indices are the coordinate
+system for metric vectors).  The edge-list form is for interchange with
+external tools and the Rocketfuel parser.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.topology.graph import Topology
+
+__all__ = [
+    "topology_to_json",
+    "topology_from_json",
+    "topology_to_edge_list",
+    "topology_from_edge_list",
+    "save_topology",
+    "load_topology",
+]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_json(topology: Topology) -> str:
+    """Serialize ``topology`` to a JSON string.
+
+    Node labels must be JSON-representable (strings, numbers, or lists /
+    tuples thereof); tuples become lists and are restored as tuples on load.
+    """
+    try:
+        doc = {
+            "format": "repro-topology",
+            "version": _FORMAT_VERSION,
+            "name": topology.name,
+            "nodes": [_encode_label(node) for node in topology.nodes()],
+            "links": [
+                [_encode_label(link.u), _encode_label(link.v)] for link in topology.links()
+            ],
+        }
+        return json.dumps(doc, indent=2)
+    except TypeError as exc:
+        raise SerializationError(f"topology contains non-serializable node labels: {exc}") from exc
+
+
+def topology_from_json(text: str) -> Topology:
+    """Parse a topology from the JSON produced by :func:`topology_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid topology JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-topology":
+        raise SerializationError("not a repro-topology JSON document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported topology format version {doc.get('version')!r}")
+    topo = Topology(name=doc.get("name", ""))
+    topo.add_nodes(_decode_label(node) for node in doc.get("nodes", []))
+    for pair in doc.get("links", []):
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise SerializationError(f"malformed link entry {pair!r}")
+        topo.add_link(_decode_label(pair[0]), _decode_label(pair[1]))
+    return topo
+
+
+def _encode_label(label: object) -> object:
+    """Tuples are tagged so they round-trip distinct from lists."""
+    if isinstance(label, tuple):
+        return {"__tuple__": [_encode_label(item) for item in label]}
+    return label
+
+
+def _decode_label(encoded: object) -> object:
+    if isinstance(encoded, dict) and "__tuple__" in encoded:
+        return tuple(_decode_label(item) for item in encoded["__tuple__"])
+    return encoded
+
+
+def topology_to_edge_list(topology: Topology) -> str:
+    """Render ``topology`` as a ``u v`` edge list, one link per line.
+
+    Node labels are rendered via ``str``; labels containing whitespace are
+    rejected because they cannot be parsed back.
+    """
+    lines = [f"# topology: {topology.name}" if topology.name else "# topology"]
+    for link in topology.links():
+        u, v = str(link.u), str(link.v)
+        if any(ch.isspace() for ch in u + v):
+            raise SerializationError(
+                f"node labels {link.u!r}, {link.v!r} contain whitespace; use JSON serialization"
+            )
+        lines.append(f"{u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def topology_from_edge_list(text: str, *, name: str = "") -> Topology:
+    """Parse a plain ``u v`` edge list (labels become strings)."""
+    topo = Topology(name=name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise SerializationError(f"line {line_number}: expected 'u v', got {line!r}")
+        topo.add_link(parts[0], parts[1])
+    return topo
+
+
+def save_topology(topology: Topology, path: str | Path) -> None:
+    """Write ``topology`` to ``path`` (JSON when suffix is ``.json``, else edge list)."""
+    file_path = Path(path)
+    if file_path.suffix == ".json":
+        file_path.write_text(topology_to_json(topology))
+    else:
+        file_path.write_text(topology_to_edge_list(topology))
+
+
+def load_topology(path: str | Path) -> Topology:
+    """Read a topology written by :func:`save_topology`."""
+    file_path = Path(path)
+    try:
+        text = file_path.read_text()
+    except OSError as exc:
+        raise SerializationError(f"cannot read topology file {file_path}: {exc}") from exc
+    if file_path.suffix == ".json":
+        return topology_from_json(text)
+    return topology_from_edge_list(text, name=file_path.stem)

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, linear algebra, validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.linalg import (
+    column_rank,
+    is_full_column_rank,
+    least_squares_pinv,
+    nullspace,
+    projector_onto_column_space,
+)
+from repro.utils.validation import (
+    check_finite_vector,
+    check_nonnegative_vector,
+    check_probability,
+    check_positive,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "column_rank",
+    "is_full_column_rank",
+    "least_squares_pinv",
+    "nullspace",
+    "projector_onto_column_space",
+    "check_finite_vector",
+    "check_nonnegative_vector",
+    "check_probability",
+    "check_positive",
+]

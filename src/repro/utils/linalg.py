@@ -1,0 +1,91 @@
+"""Numerical linear-algebra helpers shared across the library.
+
+These are thin, well-tested wrappers over :mod:`numpy.linalg` that fix the
+tolerance conventions used throughout the tomography and attack code.  The
+routing matrices produced by this library are small dense 0/1 matrices, so
+dense SVD-based routines are appropriate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "column_rank",
+    "is_full_column_rank",
+    "least_squares_pinv",
+    "nullspace",
+    "projector_onto_column_space",
+    "DEFAULT_RANK_TOL",
+]
+
+#: Relative singular-value cutoff used for rank decisions on routing matrices.
+DEFAULT_RANK_TOL = 1e-10
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    out = np.asarray(matrix, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={out.ndim}")
+    return out
+
+
+def column_rank(matrix: np.ndarray, tol: float | None = None) -> int:
+    """Return the numerical rank of ``matrix``.
+
+    ``tol`` is an absolute singular-value threshold; when ``None`` numpy's
+    default (machine-precision scaled) threshold is used.
+    """
+    mat = _as_matrix(matrix)
+    if mat.size == 0:
+        return 0
+    return int(np.linalg.matrix_rank(mat, tol=tol))
+
+
+def is_full_column_rank(matrix: np.ndarray, tol: float | None = None) -> bool:
+    """True when ``matrix`` has linearly independent columns.
+
+    A routing matrix with full column rank makes every link metric
+    identifiable from path measurements (eq. 2 of the paper is well posed).
+    """
+    mat = _as_matrix(matrix)
+    if mat.shape[1] == 0:
+        return True
+    return column_rank(mat, tol=tol) == mat.shape[1]
+
+
+def least_squares_pinv(matrix: np.ndarray) -> np.ndarray:
+    """Return the Moore-Penrose pseudo-inverse of ``matrix``.
+
+    For a full-column-rank routing matrix ``R`` this equals
+    ``(R^T R)^{-1} R^T``, the estimator matrix of eq. (2) in the paper; for
+    rank-deficient systems it yields the minimum-norm least-squares solution
+    operator.
+    """
+    return np.linalg.pinv(_as_matrix(matrix))
+
+
+def nullspace(matrix: np.ndarray, tol: float = DEFAULT_RANK_TOL) -> np.ndarray:
+    """Return an orthonormal basis of the (right) null space as columns.
+
+    The null space of the routing matrix characterises the set of link-metric
+    perturbations invisible to every measurement path.
+    """
+    mat = _as_matrix(matrix)
+    if mat.size == 0:
+        return np.eye(mat.shape[1])
+    _, s, vt = np.linalg.svd(mat)
+    cutoff = tol * max(mat.shape) * (s[0] if s.size else 1.0)
+    num_nonzero = int(np.sum(s > cutoff))
+    return vt[num_nonzero:].T.copy()
+
+
+def projector_onto_column_space(matrix: np.ndarray) -> np.ndarray:
+    """Return the orthogonal projector ``P`` with ``P y = R R⁺ y``.
+
+    ``(I - P) y`` is the measurement residual that the scapegoating detector
+    of Section IV-B tests against its threshold: measurements consistent with
+    *some* link-metric vector lie exactly in the column space of ``R``.
+    """
+    mat = _as_matrix(matrix)
+    return mat @ np.linalg.pinv(mat)

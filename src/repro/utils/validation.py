@@ -1,0 +1,61 @@
+"""Argument-validation helpers.
+
+All helpers raise :class:`repro.exceptions.ValidationError` with a message
+that names the offending argument, so API users get actionable errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_finite_vector",
+    "check_nonnegative_vector",
+    "check_probability",
+    "check_positive",
+]
+
+
+def check_finite_vector(vector: np.ndarray, name: str, *, length: int | None = None) -> np.ndarray:
+    """Coerce ``vector`` to a 1-D float array and require finite entries.
+
+    When ``length`` is given, also enforce the exact length.  Returns the
+    coerced array so call sites can write ``x = check_finite_vector(x, "x")``.
+    """
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D vector, got ndim={arr.ndim}")
+    if length is not None and arr.shape[0] != length:
+        raise ValidationError(f"{name} must have length {length}, got {arr.shape[0]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_nonnegative_vector(
+    vector: np.ndarray, name: str, *, length: int | None = None, atol: float = 0.0
+) -> np.ndarray:
+    """Like :func:`check_finite_vector` but also require entries >= -atol."""
+    arr = check_finite_vector(vector, name, length=length)
+    if np.any(arr < -atol):
+        worst = float(arr.min())
+        raise ValidationError(f"{name} must be componentwise non-negative, min entry {worst}")
+    return arr
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``value`` to lie in [0, 1]."""
+    val = float(value)
+    if not 0.0 <= val <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {val}")
+    return val
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value`` to be strictly positive and finite."""
+    val = float(value)
+    if not np.isfinite(val) or val <= 0:
+        raise ValidationError(f"{name} must be a positive finite number, got {val}")
+    return val

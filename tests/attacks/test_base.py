@@ -1,0 +1,107 @@
+"""Tests for AttackContext and AttackOutcome."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackContext, AttackOutcome
+from repro.exceptions import AttackConstraintError, ValidationError
+from repro.metrics.states import StateThresholds
+
+
+class TestAttackContext:
+    def test_derived_sets(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B", "C"]
+        )
+        assert context.controlled_links == frozenset({1, 2, 3, 4, 5, 6, 7})
+        assert context.num_paths == 23
+        assert context.num_links == 10
+        assert set(context.support) == set(
+            fig1_scenario.path_set.paths_containing_any_node({"B", "C"})
+        )
+
+    def test_duplicate_attackers_deduplicated(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B", "B", "C"]
+        )
+        assert context.attacker_nodes == ("B", "C")
+
+    def test_empty_attackers_rejected(self, fig1_scenario):
+        with pytest.raises(AttackConstraintError):
+            AttackContext(fig1_scenario.path_set, fig1_scenario.true_metrics, [])
+
+    def test_negative_margin_rejected(self, fig1_scenario):
+        with pytest.raises(ValidationError):
+            AttackContext(
+                fig1_scenario.path_set,
+                fig1_scenario.true_metrics,
+                ["B"],
+                margin=-1.0,
+            )
+
+    def test_baseline_equals_truth_under_full_rank(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B"]
+        )
+        assert np.allclose(context.baseline_estimate, fig1_scenario.true_metrics)
+
+    def test_observed_and_predicted(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B", "C"]
+        )
+        m = np.zeros(23)
+        m[list(context.support)[:2]] = 100.0
+        observed = context.observed_measurements(m)
+        assert np.allclose(observed, context.honest_measurements() + m)
+        predicted = context.predicted_estimate(m)
+        assert predicted.shape == (10,)
+        # Estimate must move, and only via Q m.
+        assert not np.allclose(predicted, fig1_scenario.true_metrics)
+
+    def test_residual_projector_properties(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B"]
+        )
+        projector = context.residual_projector()
+        assert np.allclose(projector @ projector, projector, atol=1e-8)
+        assert np.allclose(projector @ fig1_scenario.path_set.routing_matrix(), 0.0, atol=1e-8)
+        # Cached: same object on second call.
+        assert context.residual_projector() is projector
+
+    def test_manipulable_link_mask(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B", "C"]
+        )
+        mask = context.manipulable_link_mask()
+        # Everything B and C touch (and more) is manipulable on Fig. 1.
+        assert mask.sum() >= 8
+
+    def test_default_thresholds(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B"]
+        )
+        assert context.thresholds == StateThresholds()
+
+
+class TestAttackOutcome:
+    def test_infeasible_constructor(self):
+        outcome = AttackOutcome.infeasible("test", "why not", (3,))
+        assert not outcome.feasible
+        assert outcome.victim_links == (3,)
+        assert outcome.status == "why not"
+        assert np.isnan(outcome.mean_path_measurement)
+
+    def test_from_manipulation_derives_everything(self, fig1_scenario):
+        context = AttackContext(
+            fig1_scenario.path_set, fig1_scenario.true_metrics, ["B", "C"]
+        )
+        m = np.zeros(23)
+        m[list(context.support)] = 10.0
+        outcome = AttackOutcome.from_manipulation("test", context, m, (9,), "ok")
+        assert outcome.feasible
+        assert outcome.damage == pytest.approx(float(m.sum()))
+        assert outcome.diagnosis is not None
+        assert outcome.victim_links == (9,)
+        assert np.allclose(
+            outcome.observed_measurements, context.observed_measurements(m)
+        )

@@ -1,0 +1,105 @@
+"""Tests for compromise planning (minimum perfect-cut node sets)."""
+
+import pytest
+
+from repro.attacks.compromise import (
+    compromise_budget_ranking,
+    minimum_perfect_cut_nodes,
+)
+from repro.attacks.cuts import is_perfect_cut
+from repro.exceptions import AttackConstraintError
+from repro.routing.paths import PathSet
+from repro.topology.generators.simple import paper_example_network
+
+
+class TestMinimumPerfectCut:
+    def test_recovers_paper_attackers_for_link_1(self, fig1_scenario):
+        """The paper's example: B and C are exactly the nodes that cut
+        link 1 (M1-A) from every measurement path."""
+        nodes = minimum_perfect_cut_nodes(fig1_scenario.path_set, [0])
+        assert nodes is not None
+        assert set(nodes) == {"B", "C"}
+
+    def test_result_is_a_perfect_cut(self, fig1_scenario):
+        for link in fig1_scenario.topology.links():
+            nodes = minimum_perfect_cut_nodes(fig1_scenario.path_set, [link.index])
+            if nodes:
+                assert is_perfect_cut(fig1_scenario.path_set, nodes, [link.index])
+
+    def test_victim_endpoints_never_chosen(self, fig1_scenario):
+        for link in fig1_scenario.topology.links():
+            nodes = minimum_perfect_cut_nodes(fig1_scenario.path_set, [link.index])
+            if nodes:
+                assert link.u not in nodes
+                assert link.v not in nodes
+
+    def test_forbidden_nodes_respected(self, fig1_scenario):
+        nodes = minimum_perfect_cut_nodes(
+            fig1_scenario.path_set, [0], forbidden={"B"}
+        )
+        if nodes is not None:
+            assert "B" not in nodes
+            assert is_perfect_cut(fig1_scenario.path_set, nodes, [0])
+
+    def test_max_nodes_budget(self, fig1_scenario):
+        unbounded = minimum_perfect_cut_nodes(fig1_scenario.path_set, [9])
+        assert unbounded is not None
+        capped = minimum_perfect_cut_nodes(
+            fig1_scenario.path_set, [9], max_nodes=len(unbounded) - 1
+        )
+        assert capped is None
+
+    def test_impossible_cut_returns_none(self):
+        """A one-hop victim path leaves no eligible interior node."""
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        # Victim = link M3-D (index 8); its only path's nodes are
+        # M3, D (endpoints, blocked) and M2.
+        nodes = minimum_perfect_cut_nodes(ps, [8], forbidden={"M2"})
+        assert nodes is None
+
+    def test_unmeasured_victim_is_vacuous(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        assert minimum_perfect_cut_nodes(ps, [0]) == []
+
+    def test_empty_victims_rejected(self, fig1_scenario):
+        with pytest.raises(AttackConstraintError):
+            minimum_perfect_cut_nodes(fig1_scenario.path_set, [])
+
+    def test_multi_victim_cut(self, fig1_scenario):
+        nodes = minimum_perfect_cut_nodes(fig1_scenario.path_set, [0, 8])
+        if nodes is not None:
+            assert is_perfect_cut(fig1_scenario.path_set, nodes, [0, 8])
+
+    def test_deterministic(self, fig1_scenario):
+        a = minimum_perfect_cut_nodes(fig1_scenario.path_set, [9])
+        b = minimum_perfect_cut_nodes(fig1_scenario.path_set, [9])
+        assert a == b
+
+
+class TestBudgetRanking:
+    def test_covers_all_measured_links(self, fig1_scenario):
+        ranking = compromise_budget_ranking(fig1_scenario.path_set)
+        measured = {
+            link.index
+            for link in fig1_scenario.topology.links()
+            if fig1_scenario.path_set.paths_containing_link(link.index)
+        }
+        assert {r["link"] for r in ranking} == measured
+
+    def test_sorted_by_budget(self, fig1_scenario):
+        ranking = compromise_budget_ranking(fig1_scenario.path_set)
+        budgets = [r["budget"] for r in ranking if r["budget"] is not None]
+        assert budgets == sorted(budgets)
+        # Impossible entries (None) sort last.
+        nones = [i for i, r in enumerate(ranking) if r["budget"] is None]
+        assert all(i >= len(budgets) for i in nones)
+
+    def test_budgets_consistent_with_node_lists(self, fig1_scenario):
+        for record in compromise_budget_ranking(fig1_scenario.path_set):
+            if record["budget"] is not None:
+                assert record["budget"] == len(record["nodes"])
+                assert is_perfect_cut(
+                    fig1_scenario.path_set, record["nodes"], [record["link"]]
+                )

@@ -1,0 +1,111 @@
+"""Tests for perfect/imperfect cut analysis."""
+
+import math
+
+import pytest
+
+from repro.attacks.cuts import (
+    attack_presence_ratio,
+    is_perfect_cut,
+    perfectly_cut_links,
+    uncut_victim_paths,
+    victim_paths,
+)
+from repro.exceptions import AttackConstraintError
+from repro.routing.paths import PathSet
+from repro.topology.generators.simple import paper_example_network
+
+
+class TestVictimPaths:
+    def test_rows_contain_victim(self, fig1_scenario):
+        rows = victim_paths(fig1_scenario.path_set, [9])
+        for row in rows:
+            assert fig1_scenario.path_set.path(row).contains_link(9)
+
+    def test_empty_victims_rejected(self, fig1_scenario):
+        with pytest.raises(AttackConstraintError):
+            victim_paths(fig1_scenario.path_set, [])
+
+
+class TestPerfectCut:
+    def test_b_c_perfectly_cut_link_1(self, fig1_scenario):
+        """Link 0 (M1-A): A's only other neighbours are B and C."""
+        assert is_perfect_cut(fig1_scenario.path_set, ["B", "C"], [0])
+
+    def test_b_c_do_not_cut_link_10(self, fig1_scenario):
+        """Link 9 (D-M2): path M3-D-M2 avoids B and C — the paper's Fig. 4 case."""
+        assert not is_perfect_cut(fig1_scenario.path_set, ["B", "C"], [9])
+
+    def test_uncut_paths_avoid_attackers(self, fig1_scenario):
+        rows = uncut_victim_paths(fig1_scenario.path_set, ["B", "C"], [9])
+        assert rows
+        for row in rows:
+            path = fig1_scenario.path_set.path(row)
+            assert path.contains_link(9)
+            assert not path.contains_any_node({"B", "C"})
+
+    def test_vacuous_cut_for_unmeasured_link(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        # Link 0 is on no path: vacuously perfectly cut.
+        assert is_perfect_cut(ps, ["B"], [0])
+
+
+class TestPresenceRatio:
+    def test_perfect_cut_has_ratio_one(self, fig1_scenario):
+        assert attack_presence_ratio(fig1_scenario.path_set, ["B", "C"], [0]) == 1.0
+
+    def test_imperfect_cut_below_one(self, fig1_scenario):
+        ratio = attack_presence_ratio(fig1_scenario.path_set, ["B", "C"], [9])
+        assert 0.0 < ratio < 1.0
+
+    def test_absent_attacker_has_ratio_zero(self, fig1_scenario):
+        """M1 is on no path crossing link 9 except via A..B/C? Check a true zero."""
+        # Link 8 (M3-D): does any path cross both link 8 and node M1?
+        ratio = attack_presence_ratio(fig1_scenario.path_set, ["M1"], [8])
+        rows = victim_paths(fig1_scenario.path_set, [8])
+        manual = sum(
+            1 for r in rows if fig1_scenario.path_set.path(r).contains_node("M1")
+        ) / len(rows)
+        assert ratio == pytest.approx(manual)
+
+    def test_unmeasured_victim_gives_nan(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        assert math.isnan(attack_presence_ratio(ps, ["B"], [0]))
+
+    def test_ratio_counts_exactly(self, fig1_scenario):
+        rows = victim_paths(fig1_scenario.path_set, [9])
+        covered = [
+            r
+            for r in rows
+            if fig1_scenario.path_set.path(r).contains_any_node({"B", "C"})
+        ]
+        expected = len(covered) / len(rows)
+        assert attack_presence_ratio(
+            fig1_scenario.path_set, ["B", "C"], [9]
+        ) == pytest.approx(expected)
+
+
+class TestPerfectlyCutLinks:
+    def test_fig1_bc_cut_exactly_link_0(self, fig1_scenario):
+        controlled = fig1_scenario.topology.links_incident_to_nodes(["B", "C"])
+        cut = perfectly_cut_links(
+            fig1_scenario.path_set, ["B", "C"], exclude_links=controlled
+        )
+        assert cut == [0]
+
+    def test_every_reported_link_is_perfectly_cut(self, fig1_scenario):
+        for attacker in ["A", "B", "C", "D"]:
+            controlled = fig1_scenario.topology.links_incident_to_nodes([attacker])
+            for link in perfectly_cut_links(
+                fig1_scenario.path_set, [attacker], exclude_links=controlled
+            ):
+                assert is_perfect_cut(fig1_scenario.path_set, [attacker], [link])
+
+    def test_excluded_links_never_reported(self, fig1_scenario):
+        controlled = fig1_scenario.topology.links_incident_to_nodes(["B", "C"])
+        cut = perfectly_cut_links(
+            fig1_scenario.path_set, ["B", "C"], exclude_links=controlled
+        )
+        assert not set(cut) & controlled

@@ -1,0 +1,153 @@
+"""Tests for the shared manipulation LP."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.lp import (
+    BandConstraints,
+    solve_manipulation_lp,
+    theorem1_manipulation,
+)
+from repro.exceptions import AttackError, ValidationError
+from repro.tomography.linear_system import estimator_operator
+
+
+@pytest.fixture()
+def fig1_system(fig1_scenario):
+    matrix = fig1_scenario.path_set.routing_matrix()
+    return matrix, estimator_operator(matrix), fig1_scenario.true_metrics
+
+
+class TestBandConstraints:
+    def test_unbounded_admits_everything(self):
+        bands = BandConstraints.unbounded(3)
+        bands.validate()
+        assert np.all(np.isinf(bands.lower)) and np.all(np.isinf(bands.upper))
+
+    def test_tightening_keeps_most_restrictive(self):
+        bands = BandConstraints.unbounded(2)
+        bands.require_at_most(0, 100.0)
+        bands.require_at_most(0, 50.0)
+        bands.require_at_most(0, 80.0)
+        assert bands.upper[0] == 50.0
+        bands.require_at_least(1, 10.0)
+        bands.require_at_least(1, 30.0)
+        assert bands.lower[1] == 30.0
+
+    def test_empty_band_detected(self):
+        bands = BandConstraints.unbounded(1)
+        bands.require_at_most(0, 10.0)
+        bands.require_at_least(0, 20.0)
+        with pytest.raises(ValidationError, match="empty band"):
+            bands.validate()
+
+
+class TestSolveLp:
+    def test_unconstrained_maximises_to_cap(self, fig1_system):
+        _, operator, x = fig1_system
+        support = [0, 1, 2]
+        bands = BandConstraints.unbounded(10)
+        solution = solve_manipulation_lp(operator, x, support, 23, bands, cap=100.0)
+        assert solution.feasible
+        assert solution.damage == pytest.approx(300.0)
+        assert np.allclose(solution.manipulation[support], 100.0)
+
+    def test_constraint1_support_respected(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        solution = solve_manipulation_lp(operator, x, [3, 7], 23, bands, cap=50.0)
+        off = [i for i in range(23) if i not in (3, 7)]
+        assert np.all(solution.manipulation[off] == 0.0)
+
+    def test_infeasible_band_reported(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        # Demand an estimate increase on link 9 without support anywhere.
+        bands.require_at_least(9, x[9] + 100.0)
+        solution = solve_manipulation_lp(operator, x, [], 23, bands)
+        assert not solution.feasible
+        assert solution.manipulation is None
+        assert solution.damage == 0.0
+
+    def test_empty_support_with_satisfied_bands(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        solution = solve_manipulation_lp(operator, x, [], 23, bands)
+        assert solution.feasible
+        assert solution.damage == 0.0
+
+    def test_unbounded_without_cap_flagged(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        solution = solve_manipulation_lp(operator, x, [0, 1], 23, bands, cap=None)
+        assert solution.feasible
+        assert solution.unbounded
+        assert solution.damage == float("inf")
+        assert solution.manipulation is not None  # concrete vector still given
+
+    def test_band_constraint_respected(self, fig1_system):
+        matrix, operator, x = fig1_system
+        support = list(range(23))
+        bands = BandConstraints.unbounded(10)
+        bands.require_at_most(0, x[0] + 10.0)
+        solution = solve_manipulation_lp(operator, x, support, 23, bands, cap=2000.0)
+        assert solution.feasible
+        estimate = x + operator @ solution.manipulation
+        assert estimate[0] <= x[0] + 10.0 + 1e-6
+
+    def test_consistency_matrix_forces_zero_residual(self, fig1_system):
+        matrix, operator, x = fig1_system
+        projector = np.eye(23) - matrix @ operator
+        support = list(range(23))
+        bands = BandConstraints.unbounded(10)
+        bands.require_at_least(0, x[0] + 50.0)
+        solution = solve_manipulation_lp(
+            operator, x, support, 23, bands, cap=2000.0, consistency_matrix=projector
+        )
+        assert solution.feasible
+        residual = projector @ solution.manipulation
+        assert np.abs(residual).max() < 1e-6
+
+    def test_consistency_matrix_shape_checked(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        with pytest.raises(AttackError, match="consistency"):
+            solve_manipulation_lp(
+                operator, x, [0], 23, bands, consistency_matrix=np.eye(5)
+            )
+
+    def test_bad_support_row_rejected(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        with pytest.raises(AttackError, match="support row"):
+            solve_manipulation_lp(operator, x, [99], 23, bands)
+
+    def test_negative_cap_rejected(self, fig1_system):
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        with pytest.raises(ValidationError):
+            solve_manipulation_lp(operator, x, [0], 23, bands, cap=-5.0)
+
+
+class TestTheorem1Construction:
+    def test_manipulation_is_r_delta(self, fig1_system):
+        matrix, _, _ = fig1_system
+        delta = np.zeros(10)
+        delta[0] = 700.0
+        m = theorem1_manipulation(matrix, delta)
+        assert np.array_equal(m, matrix @ delta)
+
+    def test_perfect_cut_construction_satisfies_constraint1(self, fig1_scenario):
+        """Theorem 1: under a perfect cut, m = R*delta is zero off-support."""
+        matrix = fig1_scenario.path_set.routing_matrix()
+        # B, C perfectly cut link 0; delta supported on L_m ∪ {0}.
+        delta = np.zeros(10)
+        delta[0] = 750.0
+        m = theorem1_manipulation(matrix, delta)
+        support = set(
+            fig1_scenario.path_set.paths_containing_any_node({"B", "C"})
+        )
+        for row in range(matrix.shape[0]):
+            if row not in support:
+                assert m[row] == 0.0
+        assert np.all(m >= 0.0)

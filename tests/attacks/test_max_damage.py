@@ -1,0 +1,98 @@
+"""Tests for maximum-damage scapegoating."""
+
+import math
+
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.attacks.max_damage import MaxDamageAttack
+from repro.exceptions import ValidationError
+
+
+class TestSearch:
+    def test_succeeds_on_fig1(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context).run()
+        assert outcome.feasible
+        assert outcome.damage > 0
+        assert len(outcome.victim_links) == 1
+
+    def test_dominates_every_chosen_victim(self, fig1_context):
+        """eq. (8) >= eq. (4) for every fixed victim — the defining property."""
+        best = MaxDamageAttack(fig1_context).run()
+        for victim in range(fig1_context.num_links):
+            if victim in fig1_context.controlled_links:
+                continue
+            single = ChosenVictimAttack(fig1_context, [victim], mode="paper").run()
+            if single.feasible:
+                assert best.damage >= single.damage - 1e-6
+
+    def test_victim_never_controlled(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context).run()
+        assert not set(outcome.victim_links) & set(fig1_context.controlled_links)
+
+    def test_victims_flagged_abnormal(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context).run()
+        assert outcome.diagnosis.blames(outcome.victim_links)
+
+    def test_search_trace_recorded(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context).run()
+        trace = outcome.extras["search_trace"]
+        assert len(trace) == outcome.extras["candidates_tried"]
+        best_damage = max(t["damage"] for t in trace if t["feasible"])
+        assert outcome.damage == pytest.approx(best_damage)
+
+    def test_candidate_restriction(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context, candidate_links=[9]).run()
+        assert outcome.victim_links == (9,)
+
+    def test_stop_at_first_feasible(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context, stop_at_first_feasible=True).run()
+        assert outcome.feasible
+        assert outcome.extras["candidates_tried"] >= 1
+
+    def test_victim_set_size_two(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context, victim_set_size=2).run()
+        if outcome.feasible:
+            assert len(outcome.victim_links) == 2
+
+    def test_pair_damage_bounded_by_singletons(self, fig1_context):
+        """Damage is antitone in victim-set inclusion."""
+        pair = MaxDamageAttack(fig1_context, victim_set_size=2).run()
+        singles = MaxDamageAttack(fig1_context).damage_by_victim()
+        if pair.feasible:
+            bound = min(singles[v] for v in pair.victim_links)
+            assert pair.damage <= bound + 1e-6
+
+    def test_max_combinations_limits_search(self, fig1_context):
+        outcome = MaxDamageAttack(fig1_context, max_combinations=1).run()
+        assert outcome.extras["candidates_tried"] <= 1
+
+    def test_infeasible_when_no_candidates(self, fig1_scenario):
+        """An attacker absent from every path cannot scapegoat anyone."""
+        # M1's paths all cross it, so pick a context where support exists but
+        # candidates are forced empty instead.
+        context = fig1_scenario.attack_context(["B", "C"])
+        outcome = MaxDamageAttack(context, candidate_links=[]).run()
+        assert not outcome.feasible
+
+    def test_validation(self, fig1_context):
+        with pytest.raises(ValidationError):
+            MaxDamageAttack(fig1_context, victim_set_size=0)
+        with pytest.raises(ValidationError):
+            MaxDamageAttack(fig1_context, max_combinations=0)
+        with pytest.raises(ValidationError):
+            MaxDamageAttack(fig1_context, candidate_links=[99])
+
+
+class TestDamageByVictim:
+    def test_map_covers_all_candidates(self, fig1_context):
+        attack = MaxDamageAttack(fig1_context)
+        damage_map = attack.damage_by_victim()
+        assert set(damage_map) == set(attack.candidates)
+
+    def test_map_consistent_with_run(self, fig1_context):
+        attack = MaxDamageAttack(fig1_context)
+        damage_map = attack.damage_by_victim()
+        outcome = attack.run()
+        finite = {k: v for k, v in damage_map.items() if not math.isnan(v)}
+        assert outcome.damage == pytest.approx(max(finite.values()))

@@ -1,0 +1,51 @@
+"""Tests for the naive delay-everything baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.naive import NaiveDelayAttack
+from repro.exceptions import ValidationError
+
+
+class TestNaiveAttack:
+    def test_uniform_delay_on_support(self, fig1_context):
+        outcome = NaiveDelayAttack(fig1_context, per_path_delay=500.0).run()
+        m = outcome.manipulation
+        support = np.asarray(fig1_context.support)
+        assert np.all(m[support] == 500.0)
+        off = [i for i in range(fig1_context.num_paths) if i not in set(fig1_context.support)]
+        assert np.all(m[off] == 0.0)
+
+    def test_damage_is_delay_times_paths(self, fig1_context):
+        outcome = NaiveDelayAttack(fig1_context, per_path_delay=500.0).run()
+        assert outcome.damage == pytest.approx(500.0 * len(fig1_context.support))
+
+    def test_defaults_to_cap(self, fig1_context):
+        outcome = NaiveDelayAttack(fig1_context).run()
+        assert float(outcome.manipulation.max()) == fig1_context.cap
+
+    def test_full_budget_exposes_attacker(self, fig1_context):
+        """At the cap, the worst-looking link is attacker-controlled."""
+        outcome = NaiveDelayAttack(fig1_context).run()
+        worst = int(np.argmax(outcome.predicted_estimate))
+        assert worst in fig1_context.controlled_links
+        assert outcome.extras["exposed_controlled_links"]
+        assert not outcome.extras["stealthy"]
+
+    def test_no_framed_victims(self, fig1_context):
+        outcome = NaiveDelayAttack(fig1_context).run()
+        assert outcome.victim_links == ()
+        assert outcome.strategy == "naive"
+
+    def test_zero_delay_is_harmless(self, fig1_context):
+        outcome = NaiveDelayAttack(fig1_context, per_path_delay=0.0).run()
+        assert outcome.damage == 0.0
+        assert outcome.extras["stealthy"]  # nothing to expose
+
+    def test_delay_above_cap_rejected(self, fig1_context):
+        with pytest.raises(ValidationError):
+            NaiveDelayAttack(fig1_context, per_path_delay=99999.0)
+
+    def test_negative_delay_rejected(self, fig1_context):
+        with pytest.raises(ValidationError):
+            NaiveDelayAttack(fig1_context, per_path_delay=-1.0)

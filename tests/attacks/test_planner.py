@@ -1,0 +1,82 @@
+"""Tests for compiling manipulation vectors into simulator agents."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.attacks.planner import compile_attack_plan
+from repro.exceptions import AttackConstraintError
+
+
+class TestCompile:
+    def test_agents_only_at_attacker_nodes(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [0]).run()
+        plan = compile_attack_plan(
+            fig1_scenario.path_set, ["B", "C"], outcome.manipulation
+        )
+        assert set(plan.agents) <= {"B", "C"}
+
+    def test_total_damage_preserved(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [0]).run()
+        plan = compile_attack_plan(
+            fig1_scenario.path_set, ["B", "C"], outcome.manipulation
+        )
+        agent_total = sum(a.total_planned_delay() for a in plan.agents.values())
+        assert agent_total == pytest.approx(outcome.damage)
+        assert plan.total_damage == pytest.approx(outcome.damage)
+
+    def test_assignment_nodes_on_their_paths(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [0]).run()
+        plan = compile_attack_plan(
+            fig1_scenario.path_set, ["B", "C"], outcome.manipulation
+        )
+        for row, node in plan.assignment.items():
+            assert fig1_scenario.path_set.path(row).contains_node(node)
+
+    def test_interior_attacker_preferred_over_destination(self, fig1_scenario):
+        """When an attacker is the destination monitor but another attacker is
+        interior on the same path, the interior one carries the delay."""
+        context = fig1_scenario.attack_context(["B", "M2"])
+        m = np.zeros(fig1_scenario.path_set.num_paths)
+        # Pick a supported path ending at M2 that also crosses B.
+        target_row = None
+        for row in fig1_scenario.path_set.paths_containing_node("B"):
+            path = fig1_scenario.path_set.path(row)
+            if path.target == "M2":
+                target_row = row
+                break
+        assert target_row is not None
+        m[target_row] = 100.0
+        plan = compile_attack_plan(fig1_scenario.path_set, ["B", "M2"], m)
+        assert plan.assignment[target_row] == "B"
+
+    def test_zero_entries_produce_no_actions(self, fig1_scenario):
+        m = np.zeros(fig1_scenario.path_set.num_paths)
+        plan = compile_attack_plan(fig1_scenario.path_set, ["B"], m)
+        assert plan.agents == {}
+        assert plan.assignment == {}
+        assert plan.agent_for("B") is None
+
+    def test_constraint1_violation_rejected(self, fig1_scenario):
+        m = np.zeros(fig1_scenario.path_set.num_paths)
+        # Find a path without B and try to manipulate it.
+        support = set(fig1_scenario.path_set.paths_containing_node("B"))
+        off = next(i for i in range(fig1_scenario.path_set.num_paths) if i not in support)
+        m[off] = 10.0
+        with pytest.raises(AttackConstraintError):
+            compile_attack_plan(fig1_scenario.path_set, ["B"], m)
+
+    def test_cap_checked(self, fig1_scenario):
+        row = fig1_scenario.path_set.paths_containing_node("B")[0]
+        m = np.zeros(fig1_scenario.path_set.num_paths)
+        m[row] = 5000.0
+        with pytest.raises(AttackConstraintError, match="cap"):
+            compile_attack_plan(fig1_scenario.path_set, ["B"], m, cap=2000.0)
+
+    def test_manipulation_copied(self, fig1_scenario):
+        row = fig1_scenario.path_set.paths_containing_node("B")[0]
+        m = np.zeros(fig1_scenario.path_set.num_paths)
+        m[row] = 10.0
+        plan = compile_attack_plan(fig1_scenario.path_set, ["B"], m)
+        m[row] = 999.0
+        assert plan.manipulation[row] == 10.0

@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Expensive objects (the Fig. 1 scenario, a small ISP scenario) are
+session-scoped; tests must not mutate them.  Tests that need mutation
+build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.simple_network import paper_fig1_scenario
+from repro.topology.generators.isp import synthetic_rocketfuel
+from repro.topology.generators.simple import (
+    grid_topology,
+    ladder_topology,
+    paper_example_network,
+)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def paper_topology():
+    """A fresh Fig. 1 topology (mutable per test)."""
+    return paper_example_network()
+
+
+@pytest.fixture(scope="session")
+def fig1_scenario():
+    """The deterministic Fig. 1 scenario (shared; do not mutate)."""
+    return paper_fig1_scenario()
+
+
+@pytest.fixture(scope="session")
+def fig1_context(fig1_scenario):
+    """Attack context for the canonical attackers B and C (shared)."""
+    return fig1_scenario.attack_context(["B", "C"])
+
+
+@pytest.fixture(scope="session")
+def small_isp_scenario():
+    """A small but non-trivial ISP scenario (shared; do not mutate)."""
+    topology = synthetic_rocketfuel(
+        "mini",
+        backbone_nodes=5,
+        pops_per_backbone=1,
+        access_per_pop=(1, 2),
+        extra_backbone_chords=2,
+        seed=4,
+    )
+    # max_per_pair=15 makes this scenario fully identifiable (rank 25/25),
+    # which several invariants (e.g. perfect cut => success) rely on.
+    return Scenario.build(topology, rng=4, max_per_pair=15, name="mini-isp")
+
+
+@pytest.fixture(scope="session")
+def ladder_scenario():
+    """A ladder scenario with good path diversity (shared; do not mutate)."""
+    topology = ladder_topology(4)
+    monitors = [("top", 0), ("bot", 0), ("top", 3), ("bot", 3)]
+    return Scenario.build(topology, monitors=monitors, rng=9, name="ladder4")
+
+
+@pytest.fixture()
+def grid():
+    """A fresh 3x3 grid topology."""
+    return grid_topology(3, 3)

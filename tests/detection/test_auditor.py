@@ -1,0 +1,60 @@
+"""Tests for the audited-tomography pipeline."""
+
+import numpy as np
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.detection.auditor import TomographyAuditor
+from repro.metrics.states import LinkState
+
+
+class TestAuditor:
+    def test_honest_round_trustworthy(self, fig1_scenario):
+        auditor = TomographyAuditor(fig1_scenario.path_set)
+        report = auditor.audit(fig1_scenario.honest_measurements())
+        assert report.trustworthy
+        assert report.witnesses is None
+        assert report.diagnosis.abnormal == ()
+        # Routine 1-20 ms delays all classify normal.
+        assert all(s is LinkState.NORMAL for s in report.diagnosis.states)
+
+    def test_imperfect_cut_attack_flagged_untrustworthy(
+        self, fig1_scenario, fig1_context
+    ):
+        outcome = ChosenVictimAttack(fig1_context, [9], mode="exclusive").run()
+        auditor = TomographyAuditor(fig1_scenario.path_set)
+        report = auditor.audit(outcome.observed_measurements)
+        assert not report.trustworthy
+        assert report.witnesses is not None
+        assert report.witnesses["suspicious_paths"]
+
+    def test_stealthy_perfect_cut_attack_fools_auditor(
+        self, fig1_scenario, fig1_context
+    ):
+        """The auditor's limits are the paper's Theorem 3 limits."""
+        outcome = ChosenVictimAttack(fig1_context, [0], stealthy=True).run()
+        auditor = TomographyAuditor(fig1_scenario.path_set)
+        report = auditor.audit(outcome.observed_measurements)
+        assert report.trustworthy  # fooled
+        assert 0 in report.diagnosis.abnormal  # and blaming the scapegoat
+
+    def test_summary_keys(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [9], mode="exclusive").run()
+        auditor = TomographyAuditor(fig1_scenario.path_set)
+        summary = auditor.audit(outcome.observed_measurements).summary()
+        assert summary["trustworthy"] is False
+        assert "suspicious_paths" in summary
+        assert "implicated_links" in summary
+
+    def test_custom_alpha(self, fig1_scenario):
+        y = fig1_scenario.honest_measurements()
+        y[0] += 50.0  # small tamper
+        strict = TomographyAuditor(fig1_scenario.path_set, alpha=1.0)
+        lax = TomographyAuditor(fig1_scenario.path_set, alpha=1e6)
+        assert not strict.audit(y).trustworthy
+        assert lax.audit(y).trustworthy
+
+    def test_estimate_matches_detector(self, fig1_scenario):
+        auditor = TomographyAuditor(fig1_scenario.path_set)
+        y = fig1_scenario.honest_measurements()
+        report = auditor.audit(y)
+        assert np.allclose(report.diagnosis.estimate, report.detection.estimate)

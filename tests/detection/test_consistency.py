@@ -1,0 +1,97 @@
+"""Tests for the consistency detector (eq. 23 / Remark 4)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.detection.consistency import ConsistencyDetector
+from repro.exceptions import DetectionError
+
+
+class TestConstruction:
+    def test_alpha_validation(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        with pytest.raises(DetectionError):
+            ConsistencyDetector(matrix, alpha=-1.0)
+
+    def test_degenerate_matrix(self):
+        with pytest.raises(DetectionError):
+            ConsistencyDetector(np.zeros((0, 3)))
+
+    def test_square_matrix_flagged_blind(self):
+        """Theorem 3: a square invertible R makes every attack invisible."""
+        detector = ConsistencyDetector(np.eye(4), alpha=0.0)
+        assert detector.structurally_blind
+
+    def test_redundant_matrix_not_blind(self, fig1_scenario):
+        detector = ConsistencyDetector(fig1_scenario.path_set.routing_matrix())
+        assert not detector.structurally_blind
+
+
+class TestChecks:
+    def test_honest_measurements_pass(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        result = detector.check(fig1_scenario.honest_measurements())
+        assert not result.detected
+        assert result.residual_l1 < 1e-8
+
+    def test_tampered_single_path_detected(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[0] += 1500.0
+        result = detector.check(y)
+        assert result.detected
+        assert result.residual_l1 > 200.0
+        assert result.max_path_residual() > 0
+
+    def test_square_system_never_detects(self):
+        """Any y' is consistent when R is square invertible."""
+        detector = ConsistencyDetector(np.eye(4), alpha=1e-9)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert not detector.check(rng.random(4) * 1000).detected
+
+    def test_lp_attack_on_imperfect_cut_detected(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [9], mode="exclusive").run()
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        assert detector.check(outcome.observed_measurements).detected
+
+    def test_stealthy_perfect_cut_attack_missed(self, fig1_scenario, fig1_context):
+        outcome = ChosenVictimAttack(fig1_context, [0], stealthy=True).run()
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        assert not detector.check(outcome.observed_measurements).detected
+
+    def test_threshold_controls_verdict(self, fig1_scenario):
+        y = fig1_scenario.honest_measurements()
+        y[0] += 100.0
+        matrix = fig1_scenario.path_set.routing_matrix()
+        loose = ConsistencyDetector(matrix, alpha=1e9).check(y)
+        tight = ConsistencyDetector(matrix, alpha=1.0).check(y)
+        assert not loose.detected
+        assert tight.detected
+        assert loose.residual_l1 == pytest.approx(tight.residual_l1)
+
+    def test_shape_validation(self, fig1_scenario):
+        detector = ConsistencyDetector(fig1_scenario.path_set.routing_matrix())
+        with pytest.raises(DetectionError):
+            detector.check(np.ones(3))
+
+    def test_nonfinite_rejected(self, fig1_scenario):
+        detector = ConsistencyDetector(fig1_scenario.path_set.routing_matrix())
+        y = fig1_scenario.honest_measurements()
+        y[0] = float("inf")
+        with pytest.raises(DetectionError):
+            detector.check(y)
+
+    def test_estimate_exposed(self, fig1_scenario):
+        detector = ConsistencyDetector(fig1_scenario.path_set.routing_matrix())
+        result = detector.check(fig1_scenario.honest_measurements())
+        assert np.allclose(result.estimate, fig1_scenario.true_metrics)

@@ -1,0 +1,86 @@
+"""Tests for residual localization."""
+
+import numpy as np
+
+from repro.detection.consistency import ConsistencyDetector
+from repro.detection.localization import suspicious_paths, witness_report
+
+
+class TestSuspiciousPaths:
+    def test_clean_round_has_no_suspicious_paths(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        result = detector.check(fig1_scenario.honest_measurements())
+        assert suspicious_paths(result) == []
+
+    def test_tampered_path_ranks_first(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[5] += 2000.0
+        result = detector.check(y)
+        rows = suspicious_paths(result)
+        assert rows
+        assert rows[0] == 5
+
+    def test_rows_sorted_by_magnitude(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[3] += 900.0
+        y[7] += 1800.0
+        result = detector.check(y)
+        rows = suspicious_paths(result)
+        magnitudes = np.abs(result.per_path_residual)[rows]
+        assert all(a >= b for a, b in zip(magnitudes, magnitudes[1:]))
+
+    def test_custom_threshold(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[2] += 600.0
+        result = detector.check(y)
+        assert suspicious_paths(result, per_path_threshold=1e9) == []
+
+
+class TestWitnessReport:
+    def test_implicated_links_lie_on_suspicious_paths(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[4] += 1500.0
+        result = detector.check(y)
+        report = witness_report(fig1_scenario.path_set, result)
+        assert report["num_suspicious"] == len(report["suspicious_paths"])
+        suspicious_links = set()
+        for row in report["suspicious_paths"]:
+            suspicious_links |= set(fig1_scenario.path_set.path(row).link_indices)
+        assert set(report["implicated_links"]) <= suspicious_links
+
+    def test_top_links_limit(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements() + 500.0
+        result = detector.check(y)
+        report = witness_report(fig1_scenario.path_set, result, top_links=2)
+        assert len(report["implicated_links"]) <= 2
+
+    def test_hit_counts_match_ranking(self, fig1_scenario):
+        detector = ConsistencyDetector(
+            fig1_scenario.path_set.routing_matrix(), alpha=200.0
+        )
+        y = fig1_scenario.honest_measurements()
+        y[0] += 1000.0
+        y[1] += 1000.0
+        result = detector.check(y)
+        report = witness_report(fig1_scenario.path_set, result)
+        counts = report["link_hit_counts"]
+        assert list(counts.keys()) == report["implicated_links"]
+        values = list(counts.values())
+        assert values == sorted(values, reverse=True)

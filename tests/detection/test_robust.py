@@ -1,0 +1,120 @@
+"""Tests for the trimmed-least-squares robust estimator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.detection.robust import TrimmedLeastSquares
+from repro.exceptions import DetectionError
+
+
+class TestHonestData:
+    def test_nothing_excluded(self, fig1_scenario):
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        result = tls.estimate(fig1_scenario.honest_measurements())
+        assert result.converged
+        assert result.excluded_paths == ()
+        assert np.allclose(result.estimate, fig1_scenario.true_metrics)
+
+
+class TestSinglePathTamper:
+    def test_tampered_row_excluded_and_truth_recovered(self, fig1_scenario):
+        y = fig1_scenario.honest_measurements()
+        y[4] += 1500.0
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        result = tls.estimate(y)
+        assert result.converged
+        assert 4 in result.excluded_paths
+        assert np.allclose(result.estimate, fig1_scenario.true_metrics, atol=1e-6)
+
+    def test_two_tampered_rows(self, fig1_scenario):
+        y = fig1_scenario.honest_measurements()
+        y[2] += 900.0
+        y[11] += 1200.0
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        result = tls.estimate(y)
+        assert result.converged
+        assert {2, 11} <= set(result.excluded_paths)
+        assert np.allclose(result.estimate, fig1_scenario.true_metrics, atol=1e-6)
+
+
+class TestAgainstAttacks:
+    def test_stealthy_perfect_cut_attack_not_repairable(self, fig1_scenario, fig1_context):
+        """Consistent forgeries leave nothing to trim (Theorem 3)."""
+        outcome = ChosenVictimAttack(fig1_context, [0], stealthy=True).run()
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        result = tls.estimate(outcome.observed_measurements)
+        assert result.converged
+        assert result.excluded_paths == ()
+        # The robust estimate still blames the scapegoat.
+        assert result.estimate[0] > fig1_scenario.thresholds.upper
+
+    def test_broad_attack_reported_unrecoverable_or_cleaned(
+        self, fig1_scenario, fig1_context
+    ):
+        """An attack touching most rows either exhausts the trimming budget
+        (converged=False) or, if trimming converges, the surviving rows tell
+        a different story than the forged ones."""
+        outcome = ChosenVictimAttack(fig1_context, [9], mode="exclusive").run()
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        result = tls.estimate(outcome.observed_measurements)
+        if not result.converged:
+            assert result.final_max_residual > tls.residual_tolerance
+        else:
+            assert result.num_excluded > 0
+
+    def test_max_exclusions_budget(self, fig1_scenario):
+        y = fig1_scenario.honest_measurements()
+        y[0] += 500.0
+        y[1] += 500.0
+        y[2] += 500.0
+        tls = TrimmedLeastSquares(
+            fig1_scenario.path_set.routing_matrix(), max_exclusions=1
+        )
+        result = tls.estimate(y)
+        assert result.num_excluded <= 1
+
+
+class TestRankGuard:
+    def test_never_sacrifices_identifiability(self, fig1_scenario):
+        """However bad the data, retained rows keep full column rank."""
+        rng = np.random.default_rng(0)
+        y = rng.random(fig1_scenario.path_set.num_paths) * 3000.0
+        matrix = fig1_scenario.path_set.routing_matrix()
+        tls = TrimmedLeastSquares(matrix)
+        result = tls.estimate(y)
+        kept = [
+            i
+            for i in range(matrix.shape[0])
+            if i not in set(result.excluded_paths)
+        ]
+        assert np.linalg.matrix_rank(matrix[kept]) == matrix.shape[1]
+
+    def test_square_system_cannot_trim(self):
+        matrix = np.eye(4)
+        tls = TrimmedLeastSquares(matrix)
+        y = np.array([1.0, 2.0, 3.0, 4000.0])
+        result = tls.estimate(y)
+        # Square system: everything is consistent, nothing to trim.
+        assert result.converged
+        assert result.excluded_paths == ()
+
+
+class TestValidation:
+    def test_bad_tolerance(self, fig1_scenario):
+        with pytest.raises(DetectionError):
+            TrimmedLeastSquares(
+                fig1_scenario.path_set.routing_matrix(), residual_tolerance=0.0
+            )
+
+    def test_bad_shape(self, fig1_scenario):
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        with pytest.raises(DetectionError):
+            tls.estimate(np.ones(3))
+
+    def test_nonfinite_rejected(self, fig1_scenario):
+        tls = TrimmedLeastSquares(fig1_scenario.path_set.routing_matrix())
+        y = fig1_scenario.honest_measurements()
+        y[0] = float("nan")
+        with pytest.raises(DetectionError):
+            tls.estimate(y)

@@ -1,0 +1,85 @@
+"""Property: the packet simulator realises the analytic model exactly.
+
+For random small scenarios, random attacker sets, and random feasible
+attacks, compiling the LP solution to per-node agents and running the
+discrete-event simulator must reproduce ``y' = R x* + m`` to floating
+point — the two measurement backends are interchangeable by construction,
+and this is the property that licenses using the fast analytic engine in
+all Monte-Carlo experiments.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.attacks.planner import compile_attack_plan
+from repro.measurement.simulator.network_sim import NetworkSimulator
+from repro.metrics.link_metrics import uniform_delay_metrics
+from repro.routing.selection import select_identifiable_paths
+from repro.scenarios.scenario import Scenario
+from repro.topology.generators.simple import grid_topology, ladder_topology
+
+
+def _scenario(kind: str, seed: int) -> Scenario:
+    topology = grid_topology(3, 3) if kind == "grid" else ladder_topology(4)
+    rng = np.random.default_rng(seed)
+    nodes = topology.nodes()
+    order = list(range(len(nodes)))
+    rng.shuffle(order)
+    monitors = [nodes[i] for i in order[: max(4, len(nodes) // 2)]]
+    path_set = select_identifiable_paths(topology, monitors, redundancy=3, rng=rng)
+    return Scenario(
+        topology=topology,
+        monitors=tuple(monitors),
+        path_set=path_set,
+        true_metrics=uniform_delay_metrics(topology, rng=rng),
+        name=f"{kind}-{seed}",
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+@given(
+    kind=st.sampled_from(["grid", "ladder"]),
+    seed=st.integers(0, 5000),
+    attacker_index=st.integers(0, 50),
+)
+def test_des_reproduces_analytic_attack_measurements(kind, seed, attacker_index):
+    scenario = _scenario(kind, seed)
+    nodes = scenario.topology.nodes()
+    attacker = nodes[attacker_index % len(nodes)]
+    context = scenario.attack_context([attacker])
+    candidates = [
+        j
+        for j in range(context.num_links)
+        if j not in context.controlled_links
+        and scenario.path_set.paths_containing_link(j)
+    ]
+    assume(candidates)
+    outcome = ChosenVictimAttack(context, [candidates[0]]).run()
+    assume(outcome.feasible)
+    plan = compile_attack_plan(
+        scenario.path_set, [attacker], outcome.manipulation, cap=scenario.cap
+    )
+    simulator = NetworkSimulator(
+        scenario.topology, scenario.true_metrics, agents=plan.agents
+    )
+    record = simulator.run_measurement(scenario.path_set, probes_per_path=2, rng=0)
+    assert np.allclose(
+        record.path_delay_vector(), outcome.observed_measurements, atol=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(kind=st.sampled_from(["grid", "ladder"]), seed=st.integers(0, 5000))
+def test_des_reproduces_honest_measurements(kind, seed):
+    scenario = _scenario(kind, seed)
+    simulator = NetworkSimulator(scenario.topology, scenario.true_metrics)
+    record = simulator.run_measurement(scenario.path_set, rng=0)
+    assert np.allclose(
+        record.path_delay_vector(), scenario.honest_measurements(), atol=1e-9
+    )

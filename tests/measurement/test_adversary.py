@@ -1,0 +1,62 @@
+"""Tests for the adversary agent model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.measurement.simulator.adversary import PathAction, PathManipulationAgent
+
+
+class TestPathAction:
+    def test_defaults_are_benign(self):
+        action = PathAction()
+        assert action.extra_delay == 0.0
+        assert action.drop_probability == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            PathAction(extra_delay=-1.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_drop_probability_bounds(self, bad):
+        with pytest.raises(ValidationError):
+            PathAction(drop_probability=bad)
+
+
+class TestAgent:
+    def test_untargeted_path_passes_clean(self):
+        agent = PathManipulationAgent(node="B")
+        rng = np.random.default_rng(0)
+        assert agent.on_probe(3, rng) == (0.0, False)
+
+    def test_delay_applied_to_targeted_path(self):
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(2, extra_delay=500.0)
+        rng = np.random.default_rng(0)
+        assert agent.on_probe(2, rng) == (500.0, False)
+
+    def test_certain_drop(self):
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(1, drop_probability=1.0)
+        rng = np.random.default_rng(0)
+        _, dropped = agent.on_probe(1, rng)
+        assert dropped
+
+    def test_probabilistic_drop_rate(self):
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(0, drop_probability=0.3)
+        rng = np.random.default_rng(1)
+        drops = sum(agent.on_probe(0, rng)[1] for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_set_action_replaces(self):
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(0, extra_delay=10.0)
+        agent.set_action(0, extra_delay=20.0)
+        assert agent.total_planned_delay() == 20.0
+
+    def test_total_planned_delay_sums_paths(self):
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(0, extra_delay=10.0)
+        agent.set_action(1, extra_delay=30.0)
+        assert agent.total_planned_delay() == 40.0

@@ -1,0 +1,77 @@
+"""Tests for the analytic measurement engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError, ValidationError
+from repro.measurement.engine import AnalyticMeasurementEngine
+from repro.measurement.noise import GaussianNoise
+from repro.routing.paths import PathSet
+from repro.topology.generators.simple import paper_example_network
+
+
+@pytest.fixture()
+def engine():
+    topo = paper_example_network()
+    ps = PathSet.from_node_sequences(
+        topo, [["M1", "A", "C", "M2"], ["M3", "D", "M2"], ["M1", "A", "B", "M3"]]
+    )
+    return AnalyticMeasurementEngine(ps)
+
+
+class TestMeasure:
+    def test_noiseless_is_exact_row_sum(self, engine):
+        x = np.arange(10, dtype=float)
+        y = engine.measure(x)
+        assert y[0] == x[0] + x[3] + x[7]
+        assert y[1] == x[8] + x[9]
+        assert y[2] == x[0] + x[1] + x[2]
+
+    def test_manipulation_added(self, engine):
+        x = np.ones(10)
+        m = np.array([5.0, 0.0, 2.0])
+        assert np.array_equal(engine.measure(x, manipulation=m), engine.measure(x) + m)
+
+    def test_noise_model_applied(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        engine = AnalyticMeasurementEngine(ps, noise_model=GaussianNoise(1.0))
+        x = np.ones(10)
+        draws = np.array([float(engine.measure(x, rng=s)[0]) for s in range(200)])
+        assert draws.std() > 0.5
+        assert abs(draws.mean() - 2.0) < 0.3
+
+    def test_probe_averaging_reduces_noise(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        engine = AnalyticMeasurementEngine(ps, noise_model=GaussianNoise(4.0))
+        x = np.ones(10)
+        single = np.array([float(engine.measure(x, rng=s)[0]) for s in range(200)])
+        averaged = np.array(
+            [float(engine.measure(x, num_probes=16, rng=s)[0]) for s in range(200)]
+        )
+        assert averaged.std() < single.std() / 2
+
+    def test_wrong_metric_length(self, engine):
+        with pytest.raises(ValidationError):
+            engine.measure(np.ones(3))
+
+    def test_wrong_manipulation_length(self, engine):
+        with pytest.raises(ValidationError):
+            engine.measure(np.ones(10), manipulation=np.ones(5))
+
+    def test_invalid_num_probes(self, engine):
+        with pytest.raises(MeasurementError):
+            engine.measure(np.ones(10), num_probes=0)
+
+    def test_routing_matrix_copy_is_isolated(self, engine):
+        matrix = engine.routing_matrix
+        matrix[0, 0] = 99.0
+        assert engine.routing_matrix[0, 0] != 99.0
+
+    def test_deterministic_with_seed(self):
+        topo = paper_example_network()
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        engine = AnalyticMeasurementEngine(ps, noise_model=GaussianNoise(1.0))
+        x = np.ones(10)
+        assert np.array_equal(engine.measure(x, rng=7), engine.measure(x, rng=7))

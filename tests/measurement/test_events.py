@@ -1,0 +1,72 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.measurement.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.run_until_empty()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.schedule(1.0, lambda l=label: fired.append(l))
+        queue.run_until_empty()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        assert queue.now == 0.0
+        queue.run_next()
+        assert queue.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule(queue.now + 1.0, lambda: fired.append("second"))
+
+        queue.schedule(1.0, first)
+        count = queue.run_until_empty()
+        assert fired == ["first", "second"]
+        assert count == 2
+
+    def test_scheduling_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run_next()
+        with pytest.raises(ValueError):
+            queue.schedule(4.0, lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().run_next()
+
+    def test_max_events_guard(self):
+        queue = EventQueue()
+
+        def rearm():
+            queue.schedule(queue.now + 1.0, rearm)
+
+        queue.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="runaway"):
+            queue.run_until_empty(max_events=10)
+
+    def test_len_and_is_empty(self):
+        queue = EventQueue()
+        assert queue.is_empty()
+        queue.schedule(1.0, lambda: None)
+        assert len(queue) == 1
+        assert not queue.is_empty()

@@ -1,0 +1,96 @@
+"""Tests for loss-domain measurement helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MeasurementError
+from repro.measurement.loss import (
+    delivery_to_log_measurements,
+    drop_probabilities_to_manipulation,
+    log_measurements_to_delivery,
+    loss_thresholds,
+    manipulation_to_drop_probabilities,
+)
+
+
+class TestDeliveryConversions:
+    def test_perfect_path_maps_to_zero(self):
+        assert delivery_to_log_measurements(np.array([1.0]))[0] == 0.0
+
+    def test_round_trip(self):
+        ratios = np.array([1.0, 0.9, 0.5, 0.01])
+        back = log_measurements_to_delivery(delivery_to_log_measurements(ratios))
+        assert np.allclose(back, ratios)
+
+    def test_dead_path_floored_not_infinite(self):
+        y = delivery_to_log_measurements(np.array([0.0]), floor=1e-6)
+        assert np.isfinite(y[0])
+        assert y[0] == pytest.approx(-np.log(1e-6))
+
+    def test_domain_enforced(self):
+        with pytest.raises(MeasurementError):
+            delivery_to_log_measurements(np.array([1.5]))
+        with pytest.raises(MeasurementError):
+            delivery_to_log_measurements(np.array([-0.1]))
+        with pytest.raises(MeasurementError):
+            delivery_to_log_measurements(np.array([0.5]), floor=0.0)
+
+    def test_negative_log_metric_rejected(self):
+        with pytest.raises(MeasurementError):
+            log_measurements_to_delivery(np.array([-1.0]))
+
+
+class TestManipulationConversions:
+    def test_zero_manipulation_drops_nothing(self):
+        assert manipulation_to_drop_probabilities(np.array([0.0]))[0] == 0.0
+
+    def test_equivalence_with_expected_delivery(self):
+        """Dropping with prob 1-exp(-m) multiplies delivery by exp(-m)."""
+        m = np.array([0.3, 1.0, 3.0])
+        p = manipulation_to_drop_probabilities(m)
+        assert np.allclose(1.0 - p, np.exp(-m))
+
+    def test_round_trip(self):
+        m = np.array([0.0, 0.5, 2.0])
+        back = drop_probabilities_to_manipulation(
+            manipulation_to_drop_probabilities(m)
+        )
+        assert np.allclose(back, m)
+
+    def test_negative_manipulation_rejected(self):
+        with pytest.raises(MeasurementError):
+            manipulation_to_drop_probabilities(np.array([-0.5]))
+
+    def test_certain_drop_rejected_in_inverse(self):
+        with pytest.raises(MeasurementError):
+            drop_probabilities_to_manipulation(np.array([1.0]))
+
+
+class TestLossThresholds:
+    def test_values(self):
+        thresholds = loss_thresholds(0.95, 0.5)
+        assert thresholds.lower == pytest.approx(-np.log(0.95))
+        assert thresholds.upper == pytest.approx(-np.log(0.5))
+
+    def test_classification_in_delivery_terms(self):
+        thresholds = loss_thresholds(0.95, 0.5)
+        assert str(thresholds.classify(-np.log(0.99))) == "normal"
+        assert str(thresholds.classify(-np.log(0.8))) == "uncertain"
+        assert str(thresholds.classify(-np.log(0.2))) == "abnormal"
+
+    def test_domain_enforced(self):
+        with pytest.raises(MeasurementError):
+            loss_thresholds(0.5, 0.9)  # inverted
+        with pytest.raises(MeasurementError):
+            loss_thresholds(1.5, 0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=10))
+def test_manipulation_drop_round_trip_property(values):
+    m = np.asarray(values)
+    p = manipulation_to_drop_probabilities(m)
+    assert np.all(p >= 0.0) and np.all(p < 1.0)
+    assert np.allclose(drop_probabilities_to_manipulation(p), m, atol=1e-9)

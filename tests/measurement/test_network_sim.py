@@ -1,0 +1,139 @@
+"""Tests for the packet-level network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement.simulator.adversary import PathManipulationAgent
+from repro.measurement.simulator.network_sim import NetworkSimulator
+from repro.routing.paths import PathSet
+from repro.topology.generators.simple import paper_example_network
+
+
+@pytest.fixture()
+def topo():
+    return paper_example_network()
+
+
+@pytest.fixture()
+def paths(topo):
+    return PathSet.from_node_sequences(
+        topo, [["M1", "A", "C", "M2"], ["M3", "D", "M2"], ["M1", "A", "B", "M3"]]
+    )
+
+
+@pytest.fixture()
+def delays(topo):
+    return np.arange(1.0, topo.num_links + 1.0)  # link j has delay j+1
+
+
+class TestHonestMeasurement:
+    def test_end_to_end_equals_link_sums(self, topo, paths, delays):
+        sim = NetworkSimulator(topo, delays)
+        record = sim.run_measurement(paths, rng=0)
+        y = record.path_delay_vector()
+        matrix = paths.routing_matrix()
+        assert np.allclose(y, matrix @ delays)
+
+    def test_multiple_probes_identical_without_jitter(self, topo, paths, delays):
+        sim = NetworkSimulator(topo, delays)
+        record = sim.run_measurement(paths, probes_per_path=5, rng=0)
+        for samples in record.delays:
+            assert len(set(round(s, 9) for s in samples)) == 1
+
+    def test_all_probes_delivered(self, topo, paths, delays):
+        sim = NetworkSimulator(topo, delays)
+        record = sim.run_measurement(paths, probes_per_path=3, rng=0)
+        assert record.sent == [3, 3, 3]
+        assert record.delivered == [3, 3, 3]
+        assert np.all(record.delivery_ratio_vector() == 1.0)
+
+    def test_jitter_increases_delay(self, topo, paths, delays):
+        base = NetworkSimulator(topo, delays)
+        jittered = NetworkSimulator(topo, delays, jitter=lambda rng: 0.5)
+        y0 = base.run_measurement(paths, rng=0).path_delay_vector()
+        y1 = jittered.run_measurement(paths, rng=0).path_delay_vector()
+        hops = np.array([p.num_hops for p in paths])
+        assert np.allclose(y1 - y0, 0.5 * hops)
+
+    def test_negative_jitter_rejected(self, topo, paths, delays):
+        sim = NetworkSimulator(topo, delays, jitter=lambda rng: -1.0)
+        with pytest.raises(MeasurementError, match="jitter"):
+            sim.run_measurement(paths, rng=0)
+
+
+class TestAdversarialMeasurement:
+    def test_interior_attacker_delays_only_targeted_path(self, topo, paths, delays):
+        agent = PathManipulationAgent(node="A")
+        agent.set_action(0, extra_delay=100.0)
+        sim = NetworkSimulator(topo, delays, agents={"A": agent})
+        honest = NetworkSimulator(topo, delays).run_measurement(paths, rng=0)
+        attacked = sim.run_measurement(paths, rng=0)
+        diff = attacked.path_delay_vector() - honest.path_delay_vector()
+        assert np.allclose(diff, [100.0, 0.0, 0.0])
+
+    def test_malicious_destination_monitor_reports_late(self, topo, paths, delays):
+        agent = PathManipulationAgent(node="M2")
+        agent.set_action(0, extra_delay=250.0)  # M2 is path 0's destination
+        sim = NetworkSimulator(topo, delays, agents={"M2": agent})
+        honest = NetworkSimulator(topo, delays).run_measurement(paths, rng=0)
+        attacked = sim.run_measurement(paths, rng=0)
+        diff = attacked.path_delay_vector() - honest.path_delay_vector()
+        assert diff[0] == pytest.approx(250.0)
+
+    def test_drops_reduce_delivery_ratio(self, topo, paths, delays):
+        agent = PathManipulationAgent(node="A")
+        agent.set_action(0, drop_probability=1.0)
+        sim = NetworkSimulator(topo, delays, agents={"A": agent})
+        record = sim.run_measurement(paths, probes_per_path=4, rng=0)
+        assert record.delivery_ratio_vector()[0] == 0.0
+        assert record.path_delay_vector()[0] == float("inf")
+        assert record.delivery_ratio_vector()[1] == 1.0
+
+    def test_partial_drops(self, topo, paths, delays):
+        agent = PathManipulationAgent(node="A")
+        agent.set_action(0, drop_probability=0.5)
+        sim = NetworkSimulator(topo, delays, agents={"A": agent})
+        record = sim.run_measurement(paths, probes_per_path=400, rng=2)
+        ratio = record.delivery_ratio_vector()[0]
+        assert 0.4 < ratio < 0.6
+
+    def test_attacker_on_other_paths_cooperates(self, topo, paths, delays):
+        """Agent at B only affects path 2 (M1-A-B-M3), never paths 0-1."""
+        agent = PathManipulationAgent(node="B")
+        agent.set_action(2, extra_delay=77.0)
+        sim = NetworkSimulator(topo, delays, agents={"B": agent})
+        honest = NetworkSimulator(topo, delays).run_measurement(paths, rng=0)
+        attacked = sim.run_measurement(paths, rng=0)
+        diff = attacked.path_delay_vector() - honest.path_delay_vector()
+        assert np.allclose(diff, [0.0, 0.0, 77.0])
+
+
+class TestValidation:
+    def test_agent_node_must_exist(self, topo, delays):
+        agent = PathManipulationAgent(node="ghost")
+        with pytest.raises(MeasurementError):
+            NetworkSimulator(topo, delays, agents={"ghost": agent})
+
+    def test_agent_node_mismatch(self, topo, delays):
+        agent = PathManipulationAgent(node="B")
+        with pytest.raises(MeasurementError, match="different node"):
+            NetworkSimulator(topo, delays, agents={"A": agent})
+
+    def test_delay_vector_length(self, topo):
+        with pytest.raises(Exception):
+            NetworkSimulator(topo, np.ones(3))
+
+    def test_foreign_path_set_rejected(self, topo, delays):
+        other = paper_example_network()
+        foreign = PathSet.from_node_sequences(other, [["M3", "D", "M2"]])
+        sim = NetworkSimulator(topo, delays)
+        with pytest.raises(MeasurementError, match="different topology"):
+            sim.run_measurement(foreign)
+
+    def test_invalid_probe_args(self, topo, paths, delays):
+        sim = NetworkSimulator(topo, delays)
+        with pytest.raises(MeasurementError):
+            sim.run_measurement(paths, probes_per_path=0)
+        with pytest.raises(MeasurementError):
+            sim.run_measurement(paths, probe_spacing=-1.0)

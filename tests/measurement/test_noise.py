@@ -1,0 +1,47 @@
+"""Tests for noise models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.measurement.noise import GaussianNoise, NoNoise, UniformNoise
+
+
+class TestNoNoise:
+    def test_always_zero(self):
+        rng = np.random.default_rng(0)
+        assert np.array_equal(NoNoise()(rng, 5), np.zeros(5))
+
+
+class TestGaussianNoise:
+    def test_shape_and_scale(self):
+        rng = np.random.default_rng(0)
+        draw = GaussianNoise(sigma=2.0)(rng, 10000)
+        assert draw.shape == (10000,)
+        assert abs(float(draw.std()) - 2.0) < 0.1
+        assert abs(float(draw.mean())) < 0.1
+
+    def test_zero_sigma(self):
+        rng = np.random.default_rng(0)
+        assert np.array_equal(GaussianNoise(sigma=0.0)(rng, 4), np.zeros(4))
+
+    def test_truncation(self):
+        rng = np.random.default_rng(0)
+        draw = GaussianNoise(sigma=10.0, truncate_at=1.0)(rng, 1000)
+        assert float(draw.min()) >= -1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianNoise(sigma=-1.0)
+
+
+class TestUniformNoise:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        draw = UniformNoise(0.5, 2.0)(rng, 1000)
+        assert float(draw.min()) >= 0.5
+        assert float(draw.max()) <= 2.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValidationError):
+            UniformNoise(2.0, 1.0)

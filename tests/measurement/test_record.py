@@ -1,0 +1,51 @@
+"""Tests for MeasurementRecord aggregation."""
+
+import numpy as np
+
+from repro.measurement.simulator.network_sim import MeasurementRecord
+
+
+class TestMeasurementRecord:
+    def test_initial_state(self):
+        record = MeasurementRecord(num_paths=3)
+        assert record.sent == [0, 0, 0]
+        assert record.delivered == [0, 0, 0]
+        assert record.delays == [[], [], []]
+
+    def test_mean_delay_per_path(self):
+        record = MeasurementRecord(num_paths=2)
+        for delay in (10.0, 20.0, 30.0):
+            record.record_sent(0)
+            record.record_delivery(0, delay)
+        record.record_sent(1)
+        record.record_delivery(1, 5.0)
+        y = record.path_delay_vector()
+        assert y[0] == 20.0
+        assert y[1] == 5.0
+
+    def test_dead_path_is_inf(self):
+        record = MeasurementRecord(num_paths=2)
+        record.record_sent(0)  # sent but never delivered
+        record.record_sent(1)
+        record.record_delivery(1, 7.0)
+        y = record.path_delay_vector()
+        assert y[0] == float("inf")
+        assert y[1] == 7.0
+
+    def test_delivery_ratio(self):
+        record = MeasurementRecord(num_paths=2)
+        for _ in range(4):
+            record.record_sent(0)
+        record.record_delivery(0, 1.0)
+        ratios = record.delivery_ratio_vector()
+        assert ratios[0] == 0.25
+        assert ratios[1] == 1.0  # unsent path defaults to 1.0
+
+    def test_vectors_are_fresh_arrays(self):
+        record = MeasurementRecord(num_paths=1)
+        record.record_sent(0)
+        record.record_delivery(0, 3.0)
+        first = record.path_delay_vector()
+        first[0] = 999.0
+        assert record.path_delay_vector()[0] == 3.0
+        assert isinstance(record.delivery_ratio_vector(), np.ndarray)

@@ -1,0 +1,92 @@
+"""Tests for metric generation and loss-domain conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.metrics.link_metrics import (
+    constant_delay_metrics,
+    delivery_ratio_to_log_metric,
+    log_metric_to_delivery_ratio,
+    loss_rate_to_log_metric,
+    uniform_delay_metrics,
+)
+from repro.topology.generators.simple import paper_example_network
+
+
+class TestDelayGeneration:
+    def test_uniform_range_and_shape(self):
+        topo = paper_example_network()
+        x = uniform_delay_metrics(topo, 1.0, 20.0, rng=0)
+        assert x.shape == (10,)
+        assert np.all(x >= 1.0) and np.all(x <= 20.0)
+
+    def test_deterministic(self):
+        topo = paper_example_network()
+        assert np.array_equal(
+            uniform_delay_metrics(topo, rng=3), uniform_delay_metrics(topo, rng=3)
+        )
+
+    def test_invalid_range(self):
+        topo = paper_example_network()
+        with pytest.raises(ValidationError):
+            uniform_delay_metrics(topo, 5.0, 2.0)
+        with pytest.raises(ValidationError):
+            uniform_delay_metrics(topo, -1.0, 2.0)
+
+    def test_constant(self):
+        topo = paper_example_network()
+        x = constant_delay_metrics(topo, 7.5)
+        assert np.all(x == 7.5)
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            constant_delay_metrics(paper_example_network(), -1.0)
+
+
+class TestLossDomain:
+    def test_perfect_link_maps_to_zero(self):
+        assert delivery_ratio_to_log_metric(np.array([1.0]))[0] == 0.0
+
+    def test_worse_links_have_larger_metric(self):
+        metrics = delivery_ratio_to_log_metric(np.array([0.9, 0.5, 0.1]))
+        assert metrics[0] < metrics[1] < metrics[2]
+
+    def test_additivity_is_multiplicativity(self):
+        """Sum of log metrics equals the metric of the product ratio."""
+        ratios = np.array([0.9, 0.8])
+        total = delivery_ratio_to_log_metric(np.array([0.9 * 0.8]))[0]
+        assert total == pytest.approx(delivery_ratio_to_log_metric(ratios).sum())
+
+    def test_round_trip(self):
+        ratios = np.array([0.99, 0.5, 0.123])
+        back = log_metric_to_delivery_ratio(delivery_ratio_to_log_metric(ratios))
+        assert np.allclose(back, ratios)
+
+    def test_loss_rate_conversion(self):
+        assert loss_rate_to_log_metric(np.array([0.0]))[0] == 0.0
+        assert loss_rate_to_log_metric(np.array([0.5]))[0] == pytest.approx(np.log(2))
+
+    @pytest.mark.parametrize("bad", [[0.0], [1.5], [-0.1]])
+    def test_ratio_domain_enforced(self, bad):
+        with pytest.raises(ValidationError):
+            delivery_ratio_to_log_metric(np.array(bad))
+
+    @pytest.mark.parametrize("bad", [[1.0], [-0.1]])
+    def test_loss_domain_enforced(self, bad):
+        with pytest.raises(ValidationError):
+            loss_rate_to_log_metric(np.array(bad))
+
+    def test_negative_log_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            log_metric_to_delivery_ratio(np.array([-0.5]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.01, 1.0), min_size=1, max_size=8))
+def test_loss_round_trip_property(ratios):
+    arr = np.asarray(ratios)
+    back = log_metric_to_delivery_ratio(delivery_ratio_to_log_metric(arr))
+    assert np.allclose(back, arr, rtol=1e-10)

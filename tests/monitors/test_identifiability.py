@@ -1,0 +1,33 @@
+"""Tests for the placement report."""
+
+from repro.monitors.identifiability import placement_report
+from repro.monitors.placement import incremental_identifiable_placement
+from repro.topology.generators.simple import paper_example_network
+
+
+class TestPlacementReport:
+    def test_keys_and_consistency(self):
+        topo = paper_example_network()
+        placement = incremental_identifiable_placement(topo, rng=0)
+        report = placement_report(placement)
+        assert set(report) == {
+            "monitors",
+            "num_paths",
+            "rank",
+            "num_links",
+            "fully_identifiable",
+            "redundancy",
+            "coverage",
+            "max_presence_ratio",
+        }
+        assert report["num_links"] == topo.num_links
+        assert report["rank"] <= report["num_paths"]
+        assert report["redundancy"] == report["num_paths"] - report["rank"]
+        assert 0.0 <= report["coverage"] <= 1.0
+        assert 0.0 <= report["max_presence_ratio"] <= 1.0
+
+    def test_full_identifiability_flag_matches_coverage(self):
+        topo = paper_example_network()
+        placement = incremental_identifiable_placement(topo, rng=1)
+        report = placement_report(placement)
+        assert report["fully_identifiable"] == (report["coverage"] == 1.0)

@@ -1,0 +1,103 @@
+"""Tests for monitor placement strategies."""
+
+import pytest
+
+from repro.exceptions import MonitorPlacementError, ValidationError
+from repro.monitors.placement import (
+    incremental_identifiable_placement,
+    max_node_presence_ratio,
+    random_monitor_placement,
+    security_aware_placement,
+)
+from repro.routing.paths import PathSet
+from repro.topology.generators.simple import (
+    clique_topology,
+    grid_topology,
+    paper_example_network,
+)
+
+
+class TestRandomPlacement:
+    def test_count_and_distinctness(self):
+        topo = grid_topology(4, 4)
+        monitors = random_monitor_placement(topo, 5, rng=0)
+        assert len(monitors) == 5
+        assert len(set(monitors)) == 5
+        assert all(topo.has_node(m) for m in monitors)
+
+    def test_deterministic(self):
+        topo = grid_topology(4, 4)
+        assert random_monitor_placement(topo, 4, rng=7) == random_monitor_placement(
+            topo, 4, rng=7
+        )
+
+    def test_too_many_monitors(self):
+        with pytest.raises(MonitorPlacementError):
+            random_monitor_placement(grid_topology(2, 2), 9, rng=0)
+
+    def test_too_few_monitors(self):
+        with pytest.raises(ValidationError):
+            random_monitor_placement(grid_topology(2, 2), 1, rng=0)
+
+
+class TestIncrementalPlacement:
+    def test_reaches_full_identifiability_on_clique(self):
+        topo = clique_topology(5)
+        result = incremental_identifiable_placement(topo, rng=1)
+        assert result.fully_identifiable
+        assert result.identified_rank == topo.num_links
+
+    def test_paper_network(self):
+        topo = paper_example_network()
+        result = incremental_identifiable_placement(topo, rng=2)
+        assert result.identified_rank == topo.num_links
+
+    def test_monitor_growth_bounded(self):
+        topo = grid_topology(3, 3)
+        result = incremental_identifiable_placement(topo, max_monitors=4, rng=3)
+        assert len(result.monitors) <= 4
+
+    def test_partial_rank_fraction(self):
+        topo = grid_topology(3, 3)
+        result = incremental_identifiable_placement(
+            topo, min_rank_fraction=0.5, rng=3
+        )
+        assert result.identified_rank >= 0.5 * topo.num_links
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            incremental_identifiable_placement(grid_topology(2, 2), min_rank_fraction=0.0)
+
+    def test_max_monitors_exceeds_nodes(self):
+        with pytest.raises(MonitorPlacementError):
+            incremental_identifiable_placement(grid_topology(2, 2), max_monitors=10)
+
+
+class TestPresenceRatio:
+    def test_excluded_nodes_skipped(self, fig1_scenario):
+        ps = fig1_scenario.path_set
+        with_monitors = max_node_presence_ratio(ps)
+        without = max_node_presence_ratio(ps, exclude={"M1", "M2", "M3"})
+        assert 0.0 < without <= with_monitors <= 1.0
+
+    def test_empty_path_set(self):
+        topo = paper_example_network()
+        assert max_node_presence_ratio(PathSet(topo)) == 0.0
+
+
+class TestSecurityAwarePlacement:
+    def test_no_worse_than_single_sample(self):
+        topo = paper_example_network()
+        single = incremental_identifiable_placement(topo, rng=11)
+        best = security_aware_placement(topo, candidates=6, rng=11)
+        ratio_single = max_node_presence_ratio(
+            single.path_set, exclude=set(single.monitors)
+        )
+        ratio_best = max_node_presence_ratio(best.path_set, exclude=set(best.monitors))
+        assert best.identified_rank >= single.identified_rank
+        if best.identified_rank == single.identified_rank:
+            assert ratio_best <= ratio_single + 1e-9
+
+    def test_candidates_validation(self):
+        with pytest.raises(ValidationError):
+            security_aware_placement(paper_example_network(), candidates=0)

@@ -1,0 +1,71 @@
+"""Tests for figure-series formatting."""
+
+from repro.reporting.figures import (
+    format_detection_table,
+    format_fig4_series,
+    format_link_series,
+    format_success_bins,
+)
+from repro.scenarios.simple_network import chosen_victim_case_study
+
+
+class TestLinkSeries:
+    def test_roles_annotated(self):
+        text = format_link_series(
+            [5.0, 900.0],
+            ["normal", "abnormal"],
+            title="T",
+            victim_links=[1],
+            controlled_links=[0],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "victim" in text
+        assert "attacker-controlled" in text
+
+    def test_one_based_numbers_shown(self):
+        text = format_link_series([5.0], ["normal"], title="T")
+        data_row = text.splitlines()[3]  # title, header, rule, then data
+        assert data_row.split()[0] == "1"  # paper numbering
+        assert data_row.split()[1] == "0"  # library index
+
+
+class TestFig4Series:
+    def test_renders_case_study(self):
+        record = chosen_victim_case_study()
+        text = format_fig4_series(record, title="Fig 4")
+        assert "Fig 4" in text
+        assert "damage" in text
+        assert "mean path measurement" in text
+        assert "victim" in text
+
+    def test_infeasible_record(self):
+        from repro.attacks.base import AttackOutcome
+
+        record = {"feasible": False, "outcome": AttackOutcome.infeasible("x", "nope")}
+        text = format_fig4_series(record, title="T")
+        assert "INFEASIBLE" in text
+
+
+class TestAggregates:
+    def test_success_bins(self):
+        bins = [
+            {"lo": 0.0, "hi": 0.5, "mid": 0.25, "count": 3, "rate": 0.5},
+            {"lo": 0.5, "hi": 1.0, "mid": 0.75, "count": 0, "rate": float("nan")},
+        ]
+        text = format_success_bins(bins, title="Fig 7")
+        assert "0.0-0.5" in text
+        assert "n/a" in text
+
+    def test_detection_table(self):
+        cells = [
+            {
+                "strategy": "chosen-victim",
+                "cut": "perfect",
+                "num_successful_attacks": 10,
+                "detection_ratio": 0.0,
+            }
+        ]
+        text = format_detection_table(cells, title="Fig 9")
+        assert "chosen-victim" in text
+        assert "perfect" in text

@@ -1,0 +1,45 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.reporting.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert lines[1].startswith("---")
+        assert "longer" in lines[3]
+        # Header rule covers the widest cell.
+        assert len(lines[1].split("  ")[0]) == len("longer")
+
+    def test_nan_rendered_as_na(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "n/a" in text
+
+    def test_float_precision(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+
+class TestFormatKv:
+    def test_title_and_pairs(self):
+        text = format_kv("Scenario", {"nodes": 7, "rate": 0.5})
+        lines = text.splitlines()
+        assert lines[0] == "Scenario"
+        assert lines[1] == "========"
+        assert any("nodes" in line and "7" in line for line in lines)
+
+    def test_empty_mapping(self):
+        text = format_kv("X", {})
+        assert text.splitlines() == ["X", "="]

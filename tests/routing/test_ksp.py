@@ -1,0 +1,154 @@
+"""Tests for shortest paths, Yen's algorithm, and path enumeration."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NoPathError, ValidationError
+from repro.routing.ksp import all_simple_paths, k_shortest_paths, shortest_path
+from repro.topology.generators.isp import synthetic_rocketfuel
+from repro.topology.generators.simple import (
+    grid_topology,
+    paper_example_network,
+    path_topology,
+    ring_topology,
+)
+from repro.topology.graph import Topology
+
+
+class TestShortestPath:
+    def test_direct_neighbor(self):
+        topo = path_topology(3)
+        assert shortest_path(topo, 0, 1) == [0, 1]
+
+    def test_path_graph(self):
+        topo = path_topology(5)
+        assert shortest_path(topo, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_ring_takes_short_side(self):
+        topo = ring_topology(6)
+        path = shortest_path(topo, 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_banned_node_forces_detour(self):
+        topo = ring_topology(6)
+        path = shortest_path(topo, 0, 2, banned_nodes=frozenset({1}))
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_banned_link_forces_detour(self):
+        topo = ring_topology(4)
+        direct = topo.link_between(0, 1).index
+        path = shortest_path(topo, 0, 1, banned_links=frozenset({direct}))
+        assert path == [0, 3, 2, 1]
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        with pytest.raises(NoPathError):
+            shortest_path(topo, "a", "c")
+
+    def test_same_endpoints_rejected(self):
+        topo = path_topology(3)
+        with pytest.raises(ValidationError):
+            shortest_path(topo, 1, 1)
+
+    def test_unknown_node(self):
+        topo = path_topology(3)
+        with pytest.raises(NoPathError):
+            shortest_path(topo, 0, 99)
+
+
+class TestKShortestPaths:
+    def test_first_is_shortest(self):
+        topo = paper_example_network()
+        paths = k_shortest_paths(topo, "M1", "M2", 3)
+        assert paths[0] == shortest_path(topo, "M1", "M2")
+
+    def test_lengths_non_decreasing(self):
+        topo = grid_topology(3, 3)
+        paths = k_shortest_paths(topo, (0, 0), (2, 2), 8)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_all_paths_simple_and_valid(self):
+        topo = paper_example_network()
+        for path in k_shortest_paths(topo, "M1", "M3", 10):
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert topo.has_link(u, v)
+
+    def test_paths_are_distinct(self):
+        topo = grid_topology(3, 3)
+        paths = k_shortest_paths(topo, (0, 0), (2, 2), 10)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_fewer_than_k_when_exhausted(self):
+        topo = path_topology(4)
+        assert len(k_shortest_paths(topo, 0, 3, 5)) == 1
+
+    def test_matches_networkx_shortest_simple_paths(self):
+        """Cross-check path lengths against networkx on several graphs."""
+        for topo in [paper_example_network(), grid_topology(3, 3), ring_topology(7)]:
+            graph = topo.to_networkx()
+            nodes = topo.nodes()
+            source, target = nodes[0], nodes[-1]
+            ours = k_shortest_paths(topo, source, target, 12)
+            theirs = []
+            for i, p in enumerate(nx.shortest_simple_paths(graph, source, target)):
+                if i >= 12:
+                    break
+                theirs.append(p)
+            assert [len(p) for p in ours] == [len(p) for p in theirs]
+
+    def test_matches_networkx_on_isp(self):
+        topo = synthetic_rocketfuel("mini", backbone_nodes=5, pops_per_backbone=1, seed=2)
+        graph = topo.to_networkx()
+        ours = k_shortest_paths(topo, "bb0", "bb2", 15)
+        gen = nx.shortest_simple_paths(graph, "bb0", "bb2")
+        theirs = [p for _, p in zip(range(15), gen)]
+        assert [len(p) for p in ours] == [len(p) for p in theirs]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            k_shortest_paths(path_topology(3), 0, 2, 0)
+
+
+class TestAllSimplePaths:
+    def test_counts_match_networkx(self):
+        topo = paper_example_network()
+        ours = list(all_simple_paths(topo, "M1", "M2"))
+        theirs = list(nx.all_simple_paths(topo.to_networkx(), "M1", "M2"))
+        assert len(ours) == len(theirs)
+        assert {tuple(p) for p in ours} == {tuple(p) for p in theirs}
+
+    def test_cutoff_respected(self):
+        topo = grid_topology(3, 3)
+        for path in all_simple_paths(topo, (0, 0), (2, 2), max_hops=4):
+            assert len(path) - 1 <= 4
+
+    def test_cutoff_matches_networkx(self):
+        topo = grid_topology(3, 3)
+        ours = {tuple(p) for p in all_simple_paths(topo, (0, 0), (2, 2), max_hops=6)}
+        theirs = {
+            tuple(p)
+            for p in nx.all_simple_paths(topo.to_networkx(), (0, 0), (2, 2), cutoff=6)
+        }
+        assert ours == theirs
+
+    def test_lazy_generator(self):
+        topo = grid_topology(4, 4)
+        gen = all_simple_paths(topo, (0, 0), (3, 3))
+        first = next(gen)
+        assert first[0] == (0, 0) and first[-1] == (3, 3)
+
+    def test_no_paths_when_disconnected(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        with pytest.raises(NoPathError):
+            list(all_simple_paths(topo, "a", "x"))
+        assert list(all_simple_paths(topo, "a", "c")) == []
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            list(all_simple_paths(path_topology(3), 0, 0))

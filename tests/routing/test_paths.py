@@ -1,0 +1,127 @@
+"""Tests for MeasurementPath and PathSet."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPathError, LinkNotFoundError, ValidationError
+from repro.routing.paths import MeasurementPath, PathSet
+from repro.topology.generators.simple import paper_example_network
+
+
+@pytest.fixture()
+def topo():
+    return paper_example_network()
+
+
+class TestMeasurementPath:
+    def test_link_resolution(self, topo):
+        path = MeasurementPath(topo, ["M1", "A", "C", "D", "M2"])
+        assert path.link_indices == (0, 3, 6, 9)
+
+    def test_endpoints(self, topo):
+        path = MeasurementPath(topo, ["M1", "A", "B", "M3"])
+        assert path.source == "M1"
+        assert path.target == "M3"
+        assert path.num_hops == 3
+        assert path.interior_nodes == ("A", "B")
+
+    def test_too_short(self, topo):
+        with pytest.raises(InvalidPathError):
+            MeasurementPath(topo, ["M1"])
+
+    def test_repeated_node_rejected(self, topo):
+        with pytest.raises(InvalidPathError, match="twice"):
+            MeasurementPath(topo, ["M1", "A", "B", "A"])
+
+    def test_non_adjacent_rejected(self, topo):
+        with pytest.raises(InvalidPathError, match="not adjacent"):
+            MeasurementPath(topo, ["M1", "D"])
+
+    def test_contains_node(self, topo):
+        path = MeasurementPath(topo, ["M1", "A", "C", "M2"])
+        assert path.contains_node("C")
+        assert path.contains_node("M1")  # endpoints count
+        assert not path.contains_node("B")
+
+    def test_contains_any_node(self, topo):
+        path = MeasurementPath(topo, ["M1", "A", "C", "M2"])
+        assert path.contains_any_node(["B", "C"])
+        assert not path.contains_any_node(["B", "D"])
+
+    def test_contains_link(self, topo):
+        path = MeasurementPath(topo, ["M1", "A", "C", "M2"])
+        assert path.contains_link(0)
+        assert not path.contains_link(9)
+        assert path.contains_any_link([9, 3])
+
+    def test_reverse_equals_forward(self, topo):
+        fwd = MeasurementPath(topo, ["M1", "A", "C", "M2"])
+        rev = fwd.reversed(topo)
+        assert fwd == rev
+        assert hash(fwd) == hash(rev)
+        assert rev.source == "M2"
+
+    def test_distinct_paths_not_equal(self, topo):
+        a = MeasurementPath(topo, ["M1", "A", "C", "M2"])
+        b = MeasurementPath(topo, ["M1", "A", "B", "M3"])
+        assert a != b
+
+    def test_len_is_node_count(self, topo):
+        assert len(MeasurementPath(topo, ["M1", "A", "B", "M3"])) == 4
+
+
+class TestPathSet:
+    def test_from_node_sequences(self, topo):
+        ps = PathSet.from_node_sequences(
+            topo, [["M1", "A", "C", "M2"], ["M3", "D", "M2"]]
+        )
+        assert ps.num_paths == 2
+        assert len(ps) == 2
+
+    def test_routing_matrix_entries(self, topo):
+        ps = PathSet.from_node_sequences(topo, [["M1", "A", "C", "M2"]])
+        matrix = ps.routing_matrix()
+        assert matrix.shape == (1, 10)
+        expected = np.zeros(10)
+        expected[[0, 3, 7]] = 1.0
+        assert np.array_equal(matrix[0], expected)
+
+    def test_paths_containing_node(self, topo):
+        ps = PathSet.from_node_sequences(
+            topo, [["M1", "A", "C", "M2"], ["M3", "D", "M2"], ["M3", "B", "A", "M1"]]
+        )
+        assert ps.paths_containing_node("A") == [0, 2]
+        assert ps.paths_containing_any_node(["D", "B"]) == [1, 2]
+
+    def test_paths_containing_link(self, topo):
+        ps = PathSet.from_node_sequences(
+            topo, [["M1", "A", "C", "M2"], ["M3", "D", "M2"]]
+        )
+        assert ps.paths_containing_link(9) == [1]
+        assert ps.paths_containing_any_link({0, 9}) == [0, 1]
+
+    def test_path_index_bounds(self, topo):
+        ps = PathSet.from_node_sequences(topo, [["M3", "D", "M2"]])
+        assert ps.path(0).source == "M3"
+        with pytest.raises(ValidationError):
+            ps.path(1)
+
+    def test_monitor_pairs(self, topo):
+        ps = PathSet.from_node_sequences(
+            topo, [["M1", "A", "C", "M2"], ["M2", "C", "A", "M1"], ["M3", "D", "M2"]]
+        )
+        assert ps.monitor_pairs() == {
+            frozenset(("M1", "M2")),
+            frozenset(("M2", "M3")),
+        }
+
+    def test_append_validates_links(self, topo):
+        other = paper_example_network()
+        path = MeasurementPath(other, ["M3", "D", "M2"])
+        ps = PathSet(topo)
+        ps.append(path)  # same structure, indices valid
+        assert ps.num_paths == 1
+
+    def test_empty_routing_matrix_shape(self, topo):
+        ps = PathSet(topo)
+        assert ps.routing_matrix().shape == (0, 10)

@@ -1,0 +1,115 @@
+"""Tests for multi-round measurement campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.exceptions import ValidationError
+from repro.measurement.noise import GaussianNoise
+from repro.scenarios.timeseries import MeasurementCampaign
+
+
+@pytest.fixture(scope="module")
+def imperfect_attack(fig1_scenario):
+    context = fig1_scenario.attack_context(["B", "C"])
+    outcome = ChosenVictimAttack(context, [9], mode="exclusive").run()
+    assert outcome.feasible
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def stealthy_attack(fig1_scenario):
+    context = fig1_scenario.attack_context(["B", "C"])
+    outcome = ChosenVictimAttack(context, [0], stealthy=True).run()
+    assert outcome.feasible
+    return outcome
+
+
+class TestHonestCampaign:
+    def test_no_alarms_no_blame(self, fig1_scenario):
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(10, rng=0)
+        assert result.num_rounds == 10
+        assert result.attacked_rounds == ()
+        assert result.detected_rounds == ()
+        assert result.blame_counts == {}
+        assert result.detection_latency() is None
+        assert result.most_blamed_link() is None
+
+    def test_noise_within_alpha_stays_quiet(self, fig1_scenario):
+        campaign = MeasurementCampaign(fig1_scenario, noise_model=GaussianNoise(1.0))
+        result = campaign.run(10, rng=0)
+        assert result.false_alarm_rounds == ()
+
+
+class TestPersistentAttack:
+    def test_caught_immediately_every_round(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(6, manipulation=imperfect_attack.manipulation, rng=0)
+        assert result.attacked_rounds == tuple(range(6))
+        assert result.detected_rounds == tuple(range(6))
+        assert result.detection_latency() == 0
+
+    def test_blame_accumulates_on_scapegoat(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(6, manipulation=imperfect_attack.manipulation, rng=0)
+        assert result.most_blamed_link() == 9
+        assert result.blame_counts[9] == 6
+
+
+class TestIntermittentAttack:
+    def test_explicit_active_rounds(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(
+            8, manipulation=imperfect_attack.manipulation, active_rounds=[2, 5], rng=0
+        )
+        assert result.attacked_rounds == (2, 5)
+        assert result.detected_rounds == (2, 5)
+        assert result.false_alarm_rounds == ()
+
+    def test_probability_activity(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(
+            40, manipulation=imperfect_attack.manipulation, active_rounds=0.5, rng=1
+        )
+        active = len(result.attacked_rounds)
+        assert 8 <= active <= 32
+        assert set(result.detected_rounds) == set(result.attacked_rounds)
+
+    def test_out_of_range_round_rejected(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        with pytest.raises(ValidationError):
+            campaign.run(
+                4, manipulation=imperfect_attack.manipulation, active_rounds=[9]
+            )
+
+    def test_bad_probability_rejected(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario)
+        with pytest.raises(ValidationError):
+            campaign.run(
+                4, manipulation=imperfect_attack.manipulation, active_rounds=1.5
+            )
+
+
+class TestStealthyAttackOverTime:
+    def test_never_detected_blame_persists(self, fig1_scenario, stealthy_attack):
+        """A stealthy perfect-cut attacker survives arbitrarily many rounds:
+        zero detections, and the scapegoat accumulates all the blame."""
+        campaign = MeasurementCampaign(fig1_scenario)
+        result = campaign.run(12, manipulation=stealthy_attack.manipulation, rng=0)
+        assert result.detected_rounds == ()
+        assert result.detection_latency() is None
+        assert result.most_blamed_link() == 0
+        assert result.blame_counts[0] == 12
+
+
+class TestValidation:
+    def test_zero_rounds_rejected(self, fig1_scenario):
+        with pytest.raises(ValidationError):
+            MeasurementCampaign(fig1_scenario).run(0)
+
+    def test_deterministic(self, fig1_scenario, imperfect_attack):
+        campaign = MeasurementCampaign(fig1_scenario, noise_model=GaussianNoise(1.0))
+        a = campaign.run(5, manipulation=imperfect_attack.manipulation, rng=7)
+        b = campaign.run(5, manipulation=imperfect_attack.manipulation, rng=7)
+        assert np.allclose(a.rounds[3].observed, b.rounds[3].observed)

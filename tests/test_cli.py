@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack", "chosen-victim"])
+        assert args.attackers == ["B", "C"]
+        assert args.alpha == 200.0
+        assert not args.stealthy
+
+
+class TestInfo:
+    def test_prints_version_and_inventory(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "repro.attacks" in out
+
+
+class TestTopology:
+    def test_fig1_summary(self, capsys):
+        assert main(["topology", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "7" in out
+
+    def test_edge_list_output(self, capsys):
+        assert main(["topology", "fig1", "--edges"]) == 0
+        out = capsys.readouterr().out
+        assert "M1 A" in out
+
+    def test_tuple_labels_fall_back_to_json(self, capsys):
+        assert main(["topology", "fattree", "--edges"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-topology" in out
+
+    def test_rgg_with_options(self, capsys):
+        assert main(["topology", "rgg", "--nodes", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "connected" in out
+
+
+class TestCaseStudies:
+    @pytest.mark.parametrize("figure", ["fig4", "fig5", "fig6"])
+    def test_figures_render(self, figure, capsys):
+        assert main(["case-study", figure]) == 0
+        out = capsys.readouterr().out
+        assert "damage" in out
+
+    def test_naive(self, capsys):
+        assert main(["case-study", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "attacker-controlled" in out
+
+
+class TestAttack:
+    def test_chosen_victim_detected(self, capsys):
+        assert main(["attack", "chosen-victim", "--victims", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "victim" in out
+        assert "DETECTED" in out
+
+    def test_stealthy_perfect_cut_not_detected(self, capsys):
+        assert main(["attack", "chosen-victim", "--victims", "0", "--stealthy"]) == 0
+        out = capsys.readouterr().out
+        assert "not detected" in out
+
+    def test_infeasible_attack_exit_code(self, capsys):
+        # Confined + stealthy on the imperfectly cut link 9 is infeasible.
+        code = main(
+            ["attack", "chosen-victim", "--victims", "9", "--stealthy", "--confined"]
+        )
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_unknown_attacker_is_error(self, capsys):
+        assert main(["attack", "naive", "--attackers", "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_frame_and_blur(self, capsys):
+        assert main(["attack", "frame-and-blur", "--victims", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "frame-and-blur" in out
+
+
+class TestExperiments:
+    def test_fig7_small(self, capsys):
+        assert main(["experiment", "fig7", "--trials", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "presence-ratio" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["experiment", "fig8", "--trials", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "max-damage success" in out
+
+    def test_fig9_small(self, capsys):
+        assert main(["experiment", "fig9", "--trials", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "detection-ratio" in out
+
+
+class TestReproduce:
+    def test_writes_all_case_studies(self, tmp_path, capsys):
+        out_dir = tmp_path / "repro_out"
+        assert main(["reproduce", "--out", str(out_dir)]) == 0
+        written = {p.name for p in out_dir.iterdir()}
+        assert {
+            "fig4_chosen_victim.txt",
+            "fig5_max_damage.txt",
+            "fig6_obfuscation.txt",
+            "naive_baseline.txt",
+            "loss_chosen_victim.txt",
+        } <= written
+        fig4 = (out_dir / "fig4_chosen_victim.txt").read_text()
+        assert "victim" in fig4
+        assert "damage" in fig4

@@ -1,0 +1,89 @@
+"""Tests for the tomography estimators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SingularSystemError, TomographyError, ValidationError
+from repro.metrics.link_metrics import uniform_delay_metrics
+from repro.tomography.estimators import (
+    LeastSquaresEstimator,
+    NonNegativeEstimator,
+    RidgeEstimator,
+)
+
+
+class TestLeastSquares:
+    def test_recovers_truth_on_fig1(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        estimator = LeastSquaresEstimator(matrix)
+        x = fig1_scenario.true_metrics
+        assert np.allclose(estimator.estimate(matrix @ x), x)
+
+    def test_equals_normal_equations(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        estimator = LeastSquaresEstimator(matrix)
+        expected = np.linalg.inv(matrix.T @ matrix) @ matrix.T
+        assert np.allclose(estimator.operator, expected)
+
+    def test_rank_deficient_rejected_by_default(self):
+        mat = np.array([[1.0, 1.0]])
+        with pytest.raises(SingularSystemError):
+            LeastSquaresEstimator(mat)
+
+    def test_rank_deficient_allowed_explicitly(self):
+        mat = np.array([[1.0, 1.0]])
+        estimator = LeastSquaresEstimator(mat, require_full_rank=False)
+        # Minimum-norm solution splits the sum evenly.
+        assert np.allclose(estimator.estimate(np.array([4.0])), [2.0, 2.0])
+
+    def test_degenerate_shapes_rejected(self):
+        with pytest.raises(TomographyError):
+            LeastSquaresEstimator(np.zeros((0, 3)))
+        with pytest.raises(TomographyError):
+            LeastSquaresEstimator(np.zeros(4))
+
+    def test_measurement_length_checked(self, fig1_scenario):
+        estimator = LeastSquaresEstimator(fig1_scenario.path_set.routing_matrix())
+        with pytest.raises(ValidationError):
+            estimator.estimate(np.ones(3))
+
+
+class TestNonNegative:
+    def test_recovers_nonnegative_truth(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        x = uniform_delay_metrics(fig1_scenario.topology, rng=5)
+        estimator = NonNegativeEstimator(matrix)
+        assert np.allclose(estimator.estimate(matrix @ x), x, atol=1e-6)
+
+    def test_never_negative(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        rng = np.random.default_rng(0)
+        y = rng.random(matrix.shape[0]) * 100
+        assert np.all(estimate := NonNegativeEstimator(matrix).estimate(y) >= 0.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(TomographyError):
+            NonNegativeEstimator(np.zeros((3, 0)))
+
+
+class TestRidge:
+    def test_small_lambda_close_to_ls(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        x = fig1_scenario.true_metrics
+        estimate = RidgeEstimator(matrix, lam=1e-9).estimate(matrix @ x)
+        assert np.allclose(estimate, x, atol=1e-5)
+
+    def test_large_lambda_shrinks(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        x = fig1_scenario.true_metrics
+        estimate = RidgeEstimator(matrix, lam=1e6).estimate(matrix @ x)
+        assert np.linalg.norm(estimate) < np.linalg.norm(x)
+
+    def test_handles_rank_deficiency(self):
+        mat = np.array([[1.0, 1.0]])
+        estimate = RidgeEstimator(mat, lam=1e-3).estimate(np.array([4.0]))
+        assert np.all(np.isfinite(estimate))
+
+    def test_invalid_lambda(self):
+        with pytest.raises(TomographyError):
+            RidgeEstimator(np.eye(2), lam=0.0)

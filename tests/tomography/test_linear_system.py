@@ -1,0 +1,53 @@
+"""Tests for linear-system utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tomography.linear_system import (
+    estimator_operator,
+    measurement_residual,
+    residual_l1_norm,
+)
+
+
+class TestEstimatorOperator:
+    def test_left_inverse_on_full_rank(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        op = estimator_operator(matrix)
+        assert np.allclose(op @ matrix, np.eye(matrix.shape[1]))
+
+    def test_shape(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        assert estimator_operator(matrix).shape == (matrix.shape[1], matrix.shape[0])
+
+
+class TestResidual:
+    def test_consistent_measurements_have_zero_residual(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        x = fig1_scenario.true_metrics
+        y = matrix @ x
+        estimate = estimator_operator(matrix) @ y
+        assert residual_l1_norm(matrix, estimate, y) < 1e-8
+
+    def test_inconsistent_measurement_detected_per_path(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        x = fig1_scenario.true_metrics
+        y = matrix @ x
+        y_tampered = y.copy()
+        y_tampered[0] += 500.0
+        estimate = estimator_operator(matrix) @ y_tampered
+        residual = measurement_residual(matrix, estimate, y_tampered)
+        assert np.abs(residual).sum() > 1.0
+
+    def test_residual_orthogonal_to_column_space(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        rng = np.random.default_rng(2)
+        y = rng.random(matrix.shape[0]) * 100
+        estimate = estimator_operator(matrix) @ y
+        residual = measurement_residual(matrix, estimate, y)
+        assert np.allclose(matrix.T @ residual, 0.0, atol=1e-7)
+
+    def test_length_validation(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        with pytest.raises(Exception):
+            measurement_residual(matrix, np.ones(3), np.ones(matrix.shape[0]))

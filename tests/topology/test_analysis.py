@@ -1,0 +1,119 @@
+"""Tests for topology analysis helpers."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.topology.analysis import (
+    articulation_points,
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    is_connected,
+    link_cut_between,
+    node_connectivity_summary,
+)
+from repro.topology.generators.simple import (
+    grid_topology,
+    path_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.topology.graph import Topology
+
+
+class TestConnectivity:
+    def test_connected_ring(self):
+        assert is_connected(ring_topology(5))
+
+    def test_disconnected_two_components(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        topo.add_link("c", "d")
+        assert not is_connected(topo)
+        comps = connected_components(topo)
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_single_node_connected(self):
+        topo = Topology()
+        topo.add_node("solo")
+        assert is_connected(topo)
+
+    def test_empty_connected(self):
+        assert is_connected(Topology())
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        topo = path_topology(5)
+        dist = bfs_distances(topo, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_nodes_absent(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        topo.add_node("island")
+        dist = bfs_distances(topo, "a")
+        assert "island" not in dist
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_topology(3), 99)
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star_topology(4))
+        assert hist == {1: 4, 4: 1}
+
+    def test_ring_uniform(self):
+        assert degree_histogram(ring_topology(6)) == {2: 6}
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes_are_cut_vertices(self):
+        topo = path_topology(5)
+        assert articulation_points(topo) == {1, 2, 3}
+
+    def test_ring_has_none(self):
+        assert articulation_points(ring_topology(6)) == set()
+
+    def test_star_hub(self):
+        assert articulation_points(star_topology(3)) == {0}
+
+    def test_two_triangles_sharing_a_node(self):
+        topo = Topology()
+        topo.add_links([("a", "b"), ("b", "c"), ("c", "a")])
+        topo.add_links([("c", "d"), ("d", "e"), ("e", "c")])
+        assert articulation_points(topo) == {"c"}
+
+
+class TestLinkCut:
+    def test_path_cut_separates(self):
+        topo = path_topology(4)
+        cut = link_cut_between(topo, [0], [3])
+        # Removing the cut links must disconnect 0 from 3.
+        remaining = Topology()
+        remaining.add_nodes(topo.nodes())
+        for link in topo.links():
+            if link.index not in cut:
+                remaining.add_link(link.u, link.v)
+        assert 3 not in bfs_distances(remaining, 0)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            link_cut_between(path_topology(3), [0], [77])
+
+
+class TestSummary:
+    def test_grid_summary(self):
+        summary = node_connectivity_summary(grid_topology(3, 3))
+        assert summary["nodes"] == 9
+        assert summary["links"] == 12
+        assert summary["connected"] == 1.0
+        assert summary["min_degree"] == 2.0
+        assert summary["max_degree"] == 4.0
+
+    def test_empty_summary(self):
+        summary = node_connectivity_summary(Topology())
+        assert summary["nodes"] == 0
+        assert summary["connected"] == 1.0

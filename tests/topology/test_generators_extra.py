@@ -1,0 +1,98 @@
+"""Tests for the Waxman and fat-tree generators."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology.analysis import is_connected
+from repro.topology.generators.extra import fat_tree_topology, waxman_topology
+
+
+class TestWaxman:
+    def test_deterministic(self):
+        a = waxman_topology(30, seed=1)
+        b = waxman_topology(30, seed=1)
+        assert a.nodes() == b.nodes()
+        assert [l.key() for l in a.links()] == [l.key() for l in b.links()]
+
+    def test_giant_mode_connected(self):
+        assert is_connected(waxman_topology(40, seed=2))
+
+    def test_alpha_controls_density(self):
+        sparse = waxman_topology(40, alpha=0.1, connect="none", seed=3)
+        dense = waxman_topology(40, alpha=0.9, connect="none", seed=3)
+        assert dense.num_links > sparse.num_links
+
+    def test_beta_controls_locality(self):
+        """Small beta -> only short links survive."""
+        local = waxman_topology(60, beta=0.05, connect="none", seed=4)
+        spread = waxman_topology(60, beta=1.0, connect="none", seed=4)
+
+        def mean_link_length(topo):
+            import math
+
+            total = 0.0
+            for link in topo.links():
+                (x1, y1), (x2, y2) = topo.positions[link.u], topo.positions[link.v]
+                total += math.hypot(x1 - x2, y1 - y2)
+            return total / max(topo.num_links, 1)
+
+        assert mean_link_length(local) < mean_link_length(spread)
+
+    def test_positions_attached(self):
+        topo = waxman_topology(20, seed=5)
+        assert set(topo.positions) == set(topo.nodes())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"beta": 0.0},
+            {"connect": "bogus"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(num_nodes=20, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ValidationError):
+            waxman_topology(**base)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        topo = fat_tree_topology(4)
+        # 4 core + 4 pods x (2 agg + 2 edge) = 20 switches
+        assert topo.num_nodes == 20
+        # agg-core: 4 pods x 2 agg x 2 cores = 16; agg-edge: 4 x 2 x 2 = 16
+        assert topo.num_links == 32
+
+    def test_connected(self):
+        assert is_connected(fat_tree_topology(4))
+        assert is_connected(fat_tree_topology(6))
+
+    def test_edge_switch_degree(self):
+        topo = fat_tree_topology(4)
+        for node in topo.nodes():
+            if node[0] == "edge":
+                assert topo.degree(node) == 2  # k/2 aggregation uplinks
+
+    def test_core_degree_is_k(self):
+        topo = fat_tree_topology(4)
+        for node in topo.nodes():
+            if node[0] == "core":
+                assert topo.degree(node) == 4  # one agg per pod
+
+    def test_path_diversity_between_pods(self):
+        """Any two edge switches in different pods have k/2 * ... multiple
+        disjoint routes — at least two distinct simple paths exist."""
+        from repro.routing.ksp import k_shortest_paths
+
+        topo = fat_tree_topology(4)
+        paths = k_shortest_paths(topo, ("edge", 0, 0), ("edge", 1, 0), 4)
+        assert len(paths) >= 2
+
+    @pytest.mark.parametrize("bad", [0, 3, 5, -2])
+    def test_validation(self, bad):
+        with pytest.raises(ValidationError):
+            fat_tree_topology(bad)

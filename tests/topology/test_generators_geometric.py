@@ -1,0 +1,108 @@
+"""Tests for the random geometric graph generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedTopologyError, ValidationError
+from repro.topology.analysis import is_connected
+from repro.topology.generators.geometric import (
+    _radius_for_mean_degree,
+    random_geometric_topology,
+)
+
+
+class TestRadiusDerivation:
+    def test_uncorrected_radius_formula(self):
+        r = _radius_for_mean_degree(5.0, 5.0, 100.0, boundary_correction=False)
+        assert r == pytest.approx(math.sqrt(5.0 / (5.0 * math.pi)))
+
+    def test_corrected_radius_is_larger(self):
+        side = math.sqrt(100 / 5.0)
+        naive = _radius_for_mean_degree(5.0, 5.0, side, boundary_correction=False)
+        corrected = _radius_for_mean_degree(5.0, 5.0, side, boundary_correction=True)
+        assert corrected > naive
+
+    def test_correction_negligible_for_huge_region(self):
+        naive = _radius_for_mean_degree(5.0, 5.0, 1e6, boundary_correction=False)
+        corrected = _radius_for_mean_degree(5.0, 5.0, 1e6, boundary_correction=True)
+        assert corrected == pytest.approx(naive, rel=1e-3)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = random_geometric_topology(40, seed=7)
+        b = random_geometric_topology(40, seed=7)
+        assert a.nodes() == b.nodes()
+        assert [l.key() for l in a.links()] == [l.key() for l in b.links()]
+
+    def test_giant_mode_returns_connected(self):
+        topo = random_geometric_topology(60, seed=1, connect="giant")
+        assert is_connected(topo)
+
+    def test_giant_keeps_most_nodes_at_paper_density(self):
+        sizes = [
+            random_geometric_topology(100, density=5.0, mean_degree=5.0, seed=s).num_nodes
+            for s in range(5)
+        ]
+        assert np.mean(sizes) >= 70
+
+    def test_realised_mean_degree_close_to_target(self):
+        degrees = []
+        for seed in range(8):
+            topo = random_geometric_topology(
+                100, density=5.0, mean_degree=5.0, connect="none", seed=seed
+            )
+            degrees.append(2 * topo.num_links / topo.num_nodes)
+        assert abs(float(np.mean(degrees)) - 5.0) < 0.8
+
+    def test_none_mode_may_be_disconnected(self):
+        topo = random_geometric_topology(100, mean_degree=2.0, connect="none", seed=0)
+        assert topo.num_nodes == 100  # nothing dropped
+
+    def test_retry_mode_gives_connected_when_dense(self):
+        topo = random_geometric_topology(
+            30, density=5.0, mean_degree=12.0, connect="retry", seed=2
+        )
+        assert is_connected(topo)
+
+    def test_retry_mode_raises_when_hopeless(self):
+        with pytest.raises(DisconnectedTopologyError):
+            random_geometric_topology(
+                100, mean_degree=1.0, connect="retry", max_retries=3, seed=0
+            )
+
+    def test_positions_attached(self):
+        topo = random_geometric_topology(20, seed=3)
+        positions = topo.positions
+        assert set(positions) == set(topo.nodes())
+        side = math.sqrt(20 / 5.0)
+        for x, y in positions.values():
+            assert 0.0 <= x <= side and 0.0 <= y <= side
+
+    def test_links_respect_radius(self):
+        topo = random_geometric_topology(30, seed=4, connect="none")
+        positions = topo.positions
+        radius = _radius_for_mean_degree(
+            5.0, 5.0, math.sqrt(30 / 5.0), boundary_correction=True
+        )
+        for link in topo.links():
+            ax, ay = positions[link.u]
+            bx, by = positions[link.v]
+            assert math.hypot(ax - bx, ay - by) <= radius + 1e-9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"density": 0.0},
+            {"mean_degree": -1.0},
+            {"connect": "bogus"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(num_nodes=20, density=5.0, mean_degree=5.0, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ValidationError):
+            random_geometric_topology(**base)

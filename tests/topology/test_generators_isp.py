@@ -1,0 +1,112 @@
+"""Tests for the ISP topology substrate."""
+
+import pytest
+
+from repro.exceptions import SerializationError, ValidationError
+from repro.topology.analysis import degree_histogram, is_connected
+from repro.topology.generators.isp import (
+    barabasi_albert_topology,
+    load_rocketfuel_edges,
+    synthetic_rocketfuel,
+)
+
+
+class TestSyntheticRocketfuel:
+    def test_default_scale_comparable_to_as1221(self):
+        topo = synthetic_rocketfuel()
+        assert 80 <= topo.num_nodes <= 200
+        assert topo.num_links >= topo.num_nodes  # meshier than a tree
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_rocketfuel(seed=5)
+        b = synthetic_rocketfuel(seed=5)
+        assert a.nodes() == b.nodes()
+        assert [l.key() for l in a.links()] == [l.key() for l in b.links()]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_rocketfuel(seed=1)
+        b = synthetic_rocketfuel(seed=2)
+        assert (a.num_links != b.num_links) or (
+            [l.key() for l in a.links()] != [l.key() for l in b.links()]
+        )
+
+    def test_connected(self):
+        assert is_connected(synthetic_rocketfuel(seed=3))
+
+    def test_hierarchy_labels(self):
+        topo = synthetic_rocketfuel(seed=0)
+        assert any(str(n).startswith("bb") for n in topo.nodes())
+        assert any(str(n).startswith("agg") for n in topo.nodes())
+        assert any(str(n).startswith("acc") for n in topo.nodes())
+
+    def test_heavy_tail_backbone_degree(self):
+        """Backbone routers have much higher degree than access routers."""
+        topo = synthetic_rocketfuel(seed=0)
+        bb_degrees = [topo.degree(n) for n in topo.nodes() if str(n).startswith("bb")]
+        acc_degrees = [topo.degree(n) for n in topo.nodes() if str(n).startswith("acc")]
+        assert min(bb_degrees) > max(acc_degrees) - 1
+        assert max(bb_degrees) >= 2 * max(acc_degrees)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            synthetic_rocketfuel(backbone_nodes=2)
+        with pytest.raises(ValidationError):
+            synthetic_rocketfuel(access_per_pop=(3, 1))
+        with pytest.raises(ValidationError):
+            synthetic_rocketfuel(pops_per_backbone=-1)
+
+    def test_no_pops(self):
+        topo = synthetic_rocketfuel(backbone_nodes=5, pops_per_backbone=0, seed=0)
+        assert all(str(n).startswith("bb") for n in topo.nodes())
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        topo = barabasi_albert_topology(30, attach=2, seed=0)
+        assert topo.num_nodes == 30
+        # clique(3) has 3 links, then 27 nodes x 2 links each
+        assert topo.num_links == 3 + 27 * 2
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_topology(50, attach=2, seed=1))
+
+    def test_heavy_tail(self):
+        topo = barabasi_albert_topology(200, attach=2, seed=2)
+        hist = degree_histogram(topo)
+        assert max(hist) >= 10  # some hub exists
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert_topology(3, attach=3)
+        with pytest.raises(ValidationError):
+            barabasi_albert_topology(10, attach=0)
+
+
+class TestRocketfuelParser:
+    def test_parses_edge_list(self, tmp_path):
+        path = tmp_path / "weights.intra"
+        path.write_text("# comment\n1 2 10.0\n2 3\n\n3 1 4\n")
+        topo = load_rocketfuel_edges(path)
+        assert topo.num_nodes == 3
+        assert topo.num_links == 3
+
+    def test_skips_duplicates_and_self_loops(self, tmp_path):
+        path = tmp_path / "dup.intra"
+        path.write_text("1 2\n2 1\n1 1\n")
+        topo = load_rocketfuel_edges(path)
+        assert topo.num_links == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.intra"
+        path.write_text("justonetoken\n")
+        with pytest.raises(SerializationError, match="bad.intra:1"):
+            load_rocketfuel_edges(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_rocketfuel_edges(tmp_path / "nope.intra")
+
+    def test_custom_name(self, tmp_path):
+        path = tmp_path / "x.intra"
+        path.write_text("1 2\n")
+        assert load_rocketfuel_edges(path, name="AS9999").name == "AS9999"

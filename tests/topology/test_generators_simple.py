@@ -1,0 +1,117 @@
+"""Tests for deterministic topology generators."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology.analysis import is_connected
+from repro.topology.generators.simple import (
+    clique_topology,
+    grid_topology,
+    ladder_topology,
+    paper_example_network,
+    path_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+class TestPaperExampleNetwork:
+    def test_dimensions_match_fig1(self):
+        topo = paper_example_network()
+        assert topo.num_nodes == 7
+        assert topo.num_links == 10
+
+    def test_monitors_and_internal_nodes_present(self):
+        topo = paper_example_network()
+        for node in ["M1", "M2", "M3", "A", "B", "C", "D"]:
+            assert topo.has_node(node)
+
+    def test_link_1_is_m1_a(self):
+        topo = paper_example_network()
+        assert topo.link(0).key() == frozenset(("M1", "A"))
+
+    def test_attackers_control_paper_links_2_to_8(self):
+        """B and C are incident exactly to paper links 2-8 (indices 1-7)."""
+        topo = paper_example_network()
+        controlled = topo.links_incident_to_nodes(["B", "C"])
+        assert controlled == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_a_is_cut_off_by_attackers(self):
+        """Node A reaches the network only through B and C (besides M1)."""
+        topo = paper_example_network()
+        assert set(topo.neighbors("A")) == {"M1", "B", "C"}
+
+    def test_path_m3_d_m2_avoids_attackers(self):
+        """Paper links 9, 10 form the attacker-free path M3-D-M2."""
+        topo = paper_example_network()
+        assert topo.link(8).key() == frozenset(("M3", "D"))
+        assert topo.link(9).key() == frozenset(("D", "M2"))
+
+    def test_paper_path5_chain(self):
+        """Links 8, 7, 5, 3 (indices 7, 6, 4, 2) chain M2-C-D-B-M3."""
+        topo = paper_example_network()
+        assert topo.link(7).key() == frozenset(("C", "M2"))
+        assert topo.link(6).key() == frozenset(("C", "D"))
+        assert topo.link(4).key() == frozenset(("B", "D"))
+        assert topo.link(2).key() == frozenset(("B", "M3"))
+
+    def test_connected(self):
+        assert is_connected(paper_example_network())
+
+
+class TestFamilies:
+    def test_path(self):
+        topo = path_topology(5)
+        assert (topo.num_nodes, topo.num_links) == (5, 4)
+
+    def test_path_too_small(self):
+        with pytest.raises(ValidationError):
+            path_topology(1)
+
+    def test_ring(self):
+        topo = ring_topology(6)
+        assert (topo.num_nodes, topo.num_links) == (6, 6)
+        assert all(topo.degree(n) == 2 for n in topo.nodes())
+
+    def test_ring_minimum(self):
+        with pytest.raises(ValidationError):
+            ring_topology(2)
+
+    def test_star(self):
+        topo = star_topology(5)
+        assert topo.degree(0) == 5
+        assert topo.num_links == 5
+
+    def test_grid_counts(self):
+        topo = grid_topology(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.num_links == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_single_cell_invalid(self):
+        with pytest.raises(ValidationError):
+            grid_topology(1, 1)
+
+    def test_tree_counts(self):
+        topo = tree_topology(depth=2, branching=3)
+        assert topo.num_nodes == 1 + 3 + 9
+        assert topo.num_links == topo.num_nodes - 1
+        assert is_connected(topo)
+
+    def test_clique(self):
+        topo = clique_topology(5)
+        assert topo.num_links == 10
+        assert all(topo.degree(n) == 4 for n in topo.nodes())
+
+    def test_ladder(self):
+        topo = ladder_topology(3)
+        assert topo.num_nodes == 6
+        assert topo.num_links == 3 + 2 * 2  # rungs + two rails
+        assert is_connected(topo)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [path_topology, ring_topology, clique_topology],
+    )
+    def test_all_connected(self, factory):
+        assert is_connected(factory(5))

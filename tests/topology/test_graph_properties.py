@@ -1,0 +1,78 @@
+"""Property-based tests for the Topology type."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.analysis import connected_components, is_connected
+from repro.topology.graph import Topology
+from repro.topology.serialization import topology_from_json, topology_to_json
+
+
+@st.composite
+def random_edge_sets(draw):
+    """A random simple-graph edge set over integer nodes."""
+    num_nodes = draw(st.integers(2, 12))
+    pairs = [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, min_size=1, max_size=len(pairs))
+    )
+    return num_nodes, chosen
+
+
+def build(num_nodes: int, edges) -> Topology:
+    topo = Topology()
+    topo.add_nodes(range(num_nodes))
+    topo.add_links(edges)
+    return topo
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_edge_sets())
+def test_handshake_lemma(data):
+    """Sum of degrees equals twice the number of links."""
+    num_nodes, edges = data
+    topo = build(num_nodes, edges)
+    assert sum(topo.degree(n) for n in topo.nodes()) == 2 * topo.num_links
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_edge_sets())
+def test_link_indices_dense_and_stable(data):
+    num_nodes, edges = data
+    topo = build(num_nodes, edges)
+    assert [link.index for link in topo.links()] == list(range(topo.num_links))
+    for link in topo.links():
+        assert topo.link_between(link.u, link.v).index == link.index
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_edge_sets())
+def test_components_partition_nodes(data):
+    num_nodes, edges = data
+    topo = build(num_nodes, edges)
+    comps = connected_components(topo)
+    seen = [node for comp in comps for node in comp]
+    assert sorted(seen, key=repr) == sorted(topo.nodes(), key=repr)
+    assert is_connected(topo) == (len(comps) == 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_edge_sets())
+def test_json_round_trip_preserves_structure(data):
+    num_nodes, edges = data
+    topo = build(num_nodes, edges)
+    back = topology_from_json(topology_to_json(topo))
+    assert back.nodes() == topo.nodes()
+    assert [l.endpoints for l in back.links()] == [l.endpoints for l in topo.links()]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_edge_sets())
+def test_incident_links_consistent_with_links(data):
+    num_nodes, edges = data
+    topo = build(num_nodes, edges)
+    for node in topo.nodes():
+        for link in topo.incident_links(node):
+            assert node in link.endpoints
+    total_incidences = sum(len(topo.incident_links(n)) for n in topo.nodes())
+    assert total_incidences == 2 * topo.num_links

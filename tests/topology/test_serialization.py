@@ -1,0 +1,95 @@
+"""Tests for topology serialization."""
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.topology.generators.simple import grid_topology, paper_example_network
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_edge_list,
+    topology_from_json,
+    topology_to_edge_list,
+    topology_to_json,
+)
+
+
+class TestJsonRoundTrip:
+    def test_paper_network_round_trips_exactly(self):
+        topo = paper_example_network()
+        back = topology_from_json(topology_to_json(topo))
+        assert back.name == topo.name
+        assert back.nodes() == topo.nodes()
+        assert [l.endpoints for l in back.links()] == [l.endpoints for l in topo.links()]
+
+    def test_tuple_labels_round_trip(self):
+        topo = grid_topology(2, 2)
+        back = topology_from_json(topology_to_json(topo))
+        assert back.nodes() == topo.nodes()
+        assert all(isinstance(node, tuple) for node in back.nodes())
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            topology_from_json("{not json")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(SerializationError, match="repro-topology"):
+            topology_from_json('{"format": "something-else"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            topology_from_json(
+                '{"format": "repro-topology", "version": 99, "nodes": [], "links": []}'
+            )
+
+    def test_malformed_link_entry(self):
+        doc = (
+            '{"format": "repro-topology", "version": 1, "name": "",'
+            ' "nodes": ["a", "b"], "links": [["a"]]}'
+        )
+        with pytest.raises(SerializationError, match="malformed"):
+            topology_from_json(doc)
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        topo = paper_example_network()
+        back = topology_from_edge_list(topology_to_edge_list(topo))
+        assert back.num_nodes == topo.num_nodes
+        assert back.num_links == topo.num_links
+
+    def test_comments_and_blank_lines_ignored(self):
+        topo = topology_from_edge_list("# hello\n\na b\nb c\n")
+        assert topo.num_links == 2
+
+    def test_whitespace_label_rejected_on_write(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology()
+        topo.add_link("a b", "c")
+        with pytest.raises(SerializationError, match="whitespace"):
+            topology_to_edge_list(topo)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(SerializationError, match="line 1"):
+            topology_from_edge_list("lonely\n")
+
+
+class TestFileHelpers:
+    def test_save_load_json(self, tmp_path):
+        topo = paper_example_network()
+        path = tmp_path / "net.json"
+        save_topology(topo, path)
+        assert load_topology(path).num_links == topo.num_links
+
+    def test_save_load_edges(self, tmp_path):
+        topo = paper_example_network()
+        path = tmp_path / "net.edges"
+        save_topology(topo, path)
+        loaded = load_topology(path)
+        assert loaded.num_links == topo.num_links
+        assert loaded.name == "net"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_topology(tmp_path / "missing.json")

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        same = ensure_rng(gen)
+        assert same is gen
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(7)).random(3)
+        b = ensure_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(3, 2)
+        a = children[0].random(4)
+        b = children[1].random(4)
+        assert not np.array_equal(a, b)
+
+    def test_children_reproducible_from_same_seed(self):
+        first = [g.random(3) for g in spawn_rngs(11, 3)]
+        second = [g.random(3) for g in spawn_rngs(11, 3)]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_finite_vector,
+    check_nonnegative_vector,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFiniteVector:
+    def test_accepts_list(self):
+        out = check_finite_vector([1, 2, 3], "v")
+        assert out.dtype == float
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_enforces_length(self):
+        with pytest.raises(ValidationError, match="length 4"):
+            check_finite_vector([1, 2, 3], "v", length=4)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_finite_vector(np.eye(2), "v")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite_vector([1.0, float("nan")], "v")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite_vector([float("inf")], "v")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="myvec"):
+            check_finite_vector(np.eye(2), "myvec")
+
+
+class TestCheckNonnegativeVector:
+    def test_accepts_zero(self):
+        assert check_nonnegative_vector([0.0, 1.0], "v").tolist() == [0.0, 1.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_nonnegative_vector([-0.1], "v")
+
+    def test_atol_tolerates_round_off(self):
+        out = check_nonnegative_vector([-1e-12], "v", atol=1e-9)
+        assert out.shape == (1,)
+
+
+class TestScalars:
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_probability(bad, "p")
+
+    def test_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad, "x")
