@@ -12,8 +12,12 @@ Three attacker models against the eq. (23) detector on imperfect cuts:
   assumption inside its proof, not on the detector itself.
 """
 
+import pytest
+
 from repro.reporting.tables import format_table
 from repro.scenarios.detection_experiments import detection_ratio_experiment
+
+pytestmark = pytest.mark.slow
 
 NUM_TRIALS = 40
 MODELS = ("plain", "confined", "unconfined")

@@ -13,8 +13,12 @@ success across the same error range.  The attacker's *margin*, not the
 gap between routine metrics and the bands, is the robustness budget.
 """
 
+import pytest
+
 from repro.reporting.tables import format_table
 from repro.scenarios.sensitivity import knowledge_sensitivity_experiment
+
+pytestmark = pytest.mark.slow
 
 SIGMAS = (0.0, 2.0, 5.0, 10.0, 20.0)
 MARGINS = (1.0, 25.0)

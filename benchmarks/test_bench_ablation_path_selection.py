@@ -7,9 +7,13 @@ success rate — Theorem 2's coverage lever, pulled by the defender at the
 path-selection layer.
 """
 
+import pytest
+
 from repro.reporting.tables import format_table
 from repro.scenarios.defense_experiments import path_selection_defense_experiment
 from repro.topology.generators.simple import grid_topology
+
+pytestmark = pytest.mark.slow
 
 MONITORS = [
     (0, 0), (0, 3), (3, 0), (3, 3), (1, 1), (2, 2), (0, 1),

@@ -12,6 +12,8 @@ worst-node presence ratio, and the resulting single-attacker max-damage
 success rate, should not be worse.
 """
 
+import pytest
+
 from repro.attacks.max_damage import MaxDamageAttack
 from repro.metrics.link_metrics import uniform_delay_metrics
 from repro.monitors.placement import (
@@ -22,6 +24,8 @@ from repro.monitors.placement import (
 from repro.reporting.tables import format_table
 from repro.scenarios.scenario import Scenario
 from repro.topology.generators.isp import synthetic_rocketfuel
+
+pytestmark = pytest.mark.slow
 
 NUM_ATTACK_TRIALS = 25
 

@@ -7,8 +7,12 @@ that a *converged* trim is not automatically a *correct* one once the
 tampering rivals the redundancy.
 """
 
+import pytest
+
 from repro.reporting.tables import format_table
 from repro.scenarios.defense_experiments import robust_recovery_experiment
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_robust_recovery(benchmark, fig1_scenario, record):

@@ -18,8 +18,12 @@ deviation.
 
 import math
 
+import pytest
+
 from repro.reporting.figures import format_success_bins
 from repro.scenarios.experiments import success_probability_sweep
+
+pytestmark = pytest.mark.slow
 
 NUM_TRIALS = 400
 

@@ -9,8 +9,12 @@ Shape targets: non-trivial single-attacker success, and per network type
 ``max-damage >= obfuscation`` under the paper's (confined) attacker model.
 """
 
+import pytest
+
 from repro.reporting.tables import format_table
 from repro.scenarios.experiments import single_attacker_sweep
+
+pytestmark = pytest.mark.slow
 
 NUM_TRIALS = 40
 

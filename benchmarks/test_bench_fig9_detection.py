@@ -10,11 +10,15 @@ An ablation row runs the *plain* damage-maximising attacker, which is
 caught even under perfect cuts — stealth is a choice, not a side effect.
 """
 
+import pytest
+
 from repro.reporting.figures import format_detection_table
 from repro.scenarios.detection_experiments import (
     detection_ratio_experiment,
     false_alarm_experiment,
 )
+
+pytestmark = pytest.mark.slow
 
 NUM_TRIALS = 40
 STRATEGIES = ("chosen-victim", "max-damage", "obfuscation")

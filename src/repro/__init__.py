@@ -73,6 +73,7 @@ from repro.measurement import (
 )
 from repro.tomography import (
     LeastSquaresEstimator,
+    LinearSystem,
     NonNegativeEstimator,
     RidgeEstimator,
     diagnose,
@@ -145,6 +146,7 @@ __all__ = [
     "PathManipulationAgent",
     # tomography
     "LeastSquaresEstimator",
+    "LinearSystem",
     "NonNegativeEstimator",
     "RidgeEstimator",
     "diagnose",

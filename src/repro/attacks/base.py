@@ -19,7 +19,7 @@ from repro.exceptions import AttackConstraintError, ValidationError
 from repro.metrics.states import StateThresholds
 from repro.routing.paths import PathSet
 from repro.tomography.diagnosis import DiagnosisReport, diagnose
-from repro.tomography.linear_system import estimator_operator
+from repro.tomography.linear_system import LinearSystem
 from repro.topology.graph import NodeId
 from repro.utils.validation import check_finite_vector
 
@@ -77,15 +77,16 @@ class AttackContext:
         self.margin = float(margin)
 
         self.routing_matrix = path_set.routing_matrix()
-        self.operator = estimator_operator(self.routing_matrix)
+        #: Shared SVD kernel: one factorisation of ``R`` backs the
+        #: estimator operator, the residual projector, and any rank query.
+        self.system = LinearSystem(self.routing_matrix)
+        self.operator = self.system.estimator
+        self._honest_measurements: np.ndarray | None = None
         #: What tomography estimates *without* any attack.  Equals the true
         #: metrics when R has full column rank; under partial
         #: identifiability the min-norm estimator mixes links, and attack
         #: planning must anchor its bands to this baseline, not to x*.
-        self.baseline_estimate: np.ndarray = self.operator @ (
-            self.routing_matrix @ self.true_metrics
-        )
-        self._residual_projector: np.ndarray | None = None
+        self.baseline_estimate: np.ndarray = self.operator @ self.honest_measurements()
         self.controlled_links: frozenset[int] = frozenset(
             attacker_links(self.topology, self.attacker_nodes)
         )
@@ -104,8 +105,14 @@ class AttackContext:
         return self.routing_matrix.shape[1]
 
     def honest_measurements(self) -> np.ndarray:
-        """The noiseless honest vector ``y = R x*``."""
-        return self.routing_matrix @ self.true_metrics
+        """The noiseless honest vector ``y = R x*`` (computed once).
+
+        Trial loops call :meth:`observed_measurements` per manipulation;
+        caching ``R x*`` here keeps that per-call cost at one vector add.
+        """
+        if self._honest_measurements is None:
+            self._honest_measurements = self.routing_matrix @ self.true_metrics
+        return self._honest_measurements
 
     def observed_measurements(self, manipulation: np.ndarray) -> np.ndarray:
         """``y' = y + m`` (eq. 3)."""
@@ -125,13 +132,10 @@ class AttackContext:
 
         Manipulations ``m`` with ``(I - R R⁺) m = 0`` keep the forged
         measurements inside the column space of ``R`` — zero residual in
-        eq. (23), hence undetectable.  Cached after first use (it needs a
-        |P| x |P| pseudo-inverse product).
+        eq. (23), hence undetectable.  Derived from the shared SVD factors
+        and cached on the kernel, so repeated stealthy solves pay nothing.
         """
-        if self._residual_projector is None:
-            identity = np.eye(self.num_paths)
-            self._residual_projector = identity - self.routing_matrix @ self.operator
-        return self._residual_projector
+        return self.system.residual_projector
 
     def manipulable_link_mask(self, tol: float = 1e-9) -> np.ndarray:
         """Boolean mask of links whose estimate the attacker can *raise*.

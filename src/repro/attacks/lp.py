@@ -11,23 +11,39 @@ inequalities in ``m``, and each strategy is one LP (proof of Theorem 1
 writes the same thing from the ``Δx_hat`` side; :func:`theorem1_manipulation`
 implements that constructive direction for perfect cuts).
 
+Constraint assembly is vectorised: the finite band bounds are selected by
+numpy masks and turned into inequality rows in one shot, preserving the
+historical per-link (upper row, then lower row) ordering so solver vertex
+selection is unchanged.  Candidate scans that vary only a few links' bands
+(max-damage, per-victim damage maps) should use
+:class:`IncrementalLpSolver`, which assembles the shared constraint block
+once and splices per-candidate rows into it.
+
 Solved with scipy's HiGHS backend.  An unbounded LP (possible only with an
 infinite per-path cap) is reported as feasible with ``unbounded=True`` and
-re-solved under a large finite cap so callers still get a concrete vector.
+re-solved under a large finite cap so callers still get a concrete vector;
+the re-solve reuses the already-assembled constraint arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import AttackError, ValidationError
+from repro.perf import instrumentation as perf
 from repro.utils.validation import check_finite_vector
 
-__all__ = ["BandConstraints", "LpSolution", "solve_manipulation_lp", "theorem1_manipulation"]
+__all__ = [
+    "BandConstraints",
+    "IncrementalLpSolver",
+    "LpSolution",
+    "solve_manipulation_lp",
+    "theorem1_manipulation",
+]
 
 #: Cap substituted when re-solving an unbounded LP to return a finite vector.
 _UNBOUNDED_RESOLVE_CAP = 1e7
@@ -90,6 +106,147 @@ class LpSolution:
     unbounded: bool = False
 
 
+def _checked_support(support: Sequence[int], num_paths: int) -> list[int]:
+    """Sorted, deduplicated support rows, range-checked against ``R``."""
+    support_list = sorted(set(int(s) for s in support))
+    for row in support_list:
+        if not 0 <= row < num_paths:
+            raise AttackError(f"support row {row} out of range [0, {num_paths})")
+    return support_list
+
+
+def _assemble_band_rows(
+    sub_operator: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    x_true: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised inequality assembly for the estimate bands.
+
+    Returns ``(a_ub, b_ub, keys)`` where row order matches the historical
+    per-link interleaving (link 0 upper, link 0 lower, link 1 upper, ...)
+    and ``keys[i] = 2 * link + is_lower`` identifies each row for
+    incremental edits.  Finite bounds are selected with masks — no Python
+    loop over links.
+    """
+    up_idx = np.nonzero(np.isfinite(upper))[0]
+    lo_idx = np.nonzero(np.isfinite(lower))[0]
+    keys = np.concatenate([2 * up_idx, 2 * lo_idx + 1])
+    order = np.argsort(keys, kind="stable")
+    links = np.concatenate([up_idx, lo_idx])[order]
+    signs = np.concatenate(
+        [np.ones(up_idx.size), -np.ones(lo_idx.size)]
+    )[order]
+    a_ub = signs[:, None] * sub_operator[links]
+    b_ub = np.concatenate(
+        [upper[up_idx] - x_true[up_idx], x_true[lo_idx] - lower[lo_idx]]
+    )[order]
+    return a_ub, b_ub, keys[order]
+
+
+def _assemble_consistency(
+    consistency_matrix: np.ndarray | None,
+    support_list: list[int],
+    num_paths: int,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Equality block ``C m = 0`` restricted to the supported columns.
+
+    Only the supported columns are variables; off-support entries of ``m``
+    are zero and drop out of ``C m = 0``.  Numerically trivial rows are
+    discarded to help the solver.
+    """
+    if consistency_matrix is None:
+        return None, None
+    cmat = np.asarray(consistency_matrix, dtype=float)
+    if cmat.shape != (num_paths, num_paths):
+        raise AttackError(
+            f"consistency matrix must be ({num_paths} x {num_paths}), got {cmat.shape}"
+        )
+    sub = cmat[:, support_list]
+    keep = np.linalg.norm(sub, axis=1) > 1e-12
+    if not np.any(keep):
+        return None, None
+    return sub[keep], np.zeros(int(np.sum(keep)))
+
+
+def _empty_support_solution(
+    lower: np.ndarray, upper: np.ndarray, x_true: np.ndarray, num_paths: int
+) -> LpSolution:
+    """With an empty support the only candidate is ``m = 0``."""
+    m0 = np.zeros(num_paths)
+    ok = bool(np.all(x_true >= lower - 1e-9) and np.all(x_true <= upper + 1e-9))
+    return LpSolution(
+        feasible=ok,
+        manipulation=m0 if ok else None,
+        damage=0.0,
+        status="empty support" + (" (baseline satisfies bands)" if ok else ""),
+    )
+
+
+def _solve_assembled(
+    support_list: list[int],
+    num_paths: int,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    cap: float | None,
+) -> LpSolution:
+    """Run HiGHS on pre-assembled constraints (``cap`` must be finite here);
+    ``cap=None`` delegates to a large-cap solve and flags unboundedness."""
+    if cap is None:
+        # HiGHS can misclassify feasible-but-unbounded instances of this LP
+        # as infeasible when variables are uncapped; solve under a large
+        # finite cap instead and infer unboundedness from variables pinned
+        # at that cap.  The constraint arrays are reused as-is.
+        capped = _solve_assembled(
+            support_list, num_paths, a_ub, b_ub, a_eq, b_eq, _UNBOUNDED_RESOLVE_CAP
+        )
+        if not capped.feasible or capped.manipulation is None:
+            return capped
+        hit_cap = bool(
+            np.any(capped.manipulation >= _UNBOUNDED_RESOLVE_CAP * (1 - 1e-9))
+        )
+        if hit_cap:
+            return LpSolution(
+                feasible=True,
+                manipulation=capped.manipulation,
+                damage=float("inf"),
+                status="unbounded (re-solved with large cap)",
+                unbounded=True,
+            )
+        return capped
+
+    k = len(support_list)
+    perf.record_event("lp_solve")
+    with perf.stage("lp_solve"):
+        result = linprog(
+            c=-np.ones(k),
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0.0, cap)] * k,
+            method="highs",
+        )
+
+    if not result.success:
+        return LpSolution(
+            feasible=False,
+            manipulation=None,
+            damage=0.0,
+            status=result.message,
+        )
+    m = np.zeros(num_paths)
+    m[support_list] = np.maximum(result.x, 0.0)  # clip solver round-off
+    return LpSolution(
+        feasible=True,
+        manipulation=m,
+        damage=float(m.sum()),
+        status=result.message,
+    )
+
+
 def solve_manipulation_lp(
     estimator_operator: np.ndarray,
     true_metrics: np.ndarray,
@@ -140,112 +297,147 @@ def solve_manipulation_lp(
     if cap is not None and cap < 0:
         raise ValidationError(f"cap must be non-negative or None, got {cap}")
 
-    support_list = sorted(set(int(s) for s in support))
-    for row in support_list:
-        if not 0 <= row < num_paths:
-            raise AttackError(f"support row {row} out of range [0, {num_paths})")
+    support_list = _checked_support(support, num_paths)
 
     # Baseline estimate without manipulation is x* itself (honest system);
     # bands must at least admit m = 0 on unconstrained links, but
     # constrained links may *require* manipulation, so feasibility is the
     # LP's job.  With an empty support the only candidate is m = 0.
     if not support_list:
-        m0 = np.zeros(num_paths)
-        ok = bool(np.all(x_true >= bands.lower - 1e-9) and np.all(x_true <= bands.upper + 1e-9))
-        return LpSolution(
-            feasible=ok,
-            manipulation=m0 if ok else None,
-            damage=0.0,
-            status="empty support" + (" (baseline satisfies bands)" if ok else ""),
+        return _empty_support_solution(bands.lower, bands.upper, x_true, num_paths)
+
+    with perf.stage("lp_assembly"):
+        sub_operator = operator[:, support_list]  # |L| x k
+        a_ub, b_ub, _ = _assemble_band_rows(
+            sub_operator, bands.lower, bands.upper, x_true
         )
+        if a_ub.shape[0] == 0:
+            a_ub, b_ub = None, None
+        a_eq, b_eq = _assemble_consistency(consistency_matrix, support_list, num_paths)
 
-    sub_operator = operator[:, support_list]  # |L| x k
-    k = len(support_list)
+    return _solve_assembled(support_list, num_paths, a_ub, b_ub, a_eq, b_eq, cap)
 
-    a_rows: list[np.ndarray] = []
-    b_vals: list[float] = []
-    for j in range(num_links):
-        if np.isfinite(bands.upper[j]):
-            a_rows.append(sub_operator[j])
-            b_vals.append(float(bands.upper[j] - x_true[j]))
-        if np.isfinite(bands.lower[j]):
-            a_rows.append(-sub_operator[j])
-            b_vals.append(float(x_true[j] - bands.lower[j]))
 
-    a_ub = np.vstack(a_rows) if a_rows else None
-    b_ub = np.asarray(b_vals) if b_vals else None
+class IncrementalLpSolver:
+    """Manipulation-LP solver with an incrementally editable band block.
 
-    if cap is None:
-        # HiGHS can misclassify feasible-but-unbounded instances of this LP
-        # as infeasible when variables are uncapped; solve under a large
-        # finite cap instead and infer unboundedness from variables pinned
-        # at that cap.
-        capped = solve_manipulation_lp(
-            operator,
-            x_true,
-            support_list,
-            num_paths,
-            bands,
-            cap=_UNBOUNDED_RESOLVE_CAP,
-            consistency_matrix=consistency_matrix,
-        )
-        if not capped.feasible or capped.manipulation is None:
-            return capped
-        hit_cap = bool(
-            np.any(capped.manipulation >= _UNBOUNDED_RESOLVE_CAP * (1 - 1e-9))
-        )
-        if hit_cap:
-            return LpSolution(
-                feasible=True,
-                manipulation=capped.manipulation,
-                damage=float("inf"),
-                status="unbounded (re-solved with large cap)",
-                unbounded=True,
-            )
-        return capped
+    Candidate scans (max-damage, per-victim damage maps) solve thousands of
+    LPs that differ only in one or two links' bands.  This solver validates
+    the problem, slices the support-restricted operator, and assembles the
+    *base* band rows and the consistency block exactly once; each
+    :meth:`solve` call splices the overridden links' rows into the cached
+    block (dropping the links' base rows first) and hands the result to
+    HiGHS.  Row ordering matches :func:`solve_manipulation_lp`'s
+    interleaved convention, so solutions are identical to a from-scratch
+    assembly of the edited bands.
 
-    a_eq = None
-    b_eq = None
-    if consistency_matrix is not None:
-        cmat = np.asarray(consistency_matrix, dtype=float)
-        if cmat.shape != (num_paths, num_paths):
+    Parameters mirror :func:`solve_manipulation_lp`; ``base_bands`` is the
+    constraint state shared by every candidate.
+    """
+
+    def __init__(
+        self,
+        estimator_operator: np.ndarray,
+        true_metrics: np.ndarray,
+        support: Sequence[int],
+        num_paths: int,
+        base_bands: BandConstraints,
+        *,
+        cap: float | None = 2000.0,
+        consistency_matrix: np.ndarray | None = None,
+    ) -> None:
+        operator = np.asarray(estimator_operator, dtype=float)
+        if operator.ndim != 2 or operator.shape[1] != num_paths:
             raise AttackError(
-                f"consistency matrix must be ({num_paths} x {num_paths}), got {cmat.shape}"
+                f"estimator operator must be (num_links x {num_paths}), "
+                f"got {operator.shape}"
             )
-        # Only the supported columns are variables; off-support entries of
-        # m are zero and drop out of C m = 0.  Keep only numerically
-        # non-trivial rows to help the solver.
-        sub = cmat[:, support_list]
-        keep = np.linalg.norm(sub, axis=1) > 1e-12
-        if np.any(keep):
-            a_eq = sub[keep]
-            b_eq = np.zeros(int(np.sum(keep)))
-
-    result = linprog(
-        c=-np.ones(k),
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=[(0.0, cap)] * k,
-        method="highs",
-    )
-
-    if not result.success:
-        return LpSolution(
-            feasible=False,
-            manipulation=None,
-            damage=0.0,
-            status=result.message,
+        self.num_links = operator.shape[0]
+        self.num_paths = int(num_paths)
+        self.cap = cap
+        if cap is not None and cap < 0:
+            raise ValidationError(f"cap must be non-negative or None, got {cap}")
+        self._x_true = check_finite_vector(
+            true_metrics, "true_metrics", length=self.num_links
         )
-    m = np.zeros(num_paths)
-    m[support_list] = np.maximum(result.x, 0.0)  # clip solver round-off
-    return LpSolution(
-        feasible=True,
-        manipulation=m,
-        damage=float(m.sum()),
-        status=result.message,
-    )
+        base_bands.validate()
+        self._base_lower = np.array(base_bands.lower, dtype=float)
+        self._base_upper = np.array(base_bands.upper, dtype=float)
+        self._support = _checked_support(support, num_paths)
+        with perf.stage("lp_assembly"):
+            self._sub_operator = operator[:, self._support]
+            self._base_a, self._base_b, self._base_keys = _assemble_band_rows(
+                self._sub_operator, self._base_lower, self._base_upper, self._x_true
+            )
+            self._a_eq, self._b_eq = _assemble_consistency(
+                consistency_matrix, self._support, num_paths
+            )
+
+    def _rows_for_overrides(
+        self, overrides: Mapping[int, tuple[float, float]]
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Base rows with each overridden link's rows replaced, in order.
+
+        The base keys are sorted, so each edited link's rows occupy one
+        contiguous slice located by binary search; the replacement is a
+        three-piece splice per link — no re-sort, no mask over the block.
+        """
+        a_ub, b_ub, keys = self._base_a, self._base_b, self._base_keys
+        for j, (lower, upper) in overrides.items():
+            lo_pos, hi_pos = np.searchsorted(keys, (2 * j, 2 * j + 2))
+            add_a: list[np.ndarray] = []
+            add_b: list[float] = []
+            add_keys: list[int] = []
+            if np.isfinite(upper):
+                add_a.append(self._sub_operator[j])
+                add_b.append(float(upper - self._x_true[j]))
+                add_keys.append(2 * j)
+            if np.isfinite(lower):
+                add_a.append(-self._sub_operator[j])
+                add_b.append(float(self._x_true[j] - lower))
+                add_keys.append(2 * j + 1)
+            if add_a:
+                a_ub = np.concatenate([a_ub[:lo_pos], add_a, a_ub[hi_pos:]])
+                b_ub = np.concatenate([b_ub[:lo_pos], add_b, b_ub[hi_pos:]])
+                keys = np.concatenate([keys[:lo_pos], add_keys, keys[hi_pos:]])
+            elif hi_pos > lo_pos:
+                a_ub = np.concatenate([a_ub[:lo_pos], a_ub[hi_pos:]])
+                b_ub = np.concatenate([b_ub[:lo_pos], b_ub[hi_pos:]])
+                keys = np.concatenate([keys[:lo_pos], keys[hi_pos:]])
+        if a_ub.shape[0] == 0:
+            return None, None
+        return a_ub, b_ub
+
+    def solve(
+        self, overrides: Mapping[int, tuple[float, float]] | None = None
+    ) -> LpSolution:
+        """Solve with each link in ``overrides`` rebanded to ``(lo, up)``.
+
+        An override *replaces* the link's base band entirely (it is not
+        intersected with it), matching a from-scratch band construction
+        where the overridden links take their candidate-specific bounds.
+        """
+        overrides = dict(overrides or {})
+        for j, (lower, upper) in overrides.items():
+            if not 0 <= j < self.num_links:
+                raise AttackError(f"override link {j} out of range [0, {self.num_links})")
+            if lower > upper:
+                raise ValidationError(
+                    f"empty band for link {j}: [{lower}, {upper}]"
+                )
+
+        if not self._support:
+            lower = self._base_lower.copy()
+            upper = self._base_upper.copy()
+            for j, (lo, up) in overrides.items():
+                lower[j], upper[j] = lo, up
+            return _empty_support_solution(lower, upper, self._x_true, self.num_paths)
+
+        with perf.stage("lp_assembly"):
+            a_ub, b_ub = self._rows_for_overrides(overrides)
+        return _solve_assembled(
+            self._support, self.num_paths, a_ub, b_ub, self._a_eq, self._b_eq, self.cap
+        )
 
 
 def theorem1_manipulation(

@@ -9,6 +9,12 @@ search therefore scans single victims exhaustively; explicit
 ``victim_set_size > 1`` enumerates subsets of exactly that size for
 attackers who *want* several guaranteed scapegoats.
 
+The candidate scan shares one :class:`~repro.attacks.lp.IncrementalLpSolver`:
+the constraint block common to every victim set (controlled links normal,
+plus any exclusive/confined rows) is assembled once, and each candidate
+only splices in its own victim rows — the per-LP cost is the solver call,
+not the rebuild.
+
 Note the distinction the paper's Fig. 5 illustrates: the *required* victim
 set may be a single link, yet the damage-maximising manipulation typically
 drives several other free links above the abnormal threshold as a side
@@ -18,6 +24,7 @@ actually blame.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 from collections.abc import Iterable
 
@@ -25,7 +32,7 @@ import numpy as np
 
 from repro.attacks.base import AttackContext, AttackOutcome
 from repro.attacks.chosen_victim import build_chosen_victim_bands
-from repro.attacks.lp import solve_manipulation_lp
+from repro.attacks.lp import IncrementalLpSolver
 from repro.exceptions import ValidationError
 
 __all__ = ["MaxDamageAttack"]
@@ -48,7 +55,9 @@ class MaxDamageAttack:
         Chosen-victim constraint mode applied per candidate (``"paper"``
         or ``"exclusive"``).
     max_combinations:
-        Safety limit on enumerated subsets when ``victim_set_size > 1``.
+        Safety limit on subsets *examined* (including ones skipped for
+        containing controlled links) when ``victim_set_size > 1`` — it
+        bounds the work of the scan itself, not just the LPs solved.
     stop_at_first_feasible:
         Return the first feasible victim set instead of the best one.
         Success-probability experiments (Fig. 8) only need existence, and
@@ -92,6 +101,38 @@ class MaxDamageAttack:
             for j in self.candidates:
                 if not 0 <= j < context.num_links:
                     raise ValidationError(f"candidate link index {j} out of range")
+        self._solver: IncrementalLpSolver | None = None
+
+    def _candidate_solver(self) -> IncrementalLpSolver:
+        """The shared solver whose base block is every candidate's common part.
+
+        The base bands are the chosen-victim bands for an *empty* victim
+        set (controlled links normal, plus the exclusive/confined rows);
+        a candidate set then overrides exactly its victims' bands to the
+        abnormal requirement — byte-for-byte the bands a from-scratch
+        :func:`build_chosen_victim_bands` would produce for that set.
+        """
+        if self._solver is None:
+            base_bands = build_chosen_victim_bands(
+                self.context, (), self.mode, confined=self.confined
+            )
+            self._solver = IncrementalLpSolver(
+                self.context.operator,
+                self.context.baseline_estimate,
+                self.context.support,
+                self.context.num_paths,
+                base_bands,
+                cap=self.context.cap,
+                consistency_matrix=(
+                    self.context.residual_projector() if self.stealthy else None
+                ),
+            )
+        return self._solver
+
+    def _victim_overrides(self, subset: tuple[int, ...]) -> dict[int, tuple[float, float]]:
+        """Per-victim band override: estimate must exceed the abnormal bound."""
+        abnormal_bound = self.context.thresholds.upper + self.context.margin
+        return {j: (abnormal_bound, math.inf) for j in subset}
 
     def run(self) -> AttackOutcome:
         """Scan candidate victim sets; return the best feasible outcome.
@@ -103,30 +144,22 @@ class MaxDamageAttack:
             return AttackOutcome.infeasible(
                 self.strategy_name, "no manipulable victim candidates"
             )
+        solver = self._candidate_solver()
         best_solution = None
         best_victims: tuple[int, ...] = ()
         trace: list[dict] = []
         enumerated = 0
+        solved = 0
+        skipped_controlled = 0
         for subset in combinations(self.candidates, self.victim_set_size):
-            if any(j in self.context.controlled_links for j in subset):
-                continue
             if enumerated >= self.max_combinations:
                 break
             enumerated += 1
-            bands = build_chosen_victim_bands(
-                self.context, subset, self.mode, confined=self.confined
-            )
-            solution = solve_manipulation_lp(
-                self.context.operator,
-                self.context.baseline_estimate,
-                self.context.support,
-                self.context.num_paths,
-                bands,
-                cap=self.context.cap,
-                consistency_matrix=(
-                    self.context.residual_projector() if self.stealthy else None
-                ),
-            )
+            if any(j in self.context.controlled_links for j in subset):
+                skipped_controlled += 1
+                continue
+            solution = solver.solve(self._victim_overrides(subset))
+            solved += 1
             trace.append(
                 {
                     "victims": subset,
@@ -144,7 +177,7 @@ class MaxDamageAttack:
         if best_solution is None or best_solution.manipulation is None:
             return AttackOutcome.infeasible(
                 self.strategy_name,
-                f"no feasible victim set among {enumerated} candidates",
+                f"no feasible victim set among {solved} candidates",
             )
         outcome = AttackOutcome.from_manipulation(
             self.strategy_name,
@@ -156,7 +189,9 @@ class MaxDamageAttack:
                 "mode": self.mode,
                 "stealthy": self.stealthy,
                 "search_trace": trace,
-                "candidates_tried": enumerated,
+                "candidates_tried": solved,
+                "subsets_examined": enumerated,
+                "skipped_controlled": skipped_controlled,
                 "unbounded": best_solution.unbounded,
             },
         )
@@ -166,23 +201,12 @@ class MaxDamageAttack:
         """Damage achievable per single victim link (nan when infeasible).
 
         Convenience for Fig. 5-style analysis: which scapegoat is most
-        profitable, and by how much.
+        profitable, and by how much.  Reuses the shared incremental solver,
+        so the scan costs one LP solve per candidate.
         """
+        solver = self._candidate_solver()
         result: dict[int, float] = {}
         for j in self.candidates:
-            bands = build_chosen_victim_bands(
-                self.context, (j,), self.mode, confined=self.confined
-            )
-            solution = solve_manipulation_lp(
-                self.context.operator,
-                self.context.baseline_estimate,
-                self.context.support,
-                self.context.num_paths,
-                bands,
-                cap=self.context.cap,
-                consistency_matrix=(
-                    self.context.residual_projector() if self.stealthy else None
-                ),
-            )
+            solution = solver.solve(self._victim_overrides((j,)))
             result[j] = solution.damage if solution.feasible else float("nan")
         return result

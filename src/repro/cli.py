@@ -11,7 +11,9 @@ without writing any code:
 - ``experiment`` — run a Monte-Carlo experiment (fig7/fig8/fig9) at a
   configurable trial count;
 - ``reproduce`` — regenerate every Section V-B case study (Figs. 4-6,
-  the naive baseline, and the loss-domain variant) into a directory.
+  the naive baseline, and the loss-domain variant) into a directory;
+- ``bench`` — run the performance timing harness (instrumented pipeline
+  and seed-vs-optimized comparison) and write ``BENCH_*.json``.
 
 All output is plain text on stdout; exit status 0 on success, 2 on bad
 arguments (argparse convention).
@@ -83,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--out", default="reproduction", help="output directory")
     reproduce.add_argument("--seed", type=int, default=2017)
+
+    bench = sub.add_parser(
+        "bench", help="run the perf timing harness and write BENCH_*.json"
+    )
+    bench.add_argument(
+        "target",
+        choices=["fig1", "fig5", "all"],
+        nargs="?",
+        default="all",
+        help="fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: benchmarks/results/BENCH_<target>.json)",
+    )
+    bench.add_argument("--repeat", type=int, default=3, help="timing repetitions")
 
     return parser
 
@@ -367,6 +386,50 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        fig1_pipeline_benchmark,
+        fig5_assembly_benchmark,
+        write_bench_json,
+    )
+
+    if args.target == "fig1":
+        benchmarks = {"fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat)}
+    elif args.target == "fig5":
+        benchmarks = {"fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat)}
+    else:
+        benchmarks = {
+            "fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat),
+            "fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat),
+        }
+
+    default_name = "BENCH_perf.json" if args.target == "all" else f"BENCH_{args.target}.json"
+    out = Path(args.out) if args.out else Path("benchmarks") / "results" / default_name
+    path = write_bench_json(benchmarks, out)
+
+    for name, payload in benchmarks.items():
+        print(f"{name}: wall {payload['wall_s'] * 1e3:.2f} ms")
+        for stage_name, info in payload.get("stages", {}).items():
+            print(
+                f"  {stage_name:<18} {info['seconds'] * 1e3:9.3f} ms"
+                f"  ({info['calls']} calls)"
+            )
+        for counter, value in payload.get("counters", {}).items():
+            print(f"  {counter:<18} {value}")
+        speedup = payload.get("speedup")
+        if speedup:
+            print(
+                "  speedup vs seed    "
+                f"svd {speedup['svd']:.2f}x, "
+                f"lp-assembly {speedup['lp_assembly']:.2f}x, "
+                f"combined {speedup['combined']:.2f}x"
+            )
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -382,6 +445,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,278 @@
+"""Timing harness emitting machine-readable ``BENCH_*.json`` files.
+
+Two benchmarks back the performance trajectory:
+
+- :func:`fig1_pipeline_benchmark` instruments the full Fig. 1 attack
+  pipeline (scenario build, context, the three strategies, detection) and
+  reports per-stage wall time plus the library's internal counters (SVD
+  factorisations, LP solves, LP-assembly time).
+- :func:`fig5_assembly_benchmark` measures the optimisation this layer
+  exists for: the seed's three independent SVD/pinv factorisations and
+  per-candidate Python-loop LP assembly versus the shared
+  :class:`~repro.tomography.linear_system.LinearSystem` kernel and the
+  incremental vectorised assembly.  Both paths are timed on the Fig. 5
+  max-damage candidate scan and the speedups recorded.
+
+The JSON schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "created_unix": <float>,
+      "benchmarks": {
+        "<name>": {
+          "wall_s": <float>,
+          "stages": {"<stage>": {"seconds": <float>, "calls": <int>}},
+          "counters": {"svd": <int>, "lp_solve": <int>, ...},
+          ...benchmark-specific fields...
+        }
+      }
+    }
+
+Repro imports are deferred into the functions: the instrumented modules
+import ``repro.perf.instrumentation`` themselves, and eager imports here
+would cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.instrumentation import PerfRecorder, recording, stage
+
+__all__ = [
+    "fig1_pipeline_benchmark",
+    "fig5_assembly_benchmark",
+    "full_perf_benchmark",
+    "write_bench_json",
+]
+
+#: Schema version stamped into every BENCH_*.json payload.
+SCHEMA_VERSION = 1
+
+
+def _best_of(fn, repeat: int) -> float:
+    """Minimum wall time of ``repeat`` runs of ``fn`` (noise-robust)."""
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _seed_style_operators(matrix: np.ndarray) -> None:
+    """The seed's three independent factorisations of the same ``R``.
+
+    Before the shared kernel, the estimator (``least_squares_pinv``), the
+    column-space projector (``mat @ pinv(mat)``) and the nullspace
+    (a third SVD) each factorised ``R`` from scratch.
+    """
+    operator = np.linalg.pinv(matrix)
+    matrix @ np.linalg.pinv(matrix)
+    np.linalg.svd(matrix)
+    return operator
+
+
+def _shared_kernel_operators(matrix: np.ndarray) -> None:
+    """The same three operators off one :class:`LinearSystem` SVD."""
+    from repro.tomography.linear_system import LinearSystem
+
+    system = LinearSystem(matrix)
+    system.estimator
+    system.column_space_projector
+    system.nullspace
+
+
+def _seed_assemble_rows(sub_operator, bands, x_true) -> tuple:
+    """The seed's per-link Python-loop constraint assembly (reference)."""
+    num_links = sub_operator.shape[0]
+    a_rows: list[np.ndarray] = []
+    b_vals: list[float] = []
+    for j in range(num_links):
+        if np.isfinite(bands.upper[j]):
+            a_rows.append(sub_operator[j])
+            b_vals.append(float(bands.upper[j] - x_true[j]))
+        if np.isfinite(bands.lower[j]):
+            a_rows.append(-sub_operator[j])
+            b_vals.append(float(x_true[j] - bands.lower[j]))
+    a_ub = np.vstack(a_rows) if a_rows else None
+    b_ub = np.asarray(b_vals) if b_vals else None
+    return a_ub, b_ub
+
+
+def fig5_assembly_benchmark(*, repeat: int = 5, inner_loops: int = 50) -> dict:
+    """Seed vs. cached/vectorised path on the Fig. 5 max-damage scan.
+
+    Times, for the Fig. 1 scenario's full candidate-victim scan:
+
+    - ``svd``: three independent factorisations per context (seed) versus
+      one shared :class:`LinearSystem` SVD (optimised);
+    - ``lp_assembly``: per-candidate band construction + Python-loop row
+      assembly (seed) versus incremental row splicing off the shared base
+      block (optimised).
+
+    Each measurement is the best of ``repeat`` runs of ``inner_loops``
+    scan passes, so sub-millisecond stages are resolved well above timer
+    noise.  Also runs the real (instrumented) max-damage attack once and
+    embeds its stage/counter snapshot.
+    """
+    import math
+
+    from repro.attacks.chosen_victim import build_chosen_victim_bands
+    from repro.attacks.lp import IncrementalLpSolver
+    from repro.attacks.max_damage import MaxDamageAttack
+    from repro.scenarios.simple_network import paper_fig1_scenario
+
+    start = time.perf_counter()
+    scenario = paper_fig1_scenario()
+    context = scenario.attack_context(["B", "C"])
+    candidates = MaxDamageAttack(context).candidates
+    abnormal_bound = context.thresholds.upper + context.margin
+    support_cols = np.asarray(context.support, dtype=int)
+    sub_operator = context.operator[:, support_cols]
+
+    def seed_svd() -> None:
+        for _ in range(inner_loops):
+            _seed_style_operators(context.routing_matrix)
+
+    def shared_svd() -> None:
+        for _ in range(inner_loops):
+            _shared_kernel_operators(context.routing_matrix)
+
+    def seed_assembly() -> None:
+        for _ in range(inner_loops):
+            for j in candidates:
+                bands = build_chosen_victim_bands(context, (j,), "paper")
+                _seed_assemble_rows(sub_operator, bands, context.baseline_estimate)
+
+    base_bands = build_chosen_victim_bands(context, (), "paper")
+    solver = IncrementalLpSolver(
+        context.operator,
+        context.baseline_estimate,
+        context.support,
+        context.num_paths,
+        base_bands,
+        cap=context.cap,
+    )
+
+    def incremental_assembly() -> None:
+        for _ in range(inner_loops):
+            for j in candidates:
+                solver._rows_for_overrides({j: (abnormal_bound, math.inf)})
+
+    svd_seed_s = _best_of(seed_svd, repeat)
+    svd_shared_s = _best_of(shared_svd, repeat)
+    assembly_seed_s = _best_of(seed_assembly, repeat)
+    assembly_vectorized_s = _best_of(incremental_assembly, repeat)
+
+    recorder = PerfRecorder()
+    with recording(recorder):
+        with stage("max_damage_attack"):
+            outcome = MaxDamageAttack(context).run()
+            MaxDamageAttack(context).damage_by_victim()
+
+    seed_total = svd_seed_s + assembly_seed_s
+    optimized_total = svd_shared_s + assembly_vectorized_s
+    return {
+        "bench": "fig5_max_damage_perf",
+        "repeat": repeat,
+        "inner_loops": inner_loops,
+        "candidates": len(candidates),
+        "wall_s": time.perf_counter() - start,
+        "seed_path": {
+            "svd_s": svd_seed_s,
+            "lp_assembly_s": assembly_seed_s,
+            "total_s": seed_total,
+            "svd_calls_per_context": 3,
+        },
+        "optimized_path": {
+            "svd_s": svd_shared_s,
+            "lp_assembly_s": assembly_vectorized_s,
+            "total_s": optimized_total,
+            "svd_calls_per_context": 1,
+        },
+        "speedup": {
+            "svd": svd_seed_s / svd_shared_s if svd_shared_s > 0 else float("inf"),
+            "lp_assembly": (
+                assembly_seed_s / assembly_vectorized_s
+                if assembly_vectorized_s > 0
+                else float("inf")
+            ),
+            "combined": seed_total / optimized_total if optimized_total > 0 else float("inf"),
+        },
+        "attack": {
+            "feasible": bool(outcome.feasible),
+            "damage": float(outcome.damage),
+            **recorder.snapshot(),
+        },
+    }
+
+
+def fig1_pipeline_benchmark(*, repeat: int = 1) -> dict:
+    """Instrumented end-to-end run of the Fig. 1 attack pipeline.
+
+    Stages cover scenario construction, attack-context construction (one
+    shared SVD), the three strategies, and the consistency detector;
+    counters report every SVD factorisation and LP solve underneath.
+    ``repeat`` repeats the whole pipeline, accumulating into one recorder
+    (stage ``calls`` shows the multiplicity).
+    """
+    from repro.attacks.chosen_victim import ChosenVictimAttack
+    from repro.attacks.max_damage import MaxDamageAttack
+    from repro.attacks.obfuscation import ObfuscationAttack
+    from repro.detection.auditor import TomographyAuditor
+    from repro.scenarios.simple_network import paper_fig1_scenario
+
+    recorder = PerfRecorder()
+    start = time.perf_counter()
+    with recording(recorder):
+        for _ in range(max(1, repeat)):
+            with stage("scenario_build"):
+                scenario = paper_fig1_scenario()
+            with stage("context_build"):
+                context = scenario.attack_context(["B", "C"])
+            with stage("chosen_victim"):
+                chosen = ChosenVictimAttack(context, [9], mode="exclusive").run()
+            with stage("max_damage"):
+                MaxDamageAttack(context).run()
+            with stage("obfuscation"):
+                ObfuscationAttack(context, min_victims=1).run()
+            with stage("detection"):
+                auditor = TomographyAuditor(scenario.path_set, alpha=200.0)
+                assert chosen.observed_measurements is not None
+                auditor.audit(chosen.observed_measurements)
+    return {
+        "bench": "fig1_pipeline",
+        "repeat": repeat,
+        "wall_s": time.perf_counter() - start,
+        **recorder.snapshot(),
+    }
+
+
+def full_perf_benchmark(*, repeat: int = 3) -> dict:
+    """Both benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
+    return {
+        "fig1_pipeline": fig1_pipeline_benchmark(repeat=repeat),
+        "fig5_max_damage": fig5_assembly_benchmark(repeat=repeat),
+    }
+
+
+def write_bench_json(benchmarks: dict, path: str | Path) -> Path:
+    """Write ``benchmarks`` under the versioned envelope; returns the path.
+
+    ``benchmarks`` maps section name to a benchmark payload (one of the
+    ``*_benchmark`` results above, or any JSON-ready dict).
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "benchmarks": benchmarks,
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,117 @@
+"""Lightweight global instrumentation for the numerical hot paths.
+
+The library's expensive primitives (SVD factorisations, LP assembly, LP
+solves, Monte-Carlo trials) report events and stage timings here.  When no
+recorder is active — the normal case — every hook is a single global
+load plus a ``None`` check, so instrumentation costs nothing in
+production use.  The bench harness activates a :class:`PerfRecorder`
+around a workload and reads the aggregated counters/timings back out.
+
+Only stdlib is used; this module must stay import-free of the rest of
+``repro`` so that any layer (``utils``, ``attacks``, ``scenarios``) can
+report into it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+
+__all__ = [
+    "PerfRecorder",
+    "active_recorder",
+    "record_event",
+    "recording",
+    "stage",
+]
+
+
+class PerfRecorder:
+    """Aggregates event counts and per-stage wall-clock time.
+
+    Attributes
+    ----------
+    counters:
+        Event name -> occurrence count (e.g. ``"svd"``, ``"lp_solve"``).
+    stage_seconds:
+        Stage name -> cumulative wall seconds spent inside that stage.
+    stage_calls:
+        Stage name -> number of times the stage was entered.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.stage_seconds: dict[str, float] = {}
+        self.stage_calls: Counter[str] = Counter()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Record ``n`` occurrences of event ``name``."""
+        self.counters[name] += n
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with`` block under stage ``name`` (cumulative)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+            self.stage_calls[name] += 1
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "stages": {
+                name: {
+                    "seconds": self.stage_seconds[name],
+                    "calls": int(self.stage_calls[name]),
+                }
+                for name in sorted(self.stage_seconds)
+            },
+        }
+
+
+#: The currently active recorder (None = instrumentation disabled).
+_ACTIVE: PerfRecorder | None = None
+
+
+def active_recorder() -> PerfRecorder | None:
+    """The recorder events currently report into, if any."""
+    return _ACTIVE
+
+
+def record_event(name: str, n: int = 1) -> None:
+    """Report ``n`` occurrences of ``name`` to the active recorder."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)
+
+
+@contextmanager
+def stage(name: str):
+    """Time a block under ``name`` when a recorder is active, else no-op."""
+    if _ACTIVE is None:
+        yield None
+        return
+    with _ACTIVE.stage(name):
+        yield _ACTIVE
+
+
+@contextmanager
+def recording(recorder: PerfRecorder | None = None):
+    """Activate ``recorder`` (a fresh one by default) for the block.
+
+    Nesting replaces the active recorder for the inner block and restores
+    the outer one afterwards — inner workloads are attributed to the
+    innermost recorder only, keeping bench sections independent.
+    """
+    global _ACTIVE
+    rec = recorder if recorder is not None else PerfRecorder()
+    previous = _ACTIVE
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = previous

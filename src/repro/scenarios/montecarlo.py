@@ -4,19 +4,36 @@ Experiments are trials of a function over independent RNG streams, plus
 aggregation.  Centralising this keeps every figure driver reproducible and
 the seeding discipline uniform (child streams are spawned, so results do
 not depend on trial execution order).
+
+``run_trials`` can fan trials out over a process pool (``workers=N``).
+Because every trial draws from its own spawned child stream and results
+are reassembled in trial order, parallel runs are bit-identical to serial
+ones — parallelism is purely an executor choice, never a statistics one.
 """
 
 from __future__ import annotations
 
 import math
+import pickle
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.perf import instrumentation as perf
 from repro.utils.rng import spawn_rngs
 
 __all__ = ["run_trials", "binned_rate", "success_rate"]
+
+
+def _run_chunk(
+    trial: Callable[[np.random.Generator], dict | None],
+    rngs: list[np.random.Generator],
+) -> list[dict | None]:
+    """Worker body: run one chunk of trials serially (module-level so the
+    process pool can pickle it)."""
+    return [trial(rng) for rng in rngs]
 
 
 def run_trials(
@@ -24,22 +41,59 @@ def run_trials(
     trial: Callable[[np.random.Generator], dict | None],
     *,
     seed: object = 0,
+    workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> list[dict]:
     """Run ``trial`` over ``num_trials`` independent RNG streams.
 
     ``trial`` may return ``None`` to signal the draw was invalid (e.g. the
     sampled victim was unmeasured) — such trials are excluded from the
     result list, mirroring rejection sampling in the paper's setup.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` runs serially in-process (the default).  ``N > 1``
+        fans the trials out over an ``N``-process pool in chunks.  Results
+        are bit-identical to the serial path for the same seed: each trial
+        owns a spawned child stream, and outcomes are reassembled in trial
+        order regardless of which worker ran them.  The trial callable (and
+        anything it closes over) must be picklable — module-level functions
+        and ``functools.partial`` over picklable arguments qualify;
+        locally-defined closures do not.
+    chunk_size:
+        Trials per pool task (default: ``num_trials / (4 * workers)``,
+        at least 1).  Larger chunks amortise inter-process pickling;
+        smaller chunks balance uneven per-trial cost.
     """
     if num_trials < 1:
         raise ValidationError(f"num_trials must be >= 1, got {num_trials}")
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1 or None, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1 or None, got {chunk_size}")
+
     rngs = spawn_rngs(seed, num_trials)
-    results = []
-    for rng in rngs:
-        outcome = trial(rng)
-        if outcome is not None:
-            results.append(outcome)
-    return results
+    perf.record_event("mc_trial", num_trials)
+    with perf.stage("mc_trials"):
+        if workers is None or workers == 1:
+            outcomes = [trial(rng) for rng in rngs]
+        else:
+            try:
+                pickle.dumps(trial)
+            except Exception as exc:
+                raise ValidationError(
+                    "trial function must be picklable for workers > 1 "
+                    "(use a module-level function or functools.partial); "
+                    f"pickling failed with: {exc}"
+                ) from exc
+            chunk = chunk_size or max(1, math.ceil(num_trials / (4 * workers)))
+            chunks = [rngs[i : i + chunk] for i in range(0, num_trials, chunk)]
+            outcomes = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for part in pool.map(_run_chunk, [trial] * len(chunks), chunks):
+                    outcomes.extend(part)
+    return [outcome for outcome in outcomes if outcome is not None]
 
 
 def success_rate(results: Sequence[dict], flag: str = "success") -> float:

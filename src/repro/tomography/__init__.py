@@ -14,6 +14,7 @@ from repro.tomography.estimators import (
     RidgeEstimator,
 )
 from repro.tomography.linear_system import (
+    LinearSystem,
     estimator_operator,
     measurement_residual,
     residual_l1_norm,
@@ -24,6 +25,7 @@ __all__ = [
     "LeastSquaresEstimator",
     "NonNegativeEstimator",
     "RidgeEstimator",
+    "LinearSystem",
     "estimator_operator",
     "measurement_residual",
     "residual_l1_norm",

@@ -7,16 +7,156 @@ rank.  The *measurement residual* ``R x_hat - y'`` is the quantity the
 scapegoating detector thresholds (eq. 23 / Remark 4): honest measurements
 lie in the column space of ``R`` (up to noise), manipulated ones generally
 do not.
+
+:class:`LinearSystem` is the shared kernel behind all of this: it runs
+*one* economy SVD of ``R`` and derives every operator the library needs —
+``R⁺``, the column-space and residual projectors, rank/redundancy, and a
+nullspace basis — from the same factors.  Attack contexts, detectors and
+estimators that previously each ran their own ``pinv``/``svd`` now share
+these factorisations.
 """
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import numpy as np
 
-from repro.utils.linalg import least_squares_pinv
+from repro.utils.linalg import DEFAULT_RANK_TOL, compact_svd, pinv_from_svd
 from repro.utils.validation import check_finite_vector
 
-__all__ = ["estimator_operator", "measurement_residual", "residual_l1_norm"]
+__all__ = [
+    "LinearSystem",
+    "estimator_operator",
+    "measurement_residual",
+    "residual_l1_norm",
+]
+
+
+class LinearSystem:
+    """One-SVD kernel for the measurement system ``y = R x``.
+
+    Parameters
+    ----------
+    routing_matrix:
+        The 0/1 measurement matrix ``R`` (|P| x |L|).
+    rank_tol:
+        Relative singular-value cutoff for rank decisions (the library-wide
+        :data:`repro.utils.linalg.DEFAULT_RANK_TOL` by default).
+
+    The SVD runs once, lazily, on first use of any derived quantity; each
+    derived operator is then assembled from the shared factors and cached.
+    For a routing matrix this replaces three independent dense
+    factorisations (estimator ``pinv``, projector ``pinv``, nullspace
+    ``svd``) with one.
+    """
+
+    def __init__(
+        self, routing_matrix: np.ndarray, *, rank_tol: float = DEFAULT_RANK_TOL
+    ) -> None:
+        matrix = np.asarray(routing_matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"routing matrix must be 2-D, got ndim={matrix.ndim}")
+        self._matrix = matrix
+        self._rank_tol = float(rank_tol)
+
+    # -- shared factors ---------------------------------------------------
+
+    @cached_property
+    def _factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """``(u, s, vt, rank)`` — the one factorisation everything shares."""
+        return compact_svd(self._matrix, rank_tol=self._rank_tol)
+
+    # -- basic shape ------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The routing matrix ``R`` (not copied; treat as read-only)."""
+        return self._matrix
+
+    @property
+    def num_paths(self) -> int:
+        """Number of measurement paths (rows of ``R``)."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        """Number of links (columns of ``R``)."""
+        return self._matrix.shape[1]
+
+    # -- rank structure ---------------------------------------------------
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """The singular values of ``R`` (descending)."""
+        return self._factors[1]
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank of ``R`` under the shared cutoff."""
+        return self._factors[3]
+
+    @property
+    def redundancy(self) -> int:
+        """``|P| - rank`` — consistency rows available to the detector."""
+        return self.num_paths - self.rank
+
+    @property
+    def is_full_column_rank(self) -> bool:
+        """True when every link metric is identifiable (eq. 2 well posed)."""
+        return self.rank == self.num_links
+
+    # -- derived operators (each assembled once from the shared factors) --
+
+    @cached_property
+    def estimator(self) -> np.ndarray:
+        """``R⁺`` — the measurement-to-estimate operator (|L| x |P|)."""
+        return pinv_from_svd(*self._factors)
+
+    @cached_property
+    def column_space_projector(self) -> np.ndarray:
+        """``P = U_r U_r^T`` with ``P y = R R⁺ y`` (|P| x |P|)."""
+        u, _, _, rank = self._factors
+        return u[:, :rank] @ u[:, :rank].T
+
+    @cached_property
+    def residual_projector(self) -> np.ndarray:
+        """``I - R R⁺`` — its kernel is the eq. (23) detector's blind set."""
+        return np.eye(self.num_paths) - self.column_space_projector
+
+    @cached_property
+    def nullspace(self) -> np.ndarray:
+        """Orthonormal right-nullspace basis as columns (|L| x (|L|-rank))."""
+        if self._matrix.size == 0:
+            return np.eye(self.num_links)
+        _, _, vt, rank = self._factors
+        return vt[rank:].T.copy()
+
+    # -- operations -------------------------------------------------------
+
+    def estimate(self, observed: np.ndarray) -> np.ndarray:
+        """Least-squares estimate ``x_hat = R⁺ y`` (eq. 2)."""
+        y = check_finite_vector(observed, "observed", length=self.num_paths)
+        return self.estimator @ y
+
+    def predict(self, metrics: np.ndarray) -> np.ndarray:
+        """Forward model ``y = R x`` (eq. 1)."""
+        x = check_finite_vector(metrics, "metrics", length=self.num_links)
+        return self._matrix @ x
+
+    def residual(self, observed: np.ndarray) -> np.ndarray:
+        """Per-path residual ``R x_hat - y`` of the observed vector.
+
+        Computed as ``(P - I) y`` from the shared column-space projector —
+        identical to estimating first and re-predicting, without the
+        round trip through link space.
+        """
+        y = check_finite_vector(observed, "observed", length=self.num_paths)
+        return self.column_space_projector @ y - y
+
+    def residual_l1(self, observed: np.ndarray) -> float:
+        """The detector statistic ``||R x_hat - y'||_1`` of Remark 4."""
+        return float(np.abs(self.residual(observed)).sum())
 
 
 def estimator_operator(routing_matrix: np.ndarray) -> np.ndarray:
@@ -26,9 +166,11 @@ def estimator_operator(routing_matrix: np.ndarray) -> np.ndarray:
     minimum-norm least-squares operator.  Attack planners use the *same*
     operator to predict what tomography will conclude — the attacker and
     the operator share the public algorithm, only the attacker also knows
-    the manipulation.
+    the manipulation.  One-shot convenience over :class:`LinearSystem`;
+    callers needing several operators of the same ``R`` should hold a
+    :class:`LinearSystem` instead.
     """
-    return least_squares_pinv(routing_matrix)
+    return LinearSystem(routing_matrix).estimator
 
 
 def measurement_residual(

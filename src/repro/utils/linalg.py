@@ -4,14 +4,24 @@ These are thin, well-tested wrappers over :mod:`numpy.linalg` that fix the
 tolerance conventions used throughout the tomography and attack code.  The
 routing matrices produced by this library are small dense 0/1 matrices, so
 dense SVD-based routines are appropriate.
+
+Everything rank-related funnels through :func:`compact_svd` — one SVD with
+one cutoff convention — so the derived operators (pseudo-inverse,
+projectors, nullspace) are mutually consistent.  Callers that need several
+operators of the *same* matrix should use
+:class:`repro.tomography.linear_system.LinearSystem`, which factorises
+once and derives them all from the shared factors.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.perf.instrumentation import record_event
+
 __all__ = [
     "column_rank",
+    "compact_svd",
     "is_full_column_rank",
     "least_squares_pinv",
     "nullspace",
@@ -30,6 +40,32 @@ def _as_matrix(matrix: np.ndarray) -> np.ndarray:
     return out
 
 
+def compact_svd(
+    matrix: np.ndarray, rank_tol: float = DEFAULT_RANK_TOL
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """One SVD, one cutoff: returns ``(u, s, vt, rank)``.
+
+    ``u`` has ``min(m, n)`` columns (economy form), while ``vt`` is always
+    the *complete* ``n x n`` right-singular basis so the trailing rows span
+    the nullspace even for wide matrices.  ``rank`` counts singular values
+    above ``rank_tol * max(m, n) * s_max`` — the same convention
+    :func:`nullspace` has always used, now shared by every derived
+    operator.
+    """
+    mat = _as_matrix(matrix)
+    m, n = mat.shape
+    if mat.size == 0:
+        return np.zeros((m, 0)), np.zeros(0), np.eye(n), 0
+    record_event("svd")
+    # full_matrices only when the matrix is wide: that is the one case the
+    # economy factorisation would truncate the right-singular basis needed
+    # for the nullspace.
+    u, s, vt = np.linalg.svd(mat, full_matrices=m < n)
+    cutoff = rank_tol * max(m, n) * (s[0] if s.size else 1.0)
+    rank = int(np.sum(s > cutoff))
+    return u, s, vt, rank
+
+
 def column_rank(matrix: np.ndarray, tol: float | None = None) -> int:
     """Return the numerical rank of ``matrix``.
 
@@ -39,6 +75,7 @@ def column_rank(matrix: np.ndarray, tol: float | None = None) -> int:
     mat = _as_matrix(matrix)
     if mat.size == 0:
         return 0
+    record_event("svd")
     return int(np.linalg.matrix_rank(mat, tol=tol))
 
 
@@ -54,6 +91,15 @@ def is_full_column_rank(matrix: np.ndarray, tol: float | None = None) -> bool:
     return column_rank(mat, tol=tol) == mat.shape[1]
 
 
+def pinv_from_svd(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, rank: int
+) -> np.ndarray:
+    """Assemble ``V_r diag(1/s_r) U_r^T`` from precomputed SVD factors."""
+    if rank == 0:
+        return np.zeros((vt.shape[1], u.shape[0]))
+    return (vt[:rank].T / s[:rank]) @ u[:, :rank].T
+
+
 def least_squares_pinv(matrix: np.ndarray) -> np.ndarray:
     """Return the Moore-Penrose pseudo-inverse of ``matrix``.
 
@@ -62,7 +108,7 @@ def least_squares_pinv(matrix: np.ndarray) -> np.ndarray:
     rank-deficient systems it yields the minimum-norm least-squares solution
     operator.
     """
-    return np.linalg.pinv(_as_matrix(matrix))
+    return pinv_from_svd(*compact_svd(matrix))
 
 
 def nullspace(matrix: np.ndarray, tol: float = DEFAULT_RANK_TOL) -> np.ndarray:
@@ -74,10 +120,8 @@ def nullspace(matrix: np.ndarray, tol: float = DEFAULT_RANK_TOL) -> np.ndarray:
     mat = _as_matrix(matrix)
     if mat.size == 0:
         return np.eye(mat.shape[1])
-    _, s, vt = np.linalg.svd(mat)
-    cutoff = tol * max(mat.shape) * (s[0] if s.size else 1.0)
-    num_nonzero = int(np.sum(s > cutoff))
-    return vt[num_nonzero:].T.copy()
+    _, _, vt, rank = compact_svd(mat, rank_tol=tol)
+    return vt[rank:].T.copy()
 
 
 def projector_onto_column_space(matrix: np.ndarray) -> np.ndarray:
@@ -87,5 +131,5 @@ def projector_onto_column_space(matrix: np.ndarray) -> np.ndarray:
     of Section IV-B tests against its threshold: measurements consistent with
     *some* link-metric vector lie exactly in the column space of ``R``.
     """
-    mat = _as_matrix(matrix)
-    return mat @ np.linalg.pinv(mat)
+    u, _, _, rank = compact_svd(matrix)
+    return u[:, :rank] @ u[:, :rank].T

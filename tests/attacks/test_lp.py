@@ -1,10 +1,13 @@
 """Tests for the shared manipulation LP."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.attacks.lp import (
     BandConstraints,
+    IncrementalLpSolver,
     solve_manipulation_lp,
     theorem1_manipulation,
 )
@@ -127,6 +130,127 @@ class TestSolveLp:
         bands = BandConstraints.unbounded(10)
         with pytest.raises(ValidationError):
             solve_manipulation_lp(operator, x, [0], 23, bands, cap=-5.0)
+
+
+class TestIncrementalLpSolver:
+    """Incremental band edits must be indistinguishable from re-assembly."""
+
+    @staticmethod
+    def _base_bands(x):
+        bands = BandConstraints.unbounded(10)
+        for j in range(5):
+            bands.require_at_most(j, 99.0)
+        bands.require_at_least(7, float(x[7]))
+        return bands
+
+    def test_override_matches_from_scratch(self, fig1_system):
+        _, operator, x = fig1_system
+        support = list(range(0, 23, 2))
+        solver = IncrementalLpSolver(
+            operator, x, support, 23, self._base_bands(x), cap=2000.0
+        )
+        for j in (5, 8, 9):
+            scratch = self._base_bands(x)
+            scratch.lower[j], scratch.upper[j] = 801.0, math.inf
+            reference = solve_manipulation_lp(
+                operator, x, support, 23, scratch, cap=2000.0
+            )
+            incremental = solver.solve({j: (801.0, math.inf)})
+            assert incremental.feasible == reference.feasible
+            if reference.feasible:
+                assert np.array_equal(incremental.manipulation, reference.manipulation)
+                assert incremental.damage == reference.damage
+
+    def test_override_replaces_existing_band_rows(self, fig1_system):
+        """Overriding a link that already has base rows swaps them out."""
+        _, operator, x = fig1_system
+        support = list(range(23))
+        solver = IncrementalLpSolver(
+            operator, x, support, 23, self._base_bands(x), cap=2000.0
+        )
+        scratch = BandConstraints.unbounded(10)
+        for j in range(5):
+            if j != 2:
+                scratch.require_at_most(j, 99.0)
+        scratch.require_at_least(7, float(x[7]))
+        scratch.lower[2], scratch.upper[2] = 801.0, math.inf
+        reference = solve_manipulation_lp(operator, x, support, 23, scratch, cap=2000.0)
+        incremental = solver.solve({2: (801.0, math.inf)})
+        assert incremental.feasible == reference.feasible
+        if reference.feasible:
+            assert np.array_equal(incremental.manipulation, reference.manipulation)
+
+    def test_no_overrides_matches_base(self, fig1_system):
+        _, operator, x = fig1_system
+        support = [0, 1, 2]
+        bands = self._base_bands(x)
+        solver = IncrementalLpSolver(operator, x, support, 23, bands, cap=500.0)
+        reference = solve_manipulation_lp(operator, x, support, 23, bands, cap=500.0)
+        incremental = solver.solve()
+        assert np.array_equal(incremental.manipulation, reference.manipulation)
+
+    def test_unbounding_override_removes_rows(self, fig1_system):
+        """Overriding to an unbounded band deletes the link's base rows."""
+        _, operator, x = fig1_system
+        support = [0, 1, 2]
+        solver = IncrementalLpSolver(
+            operator, x, support, 23, self._base_bands(x), cap=100.0
+        )
+        scratch = self._base_bands(x)
+        scratch.lower[0], scratch.upper[0] = -math.inf, math.inf
+        reference = solve_manipulation_lp(operator, x, support, 23, scratch, cap=100.0)
+        incremental = solver.solve({0: (-math.inf, math.inf)})
+        assert np.array_equal(incremental.manipulation, reference.manipulation)
+
+    def test_consistency_matrix_applied(self, fig1_system):
+        matrix, operator, x = fig1_system
+        projector = np.eye(23) - matrix @ operator
+        support = list(range(23))
+        solver = IncrementalLpSolver(
+            operator,
+            x,
+            support,
+            23,
+            BandConstraints.unbounded(10),
+            cap=2000.0,
+            consistency_matrix=projector,
+        )
+        solution = solver.solve({0: (float(x[0] + 50.0), math.inf)})
+        assert solution.feasible
+        assert np.abs(projector @ solution.manipulation).max() < 1e-6
+
+    def test_empty_support_uses_baseline_check(self, fig1_system):
+        _, operator, x = fig1_system
+        solver = IncrementalLpSolver(
+            operator, x, [], 23, BandConstraints.unbounded(10), cap=2000.0
+        )
+        assert solver.solve().feasible
+        # A demanded estimate raise is impossible with no supported paths.
+        assert not solver.solve({9: (float(x[9] + 100.0), math.inf)}).feasible
+
+    def test_invalid_override_rejected(self, fig1_system):
+        _, operator, x = fig1_system
+        solver = IncrementalLpSolver(
+            operator, x, [0], 23, BandConstraints.unbounded(10), cap=2000.0
+        )
+        with pytest.raises(ValidationError, match="empty band"):
+            solver.solve({0: (10.0, 5.0)})
+        with pytest.raises(AttackError, match="out of range"):
+            solver.solve({99: (0.0, 1.0)})
+
+
+class TestUnboundedResolve:
+    def test_cap_none_single_assembly(self, fig1_system):
+        """The unbounded re-solve path must reuse assembled constraints:
+        exactly one lp_assembly stage entry for the whole call."""
+        from repro.perf.instrumentation import PerfRecorder, recording
+
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        with recording(PerfRecorder()) as recorder:
+            solution = solve_manipulation_lp(operator, x, [0, 1], 23, bands, cap=None)
+        assert solution.unbounded
+        assert recorder.stage_calls["lp_assembly"] == 1
 
 
 class TestTheorem1Construction:

@@ -8,6 +8,15 @@ from repro.exceptions import ValidationError
 from repro.scenarios.montecarlo import binned_rate, run_trials, success_rate
 
 
+def _stochastic_trial(rng):
+    """Module-level (hence picklable) trial: several draws, rejection path."""
+    value = float(rng.random())
+    bonus = float(rng.normal())
+    if value < 0.2:
+        return None
+    return {"value": value, "bonus": bonus, "success": value > 0.6}
+
+
 class TestRunTrials:
     def test_count_and_determinism(self):
         def trial(rng):
@@ -39,6 +48,40 @@ class TestRunTrials:
     def test_zero_trials_rejected(self):
         with pytest.raises(ValidationError):
             run_trials(0, lambda rng: {}, seed=0)
+
+
+class TestRunTrialsWorkers:
+    def test_workers_bit_identical_to_serial(self):
+        """The acceptance criterion: parallel aggregates == serial ones."""
+        serial = run_trials(24, _stochastic_trial, seed=42, workers=1)
+        parallel = run_trials(24, _stochastic_trial, seed=42, workers=4)
+        assert serial == parallel
+        assert success_rate(serial) == success_rate(parallel)
+
+    def test_workers_with_explicit_chunk_size(self):
+        serial = run_trials(11, _stochastic_trial, seed=5)
+        parallel = run_trials(11, _stochastic_trial, seed=5, workers=2, chunk_size=3)
+        assert serial == parallel
+
+    def test_rejection_sampling_preserved_across_workers(self):
+        results = run_trials(40, _stochastic_trial, seed=0, workers=2)
+        assert 0 < len(results) < 40
+        assert all(r["value"] >= 0.2 for r in results)
+
+    def test_unpicklable_trial_rejected_clearly(self):
+        captured = {}
+
+        def closure_trial(rng):  # pragma: no cover - never actually runs
+            return {"x": captured}
+
+        with pytest.raises(ValidationError, match="picklable"):
+            run_trials(4, closure_trial, seed=0, workers=2)
+
+    def test_bad_workers_and_chunk_size_rejected(self):
+        with pytest.raises(ValidationError):
+            run_trials(4, _stochastic_trial, seed=0, workers=0)
+        with pytest.raises(ValidationError):
+            run_trials(4, _stochastic_trial, seed=0, workers=2, chunk_size=0)
 
 
 class TestSuccessRate:

@@ -4,10 +4,109 @@ import numpy as np
 import pytest
 
 from repro.tomography.linear_system import (
+    LinearSystem,
     estimator_operator,
     measurement_residual,
     residual_l1_norm,
 )
+
+
+def _rank_deficient_matrix() -> np.ndarray:
+    """A 6x5 matrix of rank 3 with a clean singular-value gap."""
+    rng = np.random.default_rng(7)
+    left = rng.random((6, 3))
+    right = rng.random((3, 5))
+    return left @ right
+
+
+def _wide_rank_deficient_matrix() -> np.ndarray:
+    """A 4x7 (wide) matrix of rank 2."""
+    rng = np.random.default_rng(11)
+    return rng.random((4, 2)) @ rng.random((2, 7))
+
+
+class TestLinearSystemParity:
+    """The shared-SVD kernel must match the independent-factorisation
+    results (old ``np.linalg.pinv`` / projector / nullspace paths)."""
+
+    @pytest.fixture(params=["full_rank", "rank_deficient", "wide"])
+    def matrix(self, request, fig1_scenario):
+        if request.param == "full_rank":
+            return fig1_scenario.path_set.routing_matrix()
+        if request.param == "rank_deficient":
+            return _rank_deficient_matrix()
+        return _wide_rank_deficient_matrix()
+
+    def test_estimator_matches_numpy_pinv(self, matrix):
+        system = LinearSystem(matrix)
+        assert np.allclose(system.estimator, np.linalg.pinv(matrix), atol=1e-12)
+
+    def test_column_space_projector_matches_pinv_product(self, matrix):
+        system = LinearSystem(matrix)
+        reference = matrix @ np.linalg.pinv(matrix)
+        assert np.allclose(system.column_space_projector, reference, atol=1e-12)
+
+    def test_residual_projector_matches_identity_minus_product(self, matrix):
+        system = LinearSystem(matrix)
+        reference = np.eye(matrix.shape[0]) - matrix @ np.linalg.pinv(matrix)
+        assert np.allclose(system.residual_projector, reference, atol=1e-12)
+
+    def test_nullspace_spans_kernel(self, matrix):
+        system = LinearSystem(matrix)
+        basis = system.nullspace
+        assert basis.shape == (matrix.shape[1], matrix.shape[1] - system.rank)
+        assert np.allclose(matrix @ basis, 0.0, atol=1e-10)
+        # Orthonormal columns.
+        assert np.allclose(basis.T @ basis, np.eye(basis.shape[1]), atol=1e-12)
+
+    def test_rank_matches_numpy(self, matrix):
+        assert LinearSystem(matrix).rank == np.linalg.matrix_rank(matrix)
+
+
+class TestLinearSystem:
+    def test_shape_and_redundancy(self, fig1_scenario):
+        system = LinearSystem(fig1_scenario.path_set.routing_matrix())
+        assert (system.num_paths, system.num_links) == (23, 10)
+        assert system.rank == 10
+        assert system.redundancy == 13
+        assert system.is_full_column_rank
+
+    def test_estimate_predict_roundtrip(self, fig1_scenario):
+        system = LinearSystem(fig1_scenario.path_set.routing_matrix())
+        x = fig1_scenario.true_metrics
+        assert np.allclose(system.estimate(system.predict(x)), x)
+
+    def test_residual_matches_explicit_computation(self, fig1_scenario):
+        matrix = fig1_scenario.path_set.routing_matrix()
+        system = LinearSystem(matrix)
+        rng = np.random.default_rng(3)
+        y = rng.random(matrix.shape[0]) * 100
+        explicit = measurement_residual(matrix, system.estimate(y), y)
+        assert np.allclose(system.residual(y), explicit, atol=1e-10)
+        assert system.residual_l1(y) == pytest.approx(
+            residual_l1_norm(matrix, system.estimate(y), y)
+        )
+
+    def test_derived_operators_cached(self, fig1_scenario):
+        system = LinearSystem(fig1_scenario.path_set.routing_matrix())
+        assert system.estimator is system.estimator
+        assert system.residual_projector is system.residual_projector
+
+    def test_single_svd_shared_across_operators(self, fig1_scenario):
+        from repro.perf.instrumentation import PerfRecorder, recording
+
+        with recording(PerfRecorder()) as recorder:
+            system = LinearSystem(fig1_scenario.path_set.routing_matrix())
+            system.estimator
+            system.column_space_projector
+            system.residual_projector
+            system.nullspace
+            system.rank
+        assert recorder.counters["svd"] == 1
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSystem(np.ones(4))
 
 
 class TestEstimatorOperator:
