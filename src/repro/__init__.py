@@ -28,6 +28,7 @@ per-figure reproduction harness.
 from repro.exceptions import (
     AttackConstraintError,
     AttackError,
+    ContractViolation,
     DetectionError,
     IdentifiabilityError,
     InfeasibleAttackError,
@@ -116,6 +117,7 @@ __all__ = [
     "InfeasibleAttackError",
     "DetectionError",
     "ValidationError",
+    "ContractViolation",
     # topology
     "Link",
     "Topology",

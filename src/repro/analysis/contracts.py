@@ -1,0 +1,210 @@
+"""Runtime contracts for the ``y = R x`` algebra at public entry points.
+
+The paper's pipeline rests on a handful of structural facts that, when
+violated, fail only as quietly wrong Monte-Carlo numbers: the routing
+matrix ``R`` is 0/1 of shape ``(n_paths, n_links)``, manipulation vectors
+obey Constraint 1 (``m >= 0``, supported only on attacker paths), and the
+state bands are ordered (``b_l <= b_u``).  The :func:`contract` decorator
+checks these at module boundaries — but only when contracts are switched
+on, so production hot paths pay a single boolean test per call.
+
+Enablement: the test suite switches contracts on globally via an autouse
+conftest fixture; ``REPRO_CONTRACTS=1`` in the environment does the same
+for ad-hoc runs.  Violations raise :class:`ContractViolation`
+(a :class:`~repro.exceptions.ValidationError`), naming the entry point and
+the offending argument.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from collections.abc import Callable, Sequence
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.exceptions import ContractViolation
+
+__all__ = [
+    "ContractViolation",
+    "check_band_bounds",
+    "check_constraint1",
+    "check_routing_matrix",
+    "contract",
+    "contracts_active",
+    "contracts_enabled",
+    "disable_contracts",
+    "enable_contracts",
+]
+
+_enabled: bool = os.environ.get("REPRO_CONTRACTS", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def contracts_enabled() -> bool:
+    """True when contract decorators actively validate (default: off)."""
+    return _enabled
+
+
+def enable_contracts() -> None:
+    """Switch every :func:`contract`-decorated entry point to validating."""
+    global _enabled
+    _enabled = True
+
+
+def disable_contracts() -> None:
+    """Return contract decorators to their production no-op mode."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def contracts_active(enabled: bool = True):
+    """Temporarily force contracts on (or off) within a ``with`` block."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+# -- checkers -------------------------------------------------------------
+
+
+def check_routing_matrix(value: object, name: str = "routing_matrix") -> None:
+    """``R`` must be a 2-D 0/1 matrix — the measurement model of eq. (1).
+
+    A non-binary ``R`` means some path counts a link fractionally or
+    multiply, which silently corrupts every derived operator (estimator,
+    projectors, nullspace) while staying numerically plausible.
+    """
+    matrix = np.asarray(value, dtype=float)
+    if matrix.ndim != 2:
+        raise ContractViolation(
+            f"{name} must be 2-D (n_paths x n_links), got ndim={matrix.ndim}"
+        )
+    if matrix.size and not np.all((matrix == 0.0) | (matrix == 1.0)):
+        bad = np.argwhere((matrix != 0.0) & (matrix != 1.0))
+        row, col = (int(v) for v in bad[0])
+        raise ContractViolation(
+            f"{name} must be a 0/1 incidence matrix; entry "
+            f"[{row}, {col}] = {matrix[row, col]!r}"
+        )
+
+
+def check_constraint1(
+    manipulation: object,
+    support: Sequence[int],
+    num_paths: int,
+    *,
+    name: str = "manipulation",
+    atol: float = 1e-6,
+) -> None:
+    """Constraint 1: ``m >= 0`` and supported only on attacker paths.
+
+    ``atol`` absorbs LP-solver round-off; anything beyond it is a planner
+    bug leaking manipulation onto honest paths (which the paper's threat
+    model forbids — the attacker cannot touch traffic it does not carry).
+    """
+    m = np.asarray(manipulation, dtype=float)
+    if m.shape != (num_paths,):
+        raise ContractViolation(
+            f"{name} must have shape ({num_paths},), got {m.shape}"
+        )
+    if not np.all(np.isfinite(m)):
+        raise ContractViolation(f"{name} must be finite")
+    if m.size and float(m.min()) < -atol:
+        raise ContractViolation(
+            f"{name} violates Constraint 1: negative entry {float(m.min()):.6g} "
+            "(attackers can only add delay/loss)"
+        )
+    mask = np.zeros(num_paths, dtype=bool)
+    support_idx = list(support)
+    if support_idx:
+        mask[np.asarray(support_idx, dtype=int)] = True
+    off = np.abs(m[~mask])
+    if off.size and float(off.max()) > atol:
+        bad = int(np.flatnonzero(~mask & (np.abs(m) > atol))[0])
+        raise ContractViolation(
+            f"{name} violates Constraint 1: path {bad} carries "
+            f"{float(m[bad]):.6g} but contains no attacker node"
+        )
+
+
+def check_band_bounds(thresholds: object, name: str = "thresholds") -> None:
+    """State bands must satisfy ``b_l <= b_u`` with finite, ordered bounds."""
+    lower = getattr(thresholds, "lower", None)
+    upper = getattr(thresholds, "upper", None)
+    if lower is None or upper is None:
+        try:
+            lower, upper = thresholds  # type: ignore[misc]
+        except (TypeError, ValueError):
+            raise ContractViolation(
+                f"{name} must expose (lower, upper) band bounds, "
+                f"got {type(thresholds).__name__}"
+            ) from None
+    lower, upper = float(lower), float(upper)
+    if not (np.isfinite(lower) and np.isfinite(upper)):
+        raise ContractViolation(f"{name} band bounds must be finite")
+    if lower > upper:
+        raise ContractViolation(
+            f"{name} band bounds out of order: b_l={lower} > b_u={upper}"
+        )
+
+
+# -- the decorator --------------------------------------------------------
+
+
+def contract(
+    *call_checks: Callable[[dict], None],
+    **param_checks: Callable[[object, str], None],
+) -> Callable:
+    """Attach contract checks to a function or method.
+
+    ``param_checks`` maps parameter names to ``checker(value, name)``
+    callables run on the bound argument; ``call_checks`` are
+    ``checker(arguments)`` callables receiving the full bound-argument
+    mapping (for cross-parameter invariants such as Constraint 1, which
+    needs the manipulation vector *and* the context's support rows).
+
+    When contracts are disabled (production default) the wrapper costs one
+    boolean test; checks never run.  Checker failures raise
+    :class:`ContractViolation` annotated with the entry-point name.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        signature = inspect.signature(fn)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if _enabled:
+                bound = signature.bind(*args, **kwargs)
+                bound.apply_defaults()
+                arguments = bound.arguments
+                try:
+                    for param, checker in param_checks.items():
+                        if param in arguments:
+                            checker(arguments[param], param)
+                    for checker in call_checks:
+                        checker(arguments)
+                except ContractViolation as exc:
+                    raise ContractViolation(
+                        f"{fn.__qualname__}: {exc}"
+                    ) from exc
+            return fn(*args, **kwargs)
+
+        wrapper.__repro_contract__ = {  # type: ignore[attr-defined]
+            "params": tuple(param_checks),
+            "call_checks": len(call_checks),
+        }
+        return wrapper
+
+    return decorate

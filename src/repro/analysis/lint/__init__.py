@@ -1,0 +1,43 @@
+"""AST-based lint engine with repo-specific rules (RP001–RP005).
+
+Public surface:
+
+- :func:`lint_paths` / :func:`lint_file` — run the rules over files,
+- :func:`format_violations` — text/JSON report shaping,
+- :func:`all_rules` — the registry (feeds ``--select`` and the docs table),
+- :class:`Violation` — one finding.
+
+See :mod:`repro.analysis.lint.rules` for what each rule enforces and why.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import (
+    collect_python_files,
+    format_violations,
+    lint_file,
+    lint_paths,
+    noqa_rules_for_line,
+)
+from repro.analysis.lint.registry import (
+    LintRule,
+    ModuleSource,
+    Violation,
+    all_rules,
+    register_rule,
+    resolve_selection,
+)
+
+__all__ = [
+    "LintRule",
+    "ModuleSource",
+    "Violation",
+    "all_rules",
+    "collect_python_files",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "noqa_rules_for_line",
+    "register_rule",
+    "resolve_selection",
+]

@@ -1,0 +1,173 @@
+"""Lint engine: file walking, parsing, suppression, and report shaping.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only): it walks
+the given files/directories, parses each module once, hands the tree to
+every selected rule, and filters findings through per-line
+``# repro: noqa`` / ``# repro: noqa RP001,RP002`` suppressions.  Parse
+failures surface as ``RP000`` findings so a syntactically broken file
+fails the lint run instead of being skipped silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.lint.registry import (
+    LintRule,
+    ModuleSource,
+    Violation,
+    all_rules,
+    resolve_selection,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "collect_python_files",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "noqa_rules_for_line",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*))?",
+    re.IGNORECASE,
+)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist"})
+
+
+def noqa_rules_for_line(line: str) -> frozenset[str] | None:
+    """Suppression spec of one physical line.
+
+    Returns ``None`` when the line has no ``repro: noqa`` comment, an empty
+    frozenset for a blanket ``# repro: noqa`` (suppress every rule), or the
+    set of rule ids for a targeted ``# repro: noqa RP001,RP002``.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(code.strip().upper() for code in codes.split(","))
+
+
+def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    spec = noqa_rules_for_line(lines[violation.line - 1])
+    if spec is None:
+        return False
+    return not spec or violation.rule in spec
+
+
+def collect_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises :class:`~repro.exceptions.ValidationError` for paths that do not
+    exist — a typo'd path must not pass as "nothing to lint".
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise ValidationError(f"lint path {raw!s} does not exist")
+    return sorted(files)
+
+
+def _relative_to_root(path: Path, roots: Sequence[Path]) -> str:
+    for root in roots:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def lint_file(
+    path: Path, rules: Sequence[LintRule], *, rel_path: str | None = None
+) -> list[Violation]:
+    """Lint one file with the given rule instances."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="RP000",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    module = ModuleSource(
+        path=path,
+        rel_path=rel_path if rel_path is not None else path.as_posix(),
+        source=source,
+        tree=tree,
+        lines=lines,
+    )
+    found: list[Violation] = []
+    for rule in rules:
+        found.extend(v for v in rule.check(module) if not _suppressed(v, lines))
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Lint files/directories; returns all violations sorted by location.
+
+    ``select`` limits the run to the given rule ids (``None`` = all
+    registered rules); unknown ids raise
+    :class:`~repro.exceptions.ValidationError`.
+    """
+    path_list = [Path(p) for p in paths]
+    rules = resolve_selection(select)
+    roots = [p if p.is_dir() else p.parent for p in path_list]
+    violations: list[Violation] = []
+    for file_path in collect_python_files(path_list):
+        rel = _relative_to_root(file_path, roots)
+        violations.extend(lint_file(file_path, rules, rel_path=rel))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def format_violations(
+    violations: Sequence[Violation], *, fmt: str = "text", select: Iterable[str] | None = None
+) -> str:
+    """Render violations as ``text`` or ``json`` (machine-readable report)."""
+    if fmt == "text":
+        if not violations:
+            return "repro lint: clean"
+        lines = [v.render() for v in violations]
+        lines.append(f"repro lint: {len(violations)} violation(s)")
+        return "\n".join(lines)
+    if fmt == "json":
+        selected = sorted(
+            {code.strip().upper() for code in select} if select else all_rules()
+        )
+        payload = {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+            "rules": selected,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    raise ValidationError(f"unknown lint output format {fmt!r}")

@@ -1,0 +1,146 @@
+"""Rule registry for the repo lint engine.
+
+Rules are small classes registered by decorator so the engine, the CLI's
+``--select`` handling, and the documentation table all draw from one
+source of truth.  Each rule inspects one parsed module at a time and
+yields :class:`~repro.analysis.lint.engine.Violation` records; the engine
+owns file walking, ``# repro: noqa`` suppression, and output formatting.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "LintRule",
+    "ModuleSource",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "resolve_selection",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, pointing at a source location.
+
+    ``rule`` is the ``RPxxx`` identifier, ``line``/``col`` are 1-based /
+    0-based respectively (the ``path:line:col:`` convention used by every
+    mainstream linter, so editors can jump to the site).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly record (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module handed to every rule.
+
+    ``rel_path`` uses forward slashes relative to the lint root so rules
+    can express path-based exemptions (``perf/``, the linalg kernel)
+    portably.
+    """
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when the module path ends with any of ``suffixes``."""
+        return any(self.rel_path.endswith(suffix) for suffix in suffixes)
+
+    def in_directory(self, name: str) -> bool:
+        """True when any path component equals ``name`` (e.g. ``perf``)."""
+        return name in self.rel_path.split("/")[:-1]
+
+
+class LintRule:
+    """Base class for repo lint rules.
+
+    Subclasses set ``rule_id`` / ``summary`` and implement :meth:`check`.
+    """
+
+    rule_id: ClassVar[str] = "RP000"
+    summary: ClassVar[str] = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Yield violations found in ``module``."""
+        raise NotImplementedError
+
+    def violation(self, module: ModuleSource, node: ast.AST, message: str) -> Violation:
+        """Build a violation anchored at ``node``."""
+        return Violation(
+            rule=self.rule_id,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if cls.rule_id in _REGISTRY:
+        raise ValidationError(f"duplicate lint rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[LintRule]]:
+    """The registered rules, keyed by id (import triggers registration)."""
+    import repro.analysis.lint.rules  # noqa: F401  (registration side effect)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def resolve_selection(select: Iterable[str] | None = None) -> list[LintRule]:
+    """Instantiate the selected rules (all when ``select`` is ``None``).
+
+    Raises :class:`~repro.exceptions.ValidationError` on unknown ids so the
+    CLI can exit with a usage error rather than silently linting nothing.
+    """
+    registry = all_rules()
+    if select is None:
+        return [cls() for cls in registry.values()]
+    chosen: list[LintRule] = []
+    for rule_id in select:
+        normalized = rule_id.strip().upper()
+        if not normalized:
+            continue
+        if normalized not in registry:
+            known = ", ".join(registry)
+            raise ValidationError(f"unknown lint rule {rule_id!r} (known: {known})")
+        chosen.append(registry[normalized]())
+    if not chosen:
+        raise ValidationError("rule selection is empty")
+    return chosen

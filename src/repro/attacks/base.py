@@ -14,6 +14,12 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    check_constraint1,
+    check_routing_matrix,
+    contract,
+    contracts_enabled,
+)
 from repro.attacks.constraints import attacker_links, manipulable_paths
 from repro.exceptions import AttackConstraintError, ValidationError
 from repro.metrics.states import StateThresholds
@@ -77,6 +83,8 @@ class AttackContext:
         self.margin = float(margin)
 
         self.routing_matrix = path_set.routing_matrix()
+        if contracts_enabled():
+            check_routing_matrix(self.routing_matrix, "routing_matrix")
         #: Shared SVD kernel: one factorisation of ``R`` backs the
         #: estimator operator, the residual projector, and any rank query.
         self.system = LinearSystem(self.routing_matrix)
@@ -114,8 +122,19 @@ class AttackContext:
             self._honest_measurements = self.routing_matrix @ self.true_metrics
         return self._honest_measurements
 
+    @contract(
+        lambda arguments: check_constraint1(
+            arguments["manipulation"],
+            arguments["self"].support,
+            arguments["self"].num_paths,
+        )
+    )
     def observed_measurements(self, manipulation: np.ndarray) -> np.ndarray:
-        """``y' = y + m`` (eq. 3)."""
+        """``y' = y + m`` (eq. 3).
+
+        Under active contracts the manipulation is checked against
+        Constraint 1 (non-negative, supported only on attacker paths).
+        """
         m = check_finite_vector(manipulation, "manipulation", length=self.num_paths)
         return self.honest_measurements() + m
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.attacks.cuts import is_perfect_cut, victim_paths
-from repro.exceptions import AttackConstraintError
+from repro.exceptions import AttackConstraintError, AttackError
 from repro.routing.paths import PathSet
 from repro.topology.graph import NodeId
 
@@ -84,7 +84,11 @@ def minimum_perfect_cut_nodes(
             for row, eligible in uncovered.items()
             if best not in eligible
         }
-    assert is_perfect_cut(path_set, chosen, victims)
+    if not is_perfect_cut(path_set, chosen, victims):
+        raise AttackError(
+            "greedy cover terminated without a perfect cut "
+            f"(chosen nodes {chosen!r})"
+        )
     return chosen
 
 

@@ -25,10 +25,8 @@ actually blame.
 from __future__ import annotations
 
 import math
-from itertools import combinations
 from collections.abc import Iterable
-
-import numpy as np
+from itertools import combinations
 
 from repro.attacks.base import AttackContext, AttackOutcome
 from repro.attacks.chosen_victim import build_chosen_victim_bands

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import AttackContext, AttackOutcome
-from repro.exceptions import ValidationError
+from repro.exceptions import AttackError, ValidationError
 
 __all__ = ["NaiveDelayAttack"]
 
@@ -61,7 +61,8 @@ class NaiveDelayAttack:
             (),
             f"uniform {self.per_path_delay} ms on {len(self.context.support)} paths",
         )
-        assert outcome.diagnosis is not None
+        if outcome.diagnosis is None:
+            raise AttackError("naive attack outcome carries no diagnosis report")
         exposed = sorted(
             set(outcome.diagnosis.abnormal) & set(self.context.controlled_links)
         )

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attacks.base import AttackContext, AttackOutcome
 from repro.attacks.lp import BandConstraints, solve_manipulation_lp
-from repro.exceptions import ValidationError
+from repro.exceptions import AttackError, ValidationError
 
 __all__ = ["ObfuscationAttack", "build_obfuscation_bands"]
 
@@ -178,7 +178,8 @@ class ObfuscationAttack:
                 f"need {self.min_victims}",
                 tuple(victims),
             )
-        assert best_solution.manipulation is not None
+        if best_solution.manipulation is None:
+            raise AttackError("feasible obfuscation LP returned no manipulation")
         return AttackOutcome.from_manipulation(
             self.strategy_name,
             self.context,

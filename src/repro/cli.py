@@ -13,10 +13,12 @@ without writing any code:
 - ``reproduce`` — regenerate every Section V-B case study (Figs. 4-6,
   the naive baseline, and the loss-domain variant) into a directory;
 - ``bench`` — run the performance timing harness (instrumented pipeline
-  and seed-vs-optimized comparison) and write ``BENCH_*.json``.
+  and seed-vs-optimized comparison) and write ``BENCH_*.json``;
+- ``lint`` — run the repo's invariant-enforcing static analysis
+  (rules RP001-RP005) over source trees.
 
-All output is plain text on stdout; exit status 0 on success, 2 on bad
-arguments (argparse convention).
+All output is plain text on stdout; exit status 0 on success, 1 on
+failures/findings, 2 on bad arguments (argparse convention).
 """
 
 from __future__ import annotations
@@ -103,6 +105,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeat", type=int, default=3, help="timing repetitions")
 
+    lint = sub.add_parser(
+        "lint", help="run the repo lint rules (RP001-RP005) over source trees"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["text", "json"],
+        default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (e.g. RP001,RP004); default: all",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
     return parser
 
 
@@ -158,10 +187,12 @@ def _cmd_topology(args) -> int:
     topology = _build_topology(args)
     print(format_kv(topology.name or args.kind, node_connectivity_summary(topology)))
     if args.edges:
+        from repro.exceptions import SerializationError
+
         print()
         try:
             print(topology_to_edge_list(topology), end="")
-        except Exception:
+        except SerializationError:
             # Tuple-labelled topologies (grid/fat-tree) need JSON.
             from repro.topology.serialization import topology_to_json
 
@@ -211,16 +242,18 @@ def _cmd_case_study(args) -> int:
 
 
 def _cmd_attack(args) -> int:
-    import numpy as np
-
     from repro.detection import TomographyAuditor
     from repro.reporting import format_link_series
     from repro.scenarios.simple_network import paper_fig1_scenario
 
+    from repro.exceptions import ReproError
+
     scenario = paper_fig1_scenario(seed=args.seed)
     try:
         context = scenario.attack_context(args.attackers)
-    except Exception as exc:
+    except ReproError as exc:
+        # Bad attacker labels / degenerate contexts surface as ReproError
+        # subclasses (AttackConstraintError, NodeNotFoundError, ...).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -430,6 +463,26 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import all_rules, format_violations, lint_paths
+    from repro.exceptions import ValidationError
+
+    if args.list_rules:
+        for rule_id, rule_cls in all_rules().items():
+            print(f"{rule_id}  {rule_cls.summary}")
+        return 0
+    select = None
+    if args.select is not None:
+        select = [code for code in args.select.split(",") if code.strip()]
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_violations(violations, fmt=args.fmt, select=select))
+    return 1 if violations else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -447,7 +500,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_reproduce(args)
     if args.command == "bench":
         return _cmd_bench(args)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    if args.command == "lint":
+        return _cmd_lint(args)
+    raise RuntimeError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

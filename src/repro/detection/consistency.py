@@ -12,8 +12,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import check_routing_matrix, contract
 from repro.exceptions import DetectionError
-from repro.tomography.linear_system import estimator_operator, measurement_residual
+from repro.tomography.linear_system import LinearSystem, measurement_residual
 
 __all__ = ["DetectionResult", "ConsistencyDetector"]
 
@@ -57,6 +58,7 @@ class ConsistencyDetector:
     :attr:`structurally_blind`.
     """
 
+    @contract(routing_matrix=check_routing_matrix)
     def __init__(self, routing_matrix: np.ndarray, alpha: float = 200.0) -> None:
         matrix = np.asarray(routing_matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
@@ -64,13 +66,15 @@ class ConsistencyDetector:
         if alpha < 0:
             raise DetectionError(f"alpha must be non-negative, got {alpha}")
         self._matrix = matrix
-        self._operator = estimator_operator(matrix)
+        # One shared factorisation serves both the estimator operator and
+        # the rank query below (previously an independent matrix_rank).
+        self._system = LinearSystem(matrix)
+        self._operator = self._system.estimator
         self.alpha = float(alpha)
-        rank = np.linalg.matrix_rank(matrix)
         # Residuals vanish identically iff rows span no redundancy: every
         # y' is consistent with some x.  That is rank == num_paths (which
         # includes the square invertible case of Theorem 3).
-        self.structurally_blind = bool(rank == matrix.shape[0])
+        self.structurally_blind = bool(self._system.rank == matrix.shape[0])
 
     @property
     def routing_matrix(self) -> np.ndarray:

@@ -29,6 +29,7 @@ __all__ = [
     "DetectionError",
     "SerializationError",
     "ValidationError",
+    "ContractViolation",
 ]
 
 
@@ -38,6 +39,16 @@ class ReproError(Exception):
 
 class ValidationError(ReproError, ValueError):
     """An argument failed validation (wrong shape, range, or type)."""
+
+
+class ContractViolation(ValidationError):
+    """A runtime algebra contract failed at a public entry point.
+
+    Raised by :mod:`repro.analysis.contracts` decorators (active under
+    pytest / ``REPRO_CONTRACTS=1``) when structural invariants of the
+    ``y = R x`` model are broken: a non-0/1 routing matrix, a manipulation
+    vector violating Constraint 1, or out-of-order state bands.
+    """
 
 
 class TopologyError(ReproError):

@@ -132,7 +132,8 @@ def incremental_identifiable_placement(
         if rank >= target_rank or not remaining or len(monitors) >= limit:
             break
         monitors = monitors + [remaining.pop(0)]
-    assert best is not None
+    if best is None:
+        raise MonitorPlacementError("placement search produced no candidate")
     return best
 
 
@@ -192,5 +193,6 @@ def security_aware_placement(
         score = (-float(result.identified_rank), ratio)
         if best_score is None or score < best_score:
             best, best_score = result, score
-    assert best is not None
+    if best is None:
+        raise MonitorPlacementError("security-aware search produced no candidate")
     return best

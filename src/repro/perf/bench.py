@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.exceptions import InfeasibleAttackError
 from repro.perf.instrumentation import PerfRecorder, recording, stage
 
 __all__ = [
@@ -71,9 +72,10 @@ def _seed_style_operators(matrix: np.ndarray) -> None:
     column-space projector (``mat @ pinv(mat)``) and the nullspace
     (a third SVD) each factorised ``R`` from scratch.
     """
-    operator = np.linalg.pinv(matrix)
-    matrix @ np.linalg.pinv(matrix)
-    np.linalg.svd(matrix)
+    # The unshared factorisations ARE the thing being benchmarked here.
+    operator = np.linalg.pinv(matrix)  # repro: noqa RP001
+    matrix @ np.linalg.pinv(matrix)  # repro: noqa RP001
+    np.linalg.svd(matrix)  # repro: noqa RP001
     return operator
 
 
@@ -243,7 +245,10 @@ def fig1_pipeline_benchmark(*, repeat: int = 1) -> dict:
                 ObfuscationAttack(context, min_victims=1).run()
             with stage("detection"):
                 auditor = TomographyAuditor(scenario.path_set, alpha=200.0)
-                assert chosen.observed_measurements is not None
+                if chosen.observed_measurements is None:
+                    raise InfeasibleAttackError(
+                        "benchmark chosen-victim attack was infeasible"
+                    )
                 auditor.audit(chosen.observed_measurements)
     return {
         "bench": "fig1_pipeline",

@@ -13,7 +13,7 @@ yielded) used on small topologies such as the paper's Fig. 1 network.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator
 
 from repro.exceptions import NoPathError, ValidationError
 from repro.topology.graph import NodeId, Topology

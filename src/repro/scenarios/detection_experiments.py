@@ -33,7 +33,7 @@ from repro.attacks.cuts import attack_presence_ratio, perfectly_cut_links
 from repro.attacks.max_damage import MaxDamageAttack
 from repro.attacks.obfuscation import ObfuscationAttack
 from repro.detection.consistency import ConsistencyDetector
-from repro.exceptions import ValidationError
+from repro.exceptions import AttackError, ValidationError
 from repro.scenarios.montecarlo import run_trials, success_rate
 from repro.scenarios.scenario import Scenario
 
@@ -149,7 +149,8 @@ def detection_ratio_experiment(
             used_stealth = False
         if not outcome.feasible:
             return {"attack_success": False, "detected": None, "stealthy": None}
-        assert outcome.observed_measurements is not None
+        if outcome.observed_measurements is None:
+            raise AttackError("feasible outcome carries no observed measurements")
         result = detector.check(outcome.observed_measurements)
         return {
             "attack_success": True,

@@ -81,7 +81,9 @@ def run_trials(
         else:
             try:
                 pickle.dumps(trial)
-            except Exception as exc:
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                # Closures raise TypeError/AttributeError, custom __reduce__
+                # failures PicklingError; all mean "not pool-shippable".
                 raise ValidationError(
                     "trial function must be picklable for workers > 1 "
                     "(use a module-level function or functools.partial); "

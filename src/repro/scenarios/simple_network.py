@@ -18,6 +18,7 @@ from repro.attacks.cuts import attack_presence_ratio, is_perfect_cut
 from repro.attacks.max_damage import MaxDamageAttack
 from repro.attacks.naive import NaiveDelayAttack
 from repro.attacks.obfuscation import ObfuscationAttack
+from repro.exceptions import AttackError
 from repro.metrics.link_metrics import uniform_delay_metrics
 from repro.metrics.states import StateThresholds
 from repro.routing.ksp import all_simple_paths
@@ -106,7 +107,8 @@ def _case_study_record(scenario: Scenario, outcome: AttackOutcome, **extra) -> d
     }
     if outcome.feasible and outcome.predicted_estimate is not None:
         record["estimates"] = [float(v) for v in outcome.predicted_estimate]
-        assert outcome.diagnosis is not None
+        if outcome.diagnosis is None:
+            raise AttackError("feasible outcome carries no diagnosis report")
         record["states"] = [str(s) for s in outcome.diagnosis.states]
         record["abnormal_links"] = list(outcome.diagnosis.abnormal)
         record["uncertain_links"] = list(outcome.diagnosis.uncertain)
@@ -197,7 +199,8 @@ def naive_baseline_case_study(
     context = scenario.attack_context(attackers)
     outcome = NaiveDelayAttack(context, per_path_delay=per_path_delay).run()
     exposed = outcome.extras.get("exposed_controlled_links", [])
-    assert outcome.predicted_estimate is not None
+    if outcome.predicted_estimate is None:
+        raise AttackError("naive baseline produced no predicted estimate")
     worst_link = int(np.argmax(outcome.predicted_estimate))
     return _case_study_record(
         scenario,

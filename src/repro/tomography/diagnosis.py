@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import check_band_bounds, contract
 from repro.metrics.states import LinkState, StateThresholds, classify_vector
 
 __all__ = ["DiagnosisReport", "diagnose"]
@@ -67,6 +68,7 @@ class DiagnosisReport:
         }
 
 
+@contract(thresholds=check_band_bounds)
 def diagnose(estimate: np.ndarray, thresholds: StateThresholds) -> DiagnosisReport:
     """Classify an estimated metric vector into a :class:`DiagnosisReport`."""
     values = np.asarray(estimate, dtype=float)

@@ -22,6 +22,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.analysis.contracts import check_routing_matrix, contract
 from repro.utils.linalg import DEFAULT_RANK_TOL, compact_svd, pinv_from_svd
 from repro.utils.validation import check_finite_vector
 
@@ -51,6 +52,9 @@ class LinearSystem:
     ``svd``) with one.
     """
 
+    # NOTE: no 0/1 contract here — the kernel is deliberately generic (the
+    # parity suite feeds it arbitrary dense matrices).  The routing-matrix
+    # contract sits on the tomography entry points that *mean* ``R``.
     def __init__(
         self, routing_matrix: np.ndarray, *, rank_tol: float = DEFAULT_RANK_TOL
     ) -> None:
@@ -159,6 +163,7 @@ class LinearSystem:
         return float(np.abs(self.residual(observed)).sum())
 
 
+@contract(routing_matrix=check_routing_matrix)
 def estimator_operator(routing_matrix: np.ndarray) -> np.ndarray:
     """The measurement-to-estimate operator ``R⁺`` (|L| x |P|).
 
@@ -173,6 +178,7 @@ def estimator_operator(routing_matrix: np.ndarray) -> np.ndarray:
     return LinearSystem(routing_matrix).estimator
 
 
+@contract(routing_matrix=check_routing_matrix)
 def measurement_residual(
     routing_matrix: np.ndarray, estimate: np.ndarray, observed: np.ndarray
 ) -> np.ndarray:

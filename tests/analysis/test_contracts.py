@@ -1,0 +1,132 @@
+"""Runtime algebra contracts: active under pytest, no-ops when disabled."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    check_band_bounds,
+    check_constraint1,
+    check_routing_matrix,
+    contract,
+    contracts_active,
+    contracts_enabled,
+)
+from repro.detection.consistency import ConsistencyDetector
+from repro.exceptions import ContractViolation, ReproError, ValidationError
+from repro.tomography.diagnosis import diagnose
+from repro.tomography.linear_system import estimator_operator
+
+
+def test_contracts_enabled_under_pytest():
+    """The autouse conftest fixture switches contracts on for the suite."""
+    assert contracts_enabled()
+
+
+class TestRoutingMatrixContract:
+    def test_malformed_routing_matrix_rejected_at_entry_point(self):
+        fractional = np.array([[1.0, 0.5], [0.0, 1.0]])
+        with pytest.raises(ContractViolation, match="0/1"):
+            estimator_operator(fractional)
+
+    def test_detector_rejects_non_binary_matrix(self):
+        with pytest.raises(ContractViolation, match="0/1"):
+            ConsistencyDetector(np.array([[2.0, 0.0], [0.0, 1.0]]))
+
+    def test_binary_matrix_accepted(self):
+        matrix = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]])
+        assert estimator_operator(matrix).shape == (3, 2)
+
+    def test_contract_error_is_a_validation_error(self):
+        assert issubclass(ContractViolation, ValidationError)
+        assert issubclass(ContractViolation, ReproError)
+
+    def test_checker_names_offending_entry(self):
+        with pytest.raises(ContractViolation, match="estimator_operator"):
+            estimator_operator(np.array([[3.0]]))
+
+    def test_disabled_contracts_are_noops(self):
+        fractional = np.array([[1.0, 0.5], [0.0, 1.0]])
+        with contracts_active(False):
+            # Production mode: the call proceeds (numerically fine, just
+            # outside the paper's model) instead of raising.
+            estimator_operator(fractional)
+
+
+class TestConstraint1Contract:
+    def test_off_support_manipulation_rejected(self, fig1_context):
+        m = np.zeros(fig1_context.num_paths)
+        off_support = next(
+            i for i in range(fig1_context.num_paths) if i not in fig1_context.support
+        )
+        m[off_support] = 50.0
+        with pytest.raises(ContractViolation, match="Constraint 1"):
+            fig1_context.observed_measurements(m)
+
+    def test_negative_manipulation_rejected(self, fig1_context):
+        m = np.zeros(fig1_context.num_paths)
+        m[list(fig1_context.support)[0]] = -5.0
+        with pytest.raises(ContractViolation, match="negative"):
+            fig1_context.observed_measurements(m)
+
+    def test_supported_manipulation_accepted(self, fig1_context):
+        m = np.zeros(fig1_context.num_paths)
+        m[list(fig1_context.support)] = 100.0
+        observed = fig1_context.observed_measurements(m)
+        assert observed.shape == (fig1_context.num_paths,)
+
+    def test_solver_roundoff_tolerated(self):
+        m = np.array([0.0, -1e-9, 10.0])
+        check_constraint1(m, support=[2], num_paths=3)
+
+
+class TestBandBoundsContract:
+    def test_out_of_order_bands_rejected(self):
+        class Bands:
+            lower, upper = 800.0, 100.0
+
+        with pytest.raises(ContractViolation, match="out of order"):
+            diagnose(np.array([1.0, 2.0]), Bands())
+
+    def test_tuple_bands_supported(self):
+        check_band_bounds((100.0, 800.0))
+        with pytest.raises(ContractViolation):
+            check_band_bounds((800.0, 100.0))
+
+    def test_non_band_object_rejected(self):
+        with pytest.raises(ContractViolation, match="band bounds"):
+            check_band_bounds(object())
+
+
+class TestContractDecorator:
+    def test_param_checks_run_only_when_enabled(self):
+        calls = []
+
+        def checker(value, name):
+            calls.append((name, value))
+
+        @contract(x=checker)
+        def f(x):
+            return x * 2
+
+        with contracts_active(False):
+            assert f(3) == 6
+        assert calls == []
+        assert f(4) == 8
+        assert calls == [("x", 4)]
+
+    def test_call_checks_see_all_bound_arguments(self):
+        seen = {}
+
+        @contract(lambda arguments: seen.update(arguments))
+        def g(a, b=10):
+            return a + b
+
+        assert g(1) == 11
+        assert seen == {"a": 1, "b": 10}
+
+    def test_decorator_annotates_wrapper(self):
+        assert check_routing_matrix is not None
+        meta = estimator_operator.__repro_contract__
+        assert meta["params"] == ("routing_matrix",)

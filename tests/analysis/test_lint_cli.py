@@ -1,0 +1,86 @@
+"""CLI behaviour of ``repro lint``: formats, selection, exit codes, and
+the self-check that the repo's own source tree lints clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture()
+def violating_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(
+        "import numpy as np\n"
+        "\n"
+        "def estimate(matrix):\n"
+        "    assert matrix.ndim == 2\n"
+        "    return np.linalg.pinv(matrix)\n"
+    )
+    return pkg
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "fine.py").write_text("x = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_locations(violating_tree, capsys):
+    assert main(["lint", str(violating_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RP001" in out and "RP004" in out
+    assert "bad.py:4" in out and "bad.py:5" in out
+
+
+def test_select_limits_rules(violating_tree, capsys):
+    assert main(["lint", str(violating_tree), "--select", "RP004"]) == 1
+    out = capsys.readouterr().out
+    assert "RP004" in out
+    assert "RP001" not in out
+
+
+def test_select_can_make_tree_clean(violating_tree, capsys):
+    assert main(["lint", str(violating_tree), "--select", "RP005"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(violating_tree, capsys):
+    assert main(["lint", str(violating_tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["violations"]) == 2
+    rules = {v["rule"] for v in payload["violations"]}
+    assert rules == {"RP001", "RP004"}
+    for violation in payload["violations"]:
+        assert {"rule", "path", "line", "col", "message"} <= set(violation)
+
+
+def test_unknown_rule_is_usage_error(violating_tree, capsys):
+    assert main(["lint", str(violating_tree), "--select", "RP999"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "absent")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005"):
+        assert rule_id in out
+
+
+def test_repo_source_tree_lints_clean(capsys):
+    """The acceptance self-check: ``repro lint src/`` exits 0 on this repo."""
+    assert REPO_SRC.is_dir()
+    assert main(["lint", str(REPO_SRC)]) == 0
+    assert "clean" in capsys.readouterr().out

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.contracts import disable_contracts, enable_contracts
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.simple_network import paper_fig1_scenario
 from repro.topology.generators.isp import synthetic_rocketfuel
@@ -18,6 +19,19 @@ from repro.topology.generators.simple import (
     ladder_topology,
     paper_example_network,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _contracts_active():
+    """Run the whole suite with the algebra contracts validating.
+
+    Production keeps the decorators as no-ops; under pytest every public
+    entry point checks its ``y = R x`` invariants (0/1 routing matrices,
+    Constraint-1 manipulation support, ordered state bands).
+    """
+    enable_contracts()
+    yield
+    disable_contracts()
 
 
 @pytest.fixture()
