@@ -77,8 +77,16 @@ class ModuleSource:
         return any(self.rel_path.endswith(suffix) for suffix in suffixes)
 
     def in_directory(self, name: str) -> bool:
-        """True when any path component equals ``name`` (e.g. ``perf``)."""
-        return name in self.rel_path.split("/")[:-1]
+        """True when any path component equals ``name`` (e.g. ``perf``).
+
+        Checks both the root-relative path and the filesystem path: when a
+        package directory is linted directly (``repro lint src/repro/obs``)
+        the lint root *is* that directory, so its name never appears in
+        ``rel_path`` — the real path still carries it.
+        """
+        if name in self.rel_path.split("/")[:-1]:
+            return True
+        return name in self.path.parts[:-1]
 
 
 class LintRule:

@@ -22,7 +22,11 @@ once and splices per-candidate rows into it.
 Solved with scipy's HiGHS backend.  An unbounded LP (possible only with an
 infinite per-path cap) is reported as feasible with ``unbounded=True`` and
 re-solved under a large finite cap so callers still get a concrete vector;
-the re-solve reuses the already-assembled constraint arrays.
+the re-solve reuses the already-assembled constraint arrays.  The reported
+``damage`` is always the L1 norm of the *returned* vector — unboundedness
+is signalled exclusively through the flag, never as an infinite damage
+value, so downstream aggregation (max-damage scans, reporting tables)
+stays finite.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import AttackError, ValidationError
+from repro.obs import core as obs
 from repro.perf import instrumentation as perf
 from repro.utils.validation import check_finite_vector
 
@@ -94,9 +99,13 @@ class LpSolution:
     """Outcome of one manipulation LP.
 
     ``manipulation`` is the full-length vector (zeros off support).
-    ``damage`` is ``||m||_1`` (Definition 2).  ``feasible`` is the paper's
-    success criterion; ``unbounded`` flags an infinite-damage optimum that
-    was re-solved under a large finite cap.
+    ``damage`` is ``||m||_1`` (Definition 2) *of the returned vector* —
+    always finite, and always equal to ``manipulation.sum()`` when a
+    vector is returned.  ``feasible`` is the paper's success criterion;
+    ``unbounded`` flags that the true optimum is infinite and the vector
+    (and its damage) come from a re-solve under a large finite cap.
+    Callers that want to treat unbounded optima specially must branch on
+    the flag, never on ``damage``.
     """
 
     feasible: bool
@@ -183,6 +192,17 @@ def _empty_support_solution(
     )
 
 
+def _pinned_at_cap(values: np.ndarray, cap: float) -> bool:
+    """True when any entry sits at ``cap`` up to solver round-off.
+
+    Uses a combined relative *and* absolute tolerance: a pure relative
+    test (``v >= cap * (1 - 1e-9)``) degenerates for tiny caps, where the
+    relative slack shrinks below the solver's absolute round-off.
+    """
+    tolerance = max(1e-9 * cap, 1e-12)
+    return bool(np.any(values >= cap - tolerance))
+
+
 def _solve_assembled(
     support_list: list[int],
     num_paths: int,
@@ -204,14 +224,21 @@ def _solve_assembled(
         )
         if not capped.feasible or capped.manipulation is None:
             return capped
-        hit_cap = bool(
-            np.any(capped.manipulation >= _UNBOUNDED_RESOLVE_CAP * (1 - 1e-9))
-        )
-        if hit_cap:
+        if _pinned_at_cap(capped.manipulation, _UNBOUNDED_RESOLVE_CAP):
+            # The optimum is infinite, but the damage reported must stay
+            # the L1 norm of the concrete (capped) vector handed back —
+            # an inf here would poison every downstream aggregate that
+            # sums or tabulates damages.  The flag carries the infinity.
+            if obs.is_enabled():
+                obs.event(
+                    "lp_unbounded_resolve",
+                    resolve_cap=_UNBOUNDED_RESOLVE_CAP,
+                    capped_damage=capped.damage,
+                )
             return LpSolution(
                 feasible=True,
                 manipulation=capped.manipulation,
-                damage=float("inf"),
+                damage=capped.damage,
                 status="unbounded (re-solved with large cap)",
                 unbounded=True,
             )
@@ -228,6 +255,17 @@ def _solve_assembled(
             b_eq=b_eq,
             bounds=[(0.0, cap)] * k,
             method="highs",
+        )
+    if obs.is_enabled():
+        obs.event(
+            "lp_solve",
+            success=bool(result.success),
+            status=str(result.message),
+            iterations=int(getattr(result, "nit", -1)),
+            variables=k,
+            rows_ub=0 if a_ub is None else int(a_ub.shape[0]),
+            rows_eq=0 if a_eq is None else int(a_eq.shape[0]),
+            cap=cap,
         )
 
     if not result.success:

@@ -8,6 +8,8 @@ without writing any code:
 - ``case-study`` — reproduce a Section V-B figure (fig4/fig5/fig6/loss);
 - ``attack`` — plan an attack on the Fig. 1 scenario and show the
   operator's resulting view plus the detector's verdict;
+- ``run`` — plan an attack on a scenario loaded from a JSON file
+  (written by :func:`repro.scenarios.serialization.save_scenario`);
 - ``experiment`` — run a Monte-Carlo experiment (fig7/fig8/fig9) at a
   configurable trial count;
 - ``reproduce`` — regenerate every Section V-B case study (Figs. 4-6,
@@ -15,10 +17,15 @@ without writing any code:
 - ``bench`` — run the performance timing harness (instrumented pipeline
   and seed-vs-optimized comparison) and write ``BENCH_*.json``;
 - ``lint`` — run the repo's invariant-enforcing static analysis
-  (rules RP001-RP005) over source trees.
+  (rules RP001-RP005) over source trees;
+- ``obs`` — inspect structured observability logs (``obs summarize``).
 
 All output is plain text on stdout; exit status 0 on success, 1 on
 failures/findings, 2 on bad arguments (argparse convention).
+
+Setting ``REPRO_OBS=1`` makes every command write a structured JSONL
+event log plus a run manifest (see :mod:`repro.obs`); ``REPRO_OBS_PATH``
+/ ``REPRO_OBS_DIR`` control where.
 """
 
 from __future__ import annotations
@@ -74,6 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=2017)
     attack.add_argument("--alpha", type=float, default=200.0)
 
+    run = sub.add_parser("run", help="plan an attack on a scenario JSON file")
+    run.add_argument("scenario", help="path to a repro-scenario JSON document")
+    run.add_argument(
+        "--strategy",
+        choices=["chosen-victim", "max-damage", "obfuscation", "naive", "frame-and-blur"],
+        default="max-damage",
+    )
+    run.add_argument(
+        "--attackers",
+        nargs="+",
+        default=None,
+        help="attacker node labels (default: the first non-monitor node)",
+    )
+    run.add_argument(
+        "--victims",
+        nargs="*",
+        type=int,
+        default=None,
+        help="victim link indices (chosen-victim / frame-and-blur)",
+    )
+    run.add_argument("--stealthy", action="store_true")
+    run.add_argument("--confined", action="store_true")
+    run.add_argument("--alpha", type=float, default=200.0)
+
     experiment = sub.add_parser("experiment", help="run a Monte-Carlo experiment")
     experiment.add_argument("figure", choices=["fig7", "fig8", "fig9"])
     experiment.add_argument(
@@ -104,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: benchmarks/results/BENCH_<target>.json)",
     )
     bench.add_argument("--repeat", type=int, default=3, help="timing repetitions")
+    bench.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="also append a compact point to benchmarks/results/BENCH_trajectory.json",
+    )
+
+    obs = sub.add_parser("obs", help="inspect structured observability logs")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="summarize a JSONL run log (spans, counters, events)"
+    )
+    summarize.add_argument("log", help="path to a run .jsonl written with REPRO_OBS=1")
 
     lint = sub.add_parser(
         "lint", help="run the repo lint rules (RP001-RP005) over source trees"
@@ -151,6 +194,9 @@ def _cmd_info() -> int:
         ("repro.attacks", "the scapegoating strategies and planning"),
         ("repro.detection", "consistency detector, robust estimation"),
         ("repro.scenarios", "case studies and Monte-Carlo experiments"),
+        ("repro.perf", "timing instrumentation and benchmarks"),
+        ("repro.obs", "structured run logs, manifests, summaries"),
+        ("repro.analysis", "lint rules and runtime algebra contracts"),
     ]
     for name, what in inventory:
         print(f"  {name:<20} {what}")
@@ -241,12 +287,68 @@ def _cmd_case_study(args) -> int:
     return 0
 
 
-def _cmd_attack(args) -> int:
+def _plan_attack(strategy: str, context, victims, *, stealthy: bool, confined: bool):
+    """Construct and run one attack strategy (shared by ``attack``/``run``)."""
+    if strategy == "chosen-victim":
+        from repro.attacks import ChosenVictimAttack
+
+        return ChosenVictimAttack(
+            context, victims, stealthy=stealthy, confined=confined
+        ).run()
+    if strategy == "max-damage":
+        from repro.attacks import MaxDamageAttack
+
+        return MaxDamageAttack(context, stealthy=stealthy, confined=confined).run()
+    if strategy == "obfuscation":
+        from repro.attacks import ObfuscationAttack
+
+        return ObfuscationAttack(
+            context, min_victims=1, stealthy=stealthy, confined=confined
+        ).run()
+    if strategy == "frame-and-blur":
+        from repro.attacks import FrameAndBlurAttack
+
+        return FrameAndBlurAttack(context, victims, stealthy=stealthy).run()
+    from repro.attacks import NaiveDelayAttack
+
+    return NaiveDelayAttack(context).run()
+
+
+def _report_attack(outcome, context, scenario, *, strategy, attackers, alpha) -> int:
+    """Print the operator's view plus the detector's verdict (shared tail)."""
     from repro.detection import TomographyAuditor
     from repro.reporting import format_link_series
-    from repro.scenarios.simple_network import paper_fig1_scenario
 
+    if not outcome.feasible:
+        print(f"attack infeasible: {outcome.status}")
+        return 1
+    print(
+        format_link_series(
+            [float(v) for v in outcome.predicted_estimate],
+            [str(s) for s in outcome.diagnosis.states],
+            title=(
+                f"{strategy} by {attackers}: damage "
+                f"{outcome.damage:.0f} ms, mean path "
+                f"{outcome.mean_path_measurement:.1f} ms"
+            ),
+            victim_links=outcome.victim_links,
+            controlled_links=sorted(context.controlled_links),
+        )
+    )
+    report = TomographyAuditor(scenario.path_set, alpha=alpha).audit(
+        outcome.observed_measurements
+    )
+    print(
+        f"consistency detector (alpha={alpha}): "
+        f"{'DETECTED' if not report.trustworthy else 'not detected'} "
+        f"(residual {report.detection.residual_l1:.2f} ms)"
+    )
+    return 0
+
+
+def _cmd_attack(args) -> int:
     from repro.exceptions import ReproError
+    from repro.scenarios.simple_network import paper_fig1_scenario
 
     scenario = paper_fig1_scenario(seed=args.seed)
     try:
@@ -257,64 +359,79 @@ def _cmd_attack(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    victims = args.victims
-    if args.strategy == "chosen-victim":
-        from repro.attacks import ChosenVictimAttack
+    victims = args.victims if args.victims else [9]
+    outcome = _plan_attack(
+        args.strategy, context, victims, stealthy=args.stealthy, confined=args.confined
+    )
+    return _report_attack(
+        outcome,
+        context,
+        scenario,
+        strategy=args.strategy,
+        attackers=args.attackers,
+        alpha=args.alpha,
+    )
 
-        outcome = ChosenVictimAttack(
-            context,
-            victims if victims else [9],
-            stealthy=args.stealthy,
-            confined=args.confined,
-        ).run()
-    elif args.strategy == "max-damage":
-        from repro.attacks import MaxDamageAttack
 
-        outcome = MaxDamageAttack(
-            context, stealthy=args.stealthy, confined=args.confined
-        ).run()
-    elif args.strategy == "obfuscation":
-        from repro.attacks import ObfuscationAttack
+def _cmd_run(args) -> int:
+    from repro.exceptions import ReproError, SerializationError
+    from repro.obs import core as obs
+    from repro.scenarios.serialization import load_scenario
 
-        outcome = ObfuscationAttack(
-            context, min_victims=1, stealthy=args.stealthy, confined=args.confined
-        ).run()
-    elif args.strategy == "frame-and-blur":
-        from repro.attacks import FrameAndBlurAttack
-
-        outcome = FrameAndBlurAttack(
-            context, victims if victims else [9], stealthy=args.stealthy
-        ).run()
-    else:
-        from repro.attacks import NaiveDelayAttack
-
-        outcome = NaiveDelayAttack(context).run()
-
-    if not outcome.feasible:
-        print(f"attack infeasible: {outcome.status}")
+    try:
+        scenario = load_scenario(args.scenario)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(
-        format_link_series(
-            [float(v) for v in outcome.predicted_estimate],
-            [str(s) for s in outcome.diagnosis.states],
-            title=(
-                f"{args.strategy} by {args.attackers}: damage "
-                f"{outcome.damage:.0f} ms, mean path "
-                f"{outcome.mean_path_measurement:.1f} ms"
-            ),
-            victim_links=outcome.victim_links,
-            controlled_links=sorted(context.controlled_links),
-        )
+
+    attackers = args.attackers
+    if not attackers:
+        monitors = set(scenario.monitors)
+        attackers = [n for n in scenario.topology.nodes() if n not in monitors][:1]
+        if not attackers:
+            print("error: no non-monitor node available as attacker", file=sys.stderr)
+            return 1
+    try:
+        context = scenario.attack_context(attackers)
+        victims = args.victims
+        if args.strategy in ("chosen-victim", "frame-and-blur") and not victims:
+            controlled = set(context.controlled_links)
+            victims = [
+                link.index
+                for link in scenario.topology.links()
+                if link.index not in controlled
+            ][:1]
+            if not victims:
+                print("error: no candidate victim link", file=sys.stderr)
+                return 1
+        log = obs.active_log()
+        manifest = getattr(log, "manifest", None)
+        if manifest is not None:
+            manifest.attach_scenario(scenario)
+        with obs.span(
+            "cli_run",
+            scenario=scenario.name or args.scenario,
+            strategy=args.strategy,
+            attackers=attackers,
+        ):
+            outcome = _plan_attack(
+                args.strategy,
+                context,
+                victims,
+                stealthy=args.stealthy,
+                confined=args.confined,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _report_attack(
+        outcome,
+        context,
+        scenario,
+        strategy=args.strategy,
+        attackers=attackers,
+        alpha=args.alpha,
     )
-    report = TomographyAuditor(scenario.path_set, alpha=args.alpha).audit(
-        outcome.observed_measurements
-    )
-    print(
-        f"consistency detector (alpha={args.alpha}): "
-        f"{'DETECTED' if not report.trustworthy else 'not detected'} "
-        f"(residual {report.detection.residual_l1:.2f} ms)"
-    )
-    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -441,6 +558,13 @@ def _cmd_bench(args) -> int:
     default_name = "BENCH_perf.json" if args.target == "all" else f"BENCH_{args.target}.json"
     out = Path(args.out) if args.out else Path("benchmarks") / "results" / default_name
     path = write_bench_json(benchmarks, out)
+    if args.trajectory:
+        from repro.perf.bench import append_trajectory
+
+        trajectory = append_trajectory(
+            benchmarks, Path("benchmarks") / "results" / "BENCH_trajectory.json"
+        )
+        print(f"appended trajectory point to {trajectory}")
 
     for name, payload in benchmarks.items():
         print(f"{name}: wall {payload['wall_s'] * 1e3:.2f} ms")
@@ -460,6 +584,19 @@ def _cmd_bench(args) -> int:
                 f"combined {speedup['combined']:.2f}x"
             )
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.exceptions import SerializationError
+    from repro.obs import format_summary, summarize_run
+
+    try:
+        summary = summarize_run(args.log)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_summary(summary))
     return 0
 
 
@@ -483,9 +620,7 @@ def _cmd_lint(args) -> int:
     return 1 if violations else 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit status."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "topology":
@@ -494,15 +629,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_case_study(args)
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise RuntimeError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status.
+
+    Under ``REPRO_OBS=1`` the whole dispatch runs inside an active
+    :class:`~repro.obs.core.EventLog`, and a run manifest (seed, config
+    digest, version, wall/CPU time, exit status) is written next to the
+    log as ``<log stem>.manifest.json``.
+    """
+    args = build_parser().parse_args(argv)
+    from repro.obs import core as obs_core
+
+    with obs_core.enabled_from_env() as log:
+        if log is None:
+            return _dispatch(args)
+
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest(
+            command=args.command, seed=getattr(args, "seed", None), config=vars(args)
+        )
+        # Commands can enrich the manifest (e.g. attach the scenario).
+        log.manifest = manifest
+        with log.span("cli", command=args.command):
+            status = _dispatch(args)
+        manifest.data["exit_status"] = status
+        manifest_path = manifest.write(log.path.with_suffix(".manifest.json"))
+        log.event("manifest_written", path=str(manifest_path))
+        print(f"obs: run log {log.path}, manifest {manifest_path}", file=sys.stderr)
+        return status
 
 
 if __name__ == "__main__":  # pragma: no cover

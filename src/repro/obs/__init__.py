@@ -1,0 +1,75 @@
+"""Structured observability: JSONL run logs, manifests, and summaries.
+
+``repro.obs`` generalises the :mod:`repro.perf` stage timers into a
+first-class run log.  When a log is active, every instrumented hot path
+(SVD factorisations, LP assembly and solves, Monte-Carlo chunks,
+detection sweeps, the CLI itself) appends one JSON object per event to a
+``.jsonl`` file — nested spans with durations, monotonically aggregated
+counters, and gauge samples — and a *run manifest* (seed, config digest,
+package version, topology summary, wall/CPU time) is written next to it.
+
+The layer is **off by default** and costs one global load plus a ``None``
+check per hook when disabled.  Enable it either programmatically::
+
+    from repro import obs
+
+    with obs.enabled("runs/run.jsonl") as log:
+        outcome = MaxDamageAttack(context).run()
+
+or from the environment (honoured by the CLI)::
+
+    REPRO_OBS=1 repro run scenario.json        # writes run log + manifest
+    repro obs summarize <run.jsonl>            # render it afterwards
+
+Environment variables: ``REPRO_OBS`` (truthy enables), ``REPRO_OBS_PATH``
+(exact run-log path), ``REPRO_OBS_DIR`` (directory for auto-named logs,
+default ``obs_runs/``).
+
+:mod:`repro.perf.instrumentation` is a thin shim over this layer: its
+``stage``/``record_event`` hooks forward into the active event log, so
+every pre-existing instrumentation point shows up in run logs without
+any caller changes.
+"""
+
+from repro.obs.core import (
+    SCHEMA_VERSION,
+    EventLog,
+    active_log,
+    counter,
+    default_run_path,
+    enabled,
+    enabled_from_env,
+    env_enabled,
+    event,
+    gauge,
+    is_enabled,
+    span,
+)
+from repro.obs.manifest import RunManifest, config_digest
+from repro.obs.summary import (
+    format_summary,
+    read_events,
+    summarize_events,
+    summarize_run,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventLog",
+    "RunManifest",
+    "active_log",
+    "config_digest",
+    "counter",
+    "default_run_path",
+    "enabled",
+    "enabled_from_env",
+    "env_enabled",
+    "event",
+    "format_summary",
+    "gauge",
+    "is_enabled",
+    "read_events",
+    "span",
+    "summarize_events",
+    "summarize_run",
+]

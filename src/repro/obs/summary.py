@@ -1,0 +1,165 @@
+"""Read back and aggregate a JSONL run log.
+
+The inverse of :class:`repro.obs.core.EventLog`: parse the line stream,
+validate the envelope, and fold it into a compact summary — per-span
+timing (calls, total, max), final counter totals, gauge statistics, and
+chronology.  Backs the ``repro obs summarize`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.obs.core import SCHEMA_VERSION
+
+__all__ = ["format_summary", "read_events", "summarize_events", "summarize_run"]
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a run log into its record list, validating the envelope.
+
+    Raises :class:`~repro.exceptions.SerializationError` when the file is
+    missing, a line is not a JSON object, or the header is absent or of
+    an unsupported schema version.  Blank lines are tolerated (a killed
+    run may leave a partial final line — that one still errors, by
+    design: a truncated log should be noticed, not silently summarised).
+    """
+    file_path = Path(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"cannot read run log {file_path}: {exc}") from exc
+    records: list[dict] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{file_path}:{line_number}: invalid JSON record: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            raise SerializationError(
+                f"{file_path}:{line_number}: not an event record: {line[:80]!r}"
+            )
+        records.append(record)
+    if not records or records[0].get("kind") != "header":
+        raise SerializationError(f"{file_path}: missing run-log header record")
+    schema = records[0].get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SerializationError(
+            f"{file_path}: unsupported run-log schema {schema!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    return records
+
+
+def summarize_events(records: list[dict]) -> dict:
+    """Fold parsed records into an aggregate summary dict.
+
+    Spans aggregate from ``span_end`` records (so an unclosed span from a
+    crashed run counts in ``open_spans`` instead of skewing timings);
+    counters prefer the footer totals and fall back to summing increments
+    when the footer is missing.
+    """
+    header = records[0]
+    footer = records[-1] if records[-1].get("kind") == "footer" else None
+    spans: dict[str, dict] = {}
+    counters: dict[str, int] = {}
+    gauges: dict[str, dict] = {}
+    events: dict[str, int] = {}
+    started = 0
+    ended = 0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span_start":
+            started += 1
+        elif kind == "span_end":
+            ended += 1
+            entry = spans.setdefault(
+                str(record.get("name")), {"calls": 0, "seconds": 0.0, "max_s": 0.0}
+            )
+            duration = float(record.get("dur_s", 0.0))
+            entry["calls"] += 1
+            entry["seconds"] += duration
+            entry["max_s"] = max(entry["max_s"], duration)
+        elif kind == "counter":
+            name = str(record.get("name"))
+            counters[name] = counters.get(name, 0) + int(record.get("n", 1))
+        elif kind == "gauge":
+            name = str(record.get("name"))
+            value = record.get("value")
+            entry = gauges.setdefault(
+                name, {"samples": 0, "last": value, "min": value, "max": value}
+            )
+            entry["samples"] += 1
+            entry["last"] = value
+            if isinstance(value, (int, float)):
+                for bound, pick in (("min", min), ("max", max)):
+                    if isinstance(entry[bound], (int, float)):
+                        entry[bound] = pick(entry[bound], value)
+        elif kind == "event":
+            name = str(record.get("name"))
+            events[name] = events.get(name, 0) + 1
+    if footer is not None and isinstance(footer.get("counters"), dict):
+        counters = {str(k): int(v) for k, v in footer["counters"].items()}
+    return {
+        "run": header.get("run"),
+        "version": header.get("version"),
+        "schema": header.get("schema"),
+        "records": len(records),
+        "complete": footer is not None,
+        "wall_s": (footer or {}).get("wall_s"),
+        "open_spans": started - ended,
+        "spans": dict(sorted(spans.items())),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "events": dict(sorted(events.items())),
+    }
+
+
+def summarize_run(path: str | Path) -> dict:
+    """Read and summarize a run log in one step."""
+    return summarize_events(read_events(path))
+
+
+def format_summary(summary: dict) -> str:
+    """Render a summary dict as the ``repro obs summarize`` text report."""
+    lines = [
+        f"run      : {summary.get('run')}",
+        f"version  : {summary.get('version')} (schema {summary.get('schema')})",
+        f"records  : {summary.get('records')}"
+        + ("" if summary.get("complete") else "  [INCOMPLETE: no footer]"),
+    ]
+    wall = summary.get("wall_s")
+    if isinstance(wall, (int, float)):
+        lines.append(f"wall     : {wall * 1e3:.2f} ms")
+    if summary.get("open_spans"):
+        lines.append(f"UNCLOSED : {summary['open_spans']} span(s) never ended")
+    if summary.get("spans"):
+        lines.append("spans:")
+        for name, info in summary["spans"].items():
+            lines.append(
+                f"  {name:<24} {info['seconds'] * 1e3:10.3f} ms"
+                f"  ({info['calls']} calls, max {info['max_s'] * 1e3:.3f} ms)"
+            )
+    if summary.get("counters"):
+        lines.append("counters:")
+        for name, total in summary["counters"].items():
+            lines.append(f"  {name:<24} {total}")
+    if summary.get("gauges"):
+        lines.append("gauges:")
+        for name, info in summary["gauges"].items():
+            lines.append(
+                f"  {name:<24} last={info['last']}  min={info['min']}"
+                f"  max={info['max']}  ({info['samples']} samples)"
+            )
+    if summary.get("events"):
+        lines.append("events:")
+        for name, count in summary["events"].items():
+            lines.append(f"  {name:<24} {count}")
+    return "\n".join(lines)

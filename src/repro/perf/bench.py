@@ -45,6 +45,7 @@ from repro.exceptions import InfeasibleAttackError
 from repro.perf.instrumentation import PerfRecorder, recording, stage
 
 __all__ = [
+    "append_trajectory",
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
@@ -280,4 +281,50 @@ def write_bench_json(benchmarks: dict, path: str | Path) -> Path:
         "benchmarks": benchmarks,
     }
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def _trajectory_point(benchmarks: dict) -> dict:
+    """Compact per-run summary kept in the trajectory (wall time + speedups)."""
+    point: dict = {}
+    for name, payload in benchmarks.items():
+        entry: dict = {}
+        if isinstance(payload, dict):
+            if "wall_s" in payload:
+                entry["wall_s"] = payload["wall_s"]
+            speedup = payload.get("speedup")
+            if isinstance(speedup, dict):
+                entry["speedup"] = dict(speedup)
+        point[name] = entry
+    return point
+
+
+def append_trajectory(benchmarks: dict, path: str | Path) -> Path:
+    """Append one compact benchmark point to a trajectory file.
+
+    The trajectory file accumulates a summary of every ``--trajectory``
+    bench run (schema_version 1)::
+
+        {"schema_version": 1, "runs": [{"created_unix": ..., "benchmarks":
+         {"<name>": {"wall_s": ..., "speedup": {...}}}}, ...]}
+
+    Existing runs are preserved — the file is append-only at the ``runs``
+    level.  A missing or unparseable file starts a fresh trajectory (the
+    unparseable original is not overwritten silently: parse errors raise).
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if out.exists():
+        try:
+            doc = json.loads(out.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"existing trajectory file {out} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+            raise ValueError(f"existing trajectory file {out} has no 'runs' list")
+    else:
+        doc = {"schema_version": SCHEMA_VERSION, "runs": []}
+    doc["runs"].append(
+        {"created_unix": time.time(), "benchmarks": _trajectory_point(benchmarks)}
+    )
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return out

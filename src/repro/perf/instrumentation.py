@@ -1,22 +1,34 @@
 """Lightweight global instrumentation for the numerical hot paths.
 
 The library's expensive primitives (SVD factorisations, LP assembly, LP
-solves, Monte-Carlo trials) report events and stage timings here.  When no
-recorder is active — the normal case — every hook is a single global
-load plus a ``None`` check, so instrumentation costs nothing in
-production use.  The bench harness activates a :class:`PerfRecorder`
-around a workload and reads the aggregated counters/timings back out.
+solves, Monte-Carlo trials) report events and stage timings here.  When
+neither a recorder nor an observability run log is active — the normal
+case — every hook is two global loads plus ``None`` checks, so
+instrumentation costs nothing in production use.  The bench harness
+activates a :class:`PerfRecorder` around a workload and reads the
+aggregated counters/timings back out.
 
-Only stdlib is used; this module must stay import-free of the rest of
-``repro`` so that any layer (``utils``, ``attacks``, ``scenarios``) can
-report into it without cycles.
+Since the :mod:`repro.obs` layer landed, ``stage`` and ``record_event``
+are thin shims over it as well: when a structured run log is active
+(``REPRO_OBS=1`` or :func:`repro.obs.enabled`), every stage becomes a
+nested span and every event a counter record in the JSONL log — all
+pre-existing instrumentation points flow into run logs with no caller
+changes.  ``PerfRecorder`` keeps its aggregate-snapshot role for the
+bench harness.
+
+Only stdlib and the (equally stdlib-only) :mod:`repro.obs.core` are
+used; this module must stay import-free of the rest of ``repro`` so that
+any layer (``utils``, ``attacks``, ``scenarios``) can report into it
+without cycles.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
+
+from repro.obs import core as _obs
 
 __all__ = [
     "PerfRecorder",
@@ -84,18 +96,35 @@ def active_recorder() -> PerfRecorder | None:
 
 
 def record_event(name: str, n: int = 1) -> None:
-    """Report ``n`` occurrences of ``name`` to the active recorder."""
+    """Report ``n`` occurrences of ``name`` to the active recorder.
+
+    Also forwarded as a counter record to the active observability run
+    log, when one is enabled.
+    """
     if _ACTIVE is not None:
         _ACTIVE.count(name, n)
+    log = _obs.active_log()
+    if log is not None:
+        log.counter(name, n)
 
 
 @contextmanager
 def stage(name: str):
-    """Time a block under ``name`` when a recorder is active, else no-op."""
-    if _ACTIVE is None:
+    """Time a block under ``name`` when a recorder or run log is active.
+
+    With a :class:`PerfRecorder` active the block accumulates into its
+    stage timings; with an observability run log active it additionally
+    opens a nested span in the JSONL log.  With neither, a no-op.
+    """
+    log = _obs.active_log()
+    if _ACTIVE is None and log is None:
         yield None
         return
-    with _ACTIVE.stage(name):
+    with ExitStack() as stack:
+        if log is not None:
+            stack.enter_context(log.span(name))
+        if _ACTIVE is not None:
+            stack.enter_context(_ACTIVE.stage(name))
         yield _ACTIVE
 
 

@@ -34,6 +34,7 @@ from repro.attacks.max_damage import MaxDamageAttack
 from repro.attacks.obfuscation import ObfuscationAttack
 from repro.detection.consistency import ConsistencyDetector
 from repro.exceptions import AttackError, ValidationError
+from repro.obs import core as obs
 from repro.scenarios.montecarlo import run_trials, success_rate
 from repro.scenarios.scenario import Scenario
 
@@ -161,9 +162,25 @@ def detection_ratio_experiment(
             "victims": list(outcome.victim_links),
         }
 
-    trials = run_trials(num_trials, trial, seed=seed)
+    with obs.span(
+        "detection_experiment",
+        strategy=strategy,
+        cut=cut,
+        attacker_model=attacker_model,
+        trials=num_trials,
+    ):
+        trials = run_trials(num_trials, trial, seed=seed)
     successful = [t for t in trials if t["attack_success"]]
     detected = [t for t in successful if t["detected"]]
+    if obs.is_enabled():
+        obs.event(
+            "detection_result",
+            strategy=strategy,
+            cut=cut,
+            valid_trials=len(trials),
+            successful_attacks=len(successful),
+            detected=len(detected),
+        )
     return {
         "scenario": scenario.describe(),
         "strategy": strategy,
@@ -199,7 +216,14 @@ def false_alarm_experiment(
         result = detector.check(observed)
         return {"detected": result.detected, "residual_l1": result.residual_l1}
 
-    trials = run_trials(num_trials, trial, seed=seed)
+    with obs.span("false_alarm_experiment", alpha=alpha, trials=num_trials):
+        trials = run_trials(num_trials, trial, seed=seed)
+    if obs.is_enabled():
+        obs.event(
+            "false_alarm_result",
+            trials=len(trials),
+            alarms=sum(1 for t in trials if t["detected"]),
+        )
     return {
         "scenario": scenario.describe(),
         "alpha": alpha,

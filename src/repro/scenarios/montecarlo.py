@@ -21,6 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs import core as obs
 from repro.perf import instrumentation as perf
 from repro.utils.rng import spawn_rngs
 
@@ -54,29 +55,37 @@ def run_trials(
     ----------
     workers:
         ``None`` or ``1`` runs serially in-process (the default).  ``N > 1``
-        fans the trials out over an ``N``-process pool in chunks.  Results
-        are bit-identical to the serial path for the same seed: each trial
-        owns a spawned child stream, and outcomes are reassembled in trial
-        order regardless of which worker ran them.  The trial callable (and
-        anything it closes over) must be picklable — module-level functions
-        and ``functools.partial`` over picklable arguments qualify;
-        locally-defined closures do not.
+        fans the trials out over a process pool in chunks (never more
+        processes than trials — ``workers > num_trials`` is clamped, so
+        oversubscribed pools neither spawn idle workers nor receive empty
+        chunks).  Results are bit-identical to the serial path for the
+        same seed: each trial owns a spawned child stream, and outcomes
+        are reassembled in trial order regardless of which worker ran
+        them.  The trial callable (and anything it closes over) must be
+        picklable — module-level functions and ``functools.partial`` over
+        picklable arguments qualify; locally-defined closures do not.
     chunk_size:
-        Trials per pool task (default: ``num_trials / (4 * workers)``,
-        at least 1).  Larger chunks amortise inter-process pickling;
-        smaller chunks balance uneven per-trial cost.
+        Trials per pool task.  ``None`` or ``0`` selects the default
+        ``num_trials / (4 * workers)`` (at least 1); negative values are
+        rejected.  Larger chunks amortise inter-process pickling; smaller
+        chunks balance uneven per-trial cost.  Chunking is an executor
+        choice only — any chunk size yields the same results.
     """
     if num_trials < 1:
         raise ValidationError(f"num_trials must be >= 1, got {num_trials}")
     if workers is not None and workers < 1:
         raise ValidationError(f"workers must be >= 1 or None, got {workers}")
-    if chunk_size is not None and chunk_size < 1:
-        raise ValidationError(f"chunk_size must be >= 1 or None, got {chunk_size}")
+    if chunk_size is not None and chunk_size < 0:
+        raise ValidationError(
+            f"chunk_size must be >= 1, or 0/None for the default, got {chunk_size}"
+        )
 
     rngs = spawn_rngs(seed, num_trials)
     perf.record_event("mc_trial", num_trials)
     with perf.stage("mc_trials"):
         if workers is None or workers == 1:
+            if obs.is_enabled():
+                obs.event("mc_run", trials=num_trials, workers=1, chunks=1)
             outcomes = [trial(rng) for rng in rngs]
         else:
             try:
@@ -89,13 +98,38 @@ def run_trials(
                     "(use a module-level function or functools.partial); "
                     f"pickling failed with: {exc}"
                 ) from exc
-            chunk = chunk_size or max(1, math.ceil(num_trials / (4 * workers)))
+            pool_workers = min(workers, num_trials)
+            chunk = chunk_size or max(1, math.ceil(num_trials / (4 * pool_workers)))
             chunks = [rngs[i : i + chunk] for i in range(0, num_trials, chunk)]
+            if obs.is_enabled():
+                obs.event(
+                    "mc_run",
+                    trials=num_trials,
+                    workers=pool_workers,
+                    requested_workers=workers,
+                    chunks=len(chunks),
+                    chunk_size=chunk,
+                )
             outcomes = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for part in pool.map(_run_chunk, [trial] * len(chunks), chunks):
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                for index, part in enumerate(
+                    pool.map(_run_chunk, [trial] * len(chunks), chunks)
+                ):
                     outcomes.extend(part)
-    return [outcome for outcome in outcomes if outcome is not None]
+                    if obs.is_enabled():
+                        # Arrival events: each record's monotonic ``t``
+                        # stamp gives per-chunk collection timing and the
+                        # inter-arrival gaps expose worker utilisation.
+                        obs.event(
+                            "mc_chunk",
+                            index=index,
+                            size=len(part),
+                            collected=len(outcomes),
+                        )
+    kept = [outcome for outcome in outcomes if outcome is not None]
+    if obs.is_enabled():
+        obs.event("mc_done", trials=num_trials, kept=len(kept))
+    return kept
 
 
 def success_rate(results: Sequence[dict], flag: str = "success") -> float:

@@ -6,11 +6,19 @@ truth metrics, thresholds, cap and margin.  Freezing it to a JSON document
 makes experiments portable and re-runnable bit-for-bit (the RNG seeds in
 the drivers cover the rest).  Node labels follow the topology
 serializer's conventions (tuples are tagged and restored as tuples).
+
+Documents are *strict* JSON: non-finite numbers (an infinite cap, a NaN
+metric) are encoded as the string sentinels ``"Infinity"`` /
+``"-Infinity"`` / ``"NaN"`` rather than Python's non-standard bare
+``Infinity``/``NaN`` tokens, which strict parsers (and most other
+languages) reject.  Loading accepts both forms, so documents written by
+older builds still parse.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 import numpy as np
@@ -30,9 +38,48 @@ __all__ = ["scenario_to_json", "scenario_from_json", "save_scenario", "load_scen
 
 _FORMAT_VERSION = 1
 
+#: Strict-JSON sentinels for the non-finite floats ``json.dumps`` would
+#: otherwise emit as unparseable bare tokens.
+_NONFINITE_ENCODE = {math.inf: "Infinity", -math.inf: "-Infinity"}
+_NONFINITE_DECODE = {
+    "Infinity": math.inf,
+    "-Infinity": -math.inf,
+    "NaN": math.nan,
+    # Common aliases other tools emit.
+    "inf": math.inf,
+    "-inf": -math.inf,
+    "nan": math.nan,
+}
+
+
+def _encode_float(value: float | None) -> float | str | None:
+    """A float as a strict-JSON value (string sentinel when non-finite)."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return _NONFINITE_ENCODE[value]
+    return value
+
+
+def _decode_float(encoded: object) -> float | None:
+    """Inverse of :func:`_encode_float`; also accepts legacy bare numbers."""
+    if encoded is None:
+        return None
+    if isinstance(encoded, str):
+        try:
+            return _NONFINITE_DECODE[encoded]
+        except KeyError:
+            raise SerializationError(
+                f"unrecognised numeric sentinel {encoded!r}"
+            ) from None
+    return float(encoded)
+
 
 def scenario_to_json(scenario: Scenario) -> str:
-    """Serialize ``scenario`` to a JSON string."""
+    """Serialize ``scenario`` to a strict-JSON string."""
     doc = {
         "format": "repro-scenario",
         "version": _FORMAT_VERSION,
@@ -43,15 +90,20 @@ def scenario_to_json(scenario: Scenario) -> str:
             [_encode_label(node) for node in path.nodes]
             for path in scenario.path_set
         ],
-        "true_metrics": [float(v) for v in scenario.true_metrics],
+        "true_metrics": [_encode_float(v) for v in scenario.true_metrics],
         "thresholds": {
-            "lower": scenario.thresholds.lower,
-            "upper": scenario.thresholds.upper,
+            "lower": _encode_float(scenario.thresholds.lower),
+            "upper": _encode_float(scenario.thresholds.upper),
         },
-        "cap": scenario.cap,
-        "margin": scenario.margin,
+        "cap": _encode_float(scenario.cap),
+        "margin": _encode_float(scenario.margin),
     }
-    return json.dumps(doc, indent=2)
+    try:
+        return json.dumps(doc, indent=2, allow_nan=False)
+    except ValueError as exc:  # a non-finite float escaped the encoders
+        raise SerializationError(
+            f"scenario contains a non-encodable numeric value: {exc}"
+        ) from exc
 
 
 def scenario_from_json(text: str) -> Scenario:
@@ -73,17 +125,19 @@ def scenario_from_json(text: str) -> Scenario:
             [[_decode_label(n) for n in nodes] for nodes in doc["paths"]],
         )
         thresholds = StateThresholds(
-            lower=float(doc["thresholds"]["lower"]),
-            upper=float(doc["thresholds"]["upper"]),
+            lower=_decode_float(doc["thresholds"]["lower"]),
+            upper=_decode_float(doc["thresholds"]["upper"]),
         )
         return Scenario(
             topology=topology,
             monitors=tuple(_decode_label(m) for m in doc["monitors"]),
             path_set=path_set,
-            true_metrics=np.asarray(doc["true_metrics"], dtype=float),
+            true_metrics=np.asarray(
+                [_decode_float(v) for v in doc["true_metrics"]], dtype=float
+            ),
             thresholds=thresholds,
-            cap=doc["cap"],
-            margin=float(doc["margin"]),
+            cap=_decode_float(doc["cap"]),
+            margin=_decode_float(doc["margin"]),
             name=doc.get("name", ""),
         )
     except (KeyError, TypeError, ValueError) as exc:

@@ -23,6 +23,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.analysis.contracts import check_routing_matrix, contract
+from repro.obs import core as obs
 from repro.utils.linalg import DEFAULT_RANK_TOL, compact_svd, pinv_from_svd
 from repro.utils.validation import check_finite_vector
 
@@ -69,7 +70,15 @@ class LinearSystem:
     @cached_property
     def _factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """``(u, s, vt, rank)`` — the one factorisation everything shares."""
-        return compact_svd(self._matrix, rank_tol=self._rank_tol)
+        factors = compact_svd(self._matrix, rank_tol=self._rank_tol)
+        if obs.is_enabled():
+            obs.event(
+                "linear_system_factorize",
+                paths=self.num_paths,
+                links=self.num_links,
+                rank=factors[3],
+            )
+        return factors
 
     # -- basic shape ------------------------------------------------------
 

@@ -42,8 +42,11 @@ def topology_to_json(topology: Topology) -> str:
                 [_encode_label(link.u), _encode_label(link.v)] for link in topology.links()
             ],
         }
-        return json.dumps(doc, indent=2)
-    except TypeError as exc:
+        # allow_nan=False keeps the document strict JSON: a non-finite
+        # numeric node label would otherwise serialize as a bare
+        # Infinity/NaN token that standard parsers reject.
+        return json.dumps(doc, indent=2, allow_nan=False)
+    except (TypeError, ValueError) as exc:
         raise SerializationError(f"topology contains non-serializable node labels: {exc}") from exc
 
 

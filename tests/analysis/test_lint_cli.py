@@ -84,3 +84,23 @@ def test_repo_source_tree_lints_clean(capsys):
     assert REPO_SRC.is_dir()
     assert main(["lint", str(REPO_SRC)]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_obs_package_lints_clean(capsys):
+    """The observability layer is lint-clean on its own: its wall-clock
+    reads are covered by the RP003 ``obs/`` exemption, and every other
+    rule applies to it unreduced."""
+    obs_dir = REPO_SRC / "repro" / "obs"
+    assert obs_dir.is_dir()
+    assert main(["lint", str(obs_dir)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_rp003_does_not_exempt_other_directories(tmp_path, capsys):
+    """The obs/perf carve-out must not leak: a wall-clock read anywhere
+    else still violates RP003."""
+    pkg = tmp_path / "scenarios"
+    pkg.mkdir()
+    (pkg / "timing.py").write_text("import time\nnow = time.time()\n")
+    assert main(["lint", str(pkg), "--select", "RP003"]) == 1
+    assert "RP003" in capsys.readouterr().out

@@ -84,9 +84,27 @@ class TestSolveLp:
         bands = BandConstraints.unbounded(10)
         solution = solve_manipulation_lp(operator, x, [0, 1], 23, bands, cap=None)
         assert solution.feasible
-        assert solution.unbounded
-        assert solution.damage == float("inf")
+        assert solution.unbounded  # the flag is the only infinity signal
         assert solution.manipulation is not None  # concrete vector still given
+        # The damage contract: always the L1 norm of the returned vector,
+        # never a bare inf detached from it.
+        assert math.isfinite(solution.damage)
+        assert solution.damage == pytest.approx(
+            float(np.abs(solution.manipulation).sum())
+        )
+
+    def test_damage_always_l1_of_manipulation(self, fig1_system):
+        """Regression: ``damage == ||manipulation||_1`` in every feasible
+        outcome, bounded or not (the bug returned damage=inf alongside a
+        finite capped vector)."""
+        _, operator, x = fig1_system
+        bands = BandConstraints.unbounded(10)
+        for cap in (None, 50.0, 2000.0):
+            solution = solve_manipulation_lp(operator, x, [0, 1], 23, bands, cap=cap)
+            assert solution.feasible
+            assert solution.damage == pytest.approx(
+                float(np.abs(solution.manipulation).sum())
+            )
 
     def test_band_constraint_respected(self, fig1_system):
         matrix, operator, x = fig1_system

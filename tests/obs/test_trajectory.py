@@ -1,0 +1,52 @@
+"""Tests for the benchmark trajectory file (append-only semantics)."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import SCHEMA_VERSION, append_trajectory
+
+
+def _fake_benchmarks(wall: float) -> dict:
+    return {
+        "fig5_max_damage": {
+            "wall_s": wall,
+            "speedup": {"svd": 2.0, "lp_assembly": 3.0, "combined": 2.5},
+            "stages": {"ignored": {"seconds": 1.0, "calls": 1}},
+        }
+    }
+
+
+class TestAppendTrajectory:
+    def test_creates_fresh_file(self, tmp_path):
+        out = append_trajectory(_fake_benchmarks(0.5), tmp_path / "BENCH_trajectory.json")
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert len(doc["runs"]) == 1
+        point = doc["runs"][0]["benchmarks"]["fig5_max_damage"]
+        assert point["wall_s"] == 0.5
+        assert point["speedup"]["combined"] == 2.5
+        assert "stages" not in point  # trajectory keeps the compact summary only
+
+    def test_appends_not_overwrites(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        for wall in (0.5, 0.6, 0.7):
+            append_trajectory(_fake_benchmarks(wall), path)
+        doc = json.loads(path.read_text())
+        assert [
+            r["benchmarks"]["fig5_max_damage"]["wall_s"] for r in doc["runs"]
+        ] == [0.5, 0.6, 0.7]
+        assert all("created_unix" in r for r in doc["runs"])
+
+    def test_corrupt_existing_file_not_clobbered(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            append_trajectory(_fake_benchmarks(0.5), path)
+        assert path.read_text() == "{not json"  # original preserved
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text('{"schema_version": 1}')
+        with pytest.raises(ValueError, match="runs"):
+            append_trajectory(_fake_benchmarks(0.5), path)

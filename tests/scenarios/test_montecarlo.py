@@ -81,7 +81,22 @@ class TestRunTrialsWorkers:
         with pytest.raises(ValidationError):
             run_trials(4, _stochastic_trial, seed=0, workers=0)
         with pytest.raises(ValidationError):
-            run_trials(4, _stochastic_trial, seed=0, workers=2, chunk_size=0)
+            run_trials(4, _stochastic_trial, seed=0, workers=2, chunk_size=-1)
+
+    def test_chunk_size_zero_means_auto(self):
+        """Regression: ``chunk_size=0`` used to be rejected; it now selects
+        the default chunking and stays bit-identical to serial."""
+        serial = run_trials(11, _stochastic_trial, seed=5)
+        parallel = run_trials(11, _stochastic_trial, seed=5, workers=2, chunk_size=0)
+        assert serial == parallel
+
+    def test_more_workers_than_trials(self):
+        """Regression: ``workers > num_trials`` used to produce empty chunks
+        (``ceil(n / 4w) * w`` oversubscription); the pool is clamped and
+        results stay bit-identical to serial."""
+        serial = run_trials(3, _stochastic_trial, seed=7)
+        parallel = run_trials(3, _stochastic_trial, seed=7, workers=8)
+        assert serial == parallel
 
 
 class TestSuccessRate:

@@ -1,5 +1,8 @@
 """Tests for scenario serialization."""
 
+import json
+import math
+
 import numpy as np
 import pytest
 
@@ -61,6 +64,44 @@ class TestRoundTrip:
         )
         back = scenario_from_json(scenario_to_json(scenario))
         assert back.cap is None
+
+
+class TestStrictJson:
+    """Non-finite numbers must serialize as strict-JSON string sentinels."""
+
+    @staticmethod
+    def _with_cap(fig1_scenario, cap):
+        return Scenario(
+            topology=fig1_scenario.topology,
+            monitors=fig1_scenario.monitors,
+            path_set=fig1_scenario.path_set,
+            true_metrics=fig1_scenario.true_metrics,
+            cap=cap,
+        )
+
+    def test_infinite_cap_round_trips_as_strict_json(self, fig1_scenario):
+        text = scenario_to_json(self._with_cap(fig1_scenario, math.inf))
+
+        def reject_constant(name):  # bare Infinity/NaN tokens are a bug
+            raise AssertionError(f"non-standard JSON token {name!r} in output")
+
+        doc = json.loads(text, parse_constant=reject_constant)
+        assert doc["cap"] == "Infinity"
+        back = scenario_from_json(text)
+        assert back.cap == math.inf
+
+    def test_legacy_bare_infinity_token_still_loads(self, fig1_scenario):
+        doc = json.loads(scenario_to_json(fig1_scenario))
+        doc["cap"] = math.inf
+        legacy = json.dumps(doc)  # Python emits the non-standard bare token
+        assert "Infinity" in legacy
+        assert scenario_from_json(legacy).cap == math.inf
+
+    def test_unknown_sentinel_rejected(self, fig1_scenario):
+        doc = json.loads(scenario_to_json(fig1_scenario))
+        doc["cap"] = "huge"
+        with pytest.raises(SerializationError, match="sentinel"):
+            scenario_from_json(json.dumps(doc))
 
 
 class TestFiles:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -109,6 +111,105 @@ class TestExperiments:
         assert main(["experiment", "fig9", "--trials", "6", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "detection-ratio" in out
+
+
+@pytest.fixture()
+def scenario_file(tmp_path, fig1_scenario):
+    from repro.scenarios.serialization import save_scenario
+
+    path = tmp_path / "fig1.json"
+    save_scenario(fig1_scenario, path)
+    return path
+
+
+class TestRun:
+    def test_run_scenario_file(self, scenario_file, capsys):
+        code = main(
+            ["run", str(scenario_file), "--strategy", "max-damage",
+             "--attackers", "B", "C"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max-damage" in out
+        assert "consistency detector" in out
+
+    def test_run_default_attacker_and_victim(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file), "--strategy", "naive"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_missing_scenario_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_attacker_label(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file), "--attackers", "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestObs:
+    def test_env_var_writes_log_and_manifest(
+        self, scenario_file, tmp_path, capsys, monkeypatch
+    ):
+        log_path = tmp_path / "run.jsonl"
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_PATH", str(log_path))
+        code = main(
+            ["run", str(scenario_file), "--strategy", "max-damage",
+             "--attackers", "B", "C"]
+        )
+        assert code == 0
+        assert log_path.exists()
+        manifest_path = log_path.with_suffix(".manifest.json")
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "run"
+        assert manifest["exit_status"] == 0
+        assert "topology" in manifest  # run attaches the scenario summary
+        from repro.obs import summarize_run
+
+        summary = summarize_run(log_path)
+        assert summary["complete"]
+        assert "cli" in summary["spans"]
+        assert "cli_run" in summary["spans"]
+        assert summary["counters"].get("lp_solve", 0) > 0
+
+    def test_summarize_renders_log(self, tmp_path, capsys):
+        from repro.obs import core as obs
+
+        log_path = tmp_path / "run.jsonl"
+        with obs.enabled(log_path, run_id="cli-test") as log:
+            with log.span("work"):
+                log.counter("steps", 2)
+        assert main(["obs", "summarize", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "work" in out
+        assert "steps" in out
+
+    def test_summarize_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_summarize_corrupt_file_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["obs", "summarize", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchTrajectory:
+    def test_trajectory_appends_across_runs(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        for _ in range(2):
+            assert main(["bench", "fig1", "--repeat", "1", "--trajectory"]) == 0
+        out = capsys.readouterr().out
+        assert "appended trajectory point" in out
+        trajectory = tmp_path / "benchmarks" / "results" / "BENCH_trajectory.json"
+        doc = json.loads(trajectory.read_text())
+        assert len(doc["runs"]) == 2
+        assert all(
+            "wall_s" in r["benchmarks"]["fig1_pipeline"] for r in doc["runs"]
+        )
 
 
 class TestReproduce:

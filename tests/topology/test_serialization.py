@@ -50,6 +50,16 @@ class TestJsonRoundTrip:
         with pytest.raises(SerializationError, match="malformed"):
             topology_from_json(doc)
 
+    def test_nonfinite_numeric_label_rejected(self):
+        """A float('inf') node label would emit a bare Infinity token that
+        strict JSON parsers reject; the serializer refuses it instead."""
+        from repro.topology.graph import Topology
+
+        topo = Topology(name="bad")
+        topo.add_link(float("inf"), "b")
+        with pytest.raises(SerializationError, match="non-serializable"):
+            topology_to_json(topo)
+
 
 class TestEdgeList:
     def test_round_trip(self):
