@@ -28,7 +28,11 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
 
     envelope = json.loads(path.read_text())
     assert envelope["schema_version"] == 1
-    assert set(envelope["benchmarks"]) == {"fig1_pipeline", "fig5_max_damage"}
+    assert set(envelope["benchmarks"]) == {
+        "fig1_pipeline",
+        "fig5_max_damage",
+        "sweep_cache",
+    }
 
     fig5 = envelope["benchmarks"]["fig5_max_damage"]
     speedup = fig5["speedup"]
@@ -52,3 +56,8 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
     assert fig1["counters"]["lp_solve"] >= 1
     for stage in ("context_build", "max_damage", "detection"):
         assert stage in fig1["stages"]
+
+    sweep = envelope["benchmarks"]["sweep_cache"]
+    assert sweep["points"] == 9
+    assert sweep["speedup"]["sweep"] > 0.0
+    assert sweep["cache_stats"]["system_hit"] > 0

@@ -52,6 +52,12 @@ class AttackContext:
     margin:
         Safety margin pushed inside each strict band (Definition 1 uses
         strict inequalities; the LP needs closed ones).
+    system:
+        Optional pre-factorised :class:`LinearSystem` over this path set's
+        routing matrix.  Grid sweeps pass the same kernel into every
+        context sharing a topology so the SVD runs once per distinct
+        routing matrix; the matrix must be value-equal to the path set's
+        own, or a :class:`ValidationError` is raised.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class AttackContext:
         thresholds: StateThresholds | None = None,
         cap: float | None = 2000.0,
         margin: float = 1.0,
+        system: LinearSystem | None = None,
     ) -> None:
         self.path_set = path_set
         self.topology = path_set.topology
@@ -87,7 +94,15 @@ class AttackContext:
             check_routing_matrix(self.routing_matrix, "routing_matrix")
         #: Shared SVD kernel: one factorisation of ``R`` backs the
         #: estimator operator, the residual projector, and any rank query.
-        self.system = LinearSystem(self.routing_matrix)
+        if system is not None:
+            if not np.array_equal(system.matrix, self.routing_matrix):
+                raise ValidationError(
+                    "injected LinearSystem does not match this path set's "
+                    "routing matrix"
+                )
+            self.system = system
+        else:
+            self.system = LinearSystem(self.routing_matrix)
         self.operator = self.system.estimator
         self._honest_measurements: np.ndarray | None = None
         #: What tomography estimates *without* any attack.  Equals the true

@@ -60,6 +60,15 @@ class MaxDamageAttack:
         Return the first feasible victim set instead of the best one.
         Success-probability experiments (Fig. 8) only need existence, and
         this short-circuits the candidate scan.
+    shared_solver:
+        Optional pre-assembled :class:`IncrementalLpSolver` whose base
+        block is the empty-victim chosen-victim bands of this context /
+        mode / confined combination (what :meth:`_candidate_solver` would
+        build).  Grid sweeps pass one solver per (routing matrix,
+        attacker-set, mode) so the LP base block is assembled once and
+        reused across every victim candidate of every grid point sharing
+        it.  The caller is responsible for the base block matching; a
+        mismatched solver silently changes the constraints.
     """
 
     strategy_name = "max-damage"
@@ -75,6 +84,7 @@ class MaxDamageAttack:
         stop_at_first_feasible: bool = False,
         stealthy: bool = False,
         confined: bool = False,
+        shared_solver: IncrementalLpSolver | None = None,
     ) -> None:
         if victim_set_size < 1:
             raise ValidationError(f"victim_set_size must be >= 1, got {victim_set_size}")
@@ -99,7 +109,7 @@ class MaxDamageAttack:
             for j in self.candidates:
                 if not 0 <= j < context.num_links:
                     raise ValidationError(f"candidate link index {j} out of range")
-        self._solver: IncrementalLpSolver | None = None
+        self._solver: IncrementalLpSolver | None = shared_solver
 
     def _candidate_solver(self) -> IncrementalLpSolver:
         """The shared solver whose base block is every candidate's common part.

@@ -12,6 +12,8 @@ without writing any code:
   (written by :func:`repro.scenarios.serialization.save_scenario`);
 - ``experiment`` — run a Monte-Carlo experiment (fig7/fig8/fig9) at a
   configurable trial count;
+- ``sweep`` — run a declarative parameter-grid sweep (strategy x
+  topology x attacker count) from a JSON spec, sharded and resumable;
 - ``reproduce`` — regenerate every Section V-B case study (Figs. 4-6,
   the naive baseline, and the loss-domain variant) into a directory;
 - ``bench`` — run the performance timing harness (instrumented pipeline
@@ -124,10 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "target",
-        choices=["fig1", "fig5", "all"],
+        choices=["fig1", "fig5", "sweep", "all"],
         nargs="?",
         default="all",
-        help="fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison",
+        help=(
+            "fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison, "
+            "sweep = cold-vs-cached grid execution"
+        ),
     )
     bench.add_argument(
         "--out",
@@ -139,6 +144,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--trajectory",
         action="store_true",
         help="also append a compact point to benchmarks/results/BENCH_trajectory.json",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative parameter-grid sweep from a JSON spec"
+    )
+    sweep.add_argument("spec", help="path to a repro-sweep JSON spec")
+    sweep.add_argument(
+        "--out",
+        default=None,
+        help="results JSONL path (default: sweeps/<spec name>.jsonl)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="process-pool width (1 = in-process)"
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="split per-topology shards into chunks of at most this many points",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip grid points already checkpointed in the results file",
+    )
+    sweep.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="stop (resumably) after this many new points",
     )
 
     obs = sub.add_parser("obs", help="inspect structured observability logs")
@@ -542,6 +577,7 @@ def _cmd_bench(args) -> int:
     from repro.perf.bench import (
         fig1_pipeline_benchmark,
         fig5_assembly_benchmark,
+        sweep_cache_benchmark,
         write_bench_json,
     )
 
@@ -549,10 +585,13 @@ def _cmd_bench(args) -> int:
         benchmarks = {"fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat)}
     elif args.target == "fig5":
         benchmarks = {"fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat)}
+    elif args.target == "sweep":
+        benchmarks = {"sweep_cache": sweep_cache_benchmark(repeat=args.repeat)}
     else:
         benchmarks = {
             "fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat),
             "fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat),
+            "sweep_cache": sweep_cache_benchmark(repeat=args.repeat),
         }
 
     default_name = "BENCH_perf.json" if args.target == "all" else f"BENCH_{args.target}.json"
@@ -577,13 +616,54 @@ def _cmd_bench(args) -> int:
             print(f"  {counter:<18} {value}")
         speedup = payload.get("speedup")
         if speedup:
-            print(
-                "  speedup vs seed    "
-                f"svd {speedup['svd']:.2f}x, "
-                f"lp-assembly {speedup['lp_assembly']:.2f}x, "
-                f"combined {speedup['combined']:.2f}x"
+            parts = ", ".join(
+                f"{key.replace('_', '-')} {value:.2f}x" for key, value in speedup.items()
             )
+            print(f"  speedup vs seed    {parts}")
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.exceptions import ReproError, SerializationError
+    from repro.reporting import format_sweep_summary
+    from repro.sweep import SweepSpec, aggregate_rows, run_sweep
+
+    try:
+        spec = SweepSpec.load(args.spec)
+    except (SerializationError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else Path("sweeps") / f"{spec.name or 'sweep'}.jsonl"
+    try:
+        summary = run_sweep(
+            spec,
+            results_path=out,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            resume=args.resume,
+            max_points=args.max_points,
+        )
+    except (SerializationError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"sweep {spec.name or spec.digest[:12]}: "
+        f"{summary['ran']} ran, {summary['skipped']} skipped, "
+        f"{summary['remaining']} remaining ({summary['total']} total)"
+    )
+    print(f"results: {out}")
+    if summary["remaining"]:
+        print(f"partial grid; finish with: repro sweep {args.spec} --resume --out {out}")
+    print()
+    print(
+        format_sweep_summary(
+            aggregate_rows(summary["points"]),
+            title=f"Sweep summary ({len(summary['points'])} points)",
+        )
+    )
     return 0
 
 
@@ -637,6 +717,8 @@ def _dispatch(args) -> int:
         return _cmd_reproduce(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "lint":

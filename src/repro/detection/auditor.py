@@ -65,6 +65,11 @@ class TomographyAuditor:
         Link-state bounds for the diagnosis.
     alpha:
         Consistency-detector threshold (paper: 200 ms).
+    system:
+        Optional pre-factorised
+        :class:`~repro.tomography.linear_system.LinearSystem` over the
+        path set's routing matrix, forwarded to the detector so audits
+        share the sweep engine's per-topology factorisation.
     """
 
     def __init__(
@@ -73,10 +78,13 @@ class TomographyAuditor:
         *,
         thresholds: StateThresholds | None = None,
         alpha: float = 200.0,
+        system=None,
     ) -> None:
         self.path_set = path_set
         self.thresholds = thresholds if thresholds is not None else StateThresholds()
-        self.detector = ConsistencyDetector(path_set.routing_matrix(), alpha=alpha)
+        self.detector = ConsistencyDetector(
+            path_set.routing_matrix(), alpha=alpha, system=system
+        )
 
     def audit(self, observed: np.ndarray) -> AuditReport:
         """Run the full pipeline on one observed measurement vector."""

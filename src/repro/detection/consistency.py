@@ -59,7 +59,13 @@ class ConsistencyDetector:
     """
 
     @contract(routing_matrix=check_routing_matrix)
-    def __init__(self, routing_matrix: np.ndarray, alpha: float = 200.0) -> None:
+    def __init__(
+        self,
+        routing_matrix: np.ndarray,
+        alpha: float = 200.0,
+        *,
+        system: LinearSystem | None = None,
+    ) -> None:
         matrix = np.asarray(routing_matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise DetectionError(f"degenerate routing matrix shape {matrix.shape}")
@@ -68,7 +74,16 @@ class ConsistencyDetector:
         self._matrix = matrix
         # One shared factorisation serves both the estimator operator and
         # the rank query below (previously an independent matrix_rank).
-        self._system = LinearSystem(matrix)
+        # Callers running many detectors over one topology (the sweep
+        # engine) inject the already-factorised kernel instead.
+        if system is not None:
+            if not np.array_equal(system.matrix, matrix):
+                raise DetectionError(
+                    "injected LinearSystem does not match the routing matrix"
+                )
+            self._system = system
+        else:
+            self._system = LinearSystem(matrix)
         self._operator = self._system.estimator
         self.alpha = float(alpha)
         # Residuals vanish identically iff rows span no redundancy: every

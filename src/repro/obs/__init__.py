@@ -37,6 +37,7 @@ from repro.obs.core import (
     active_log,
     counter,
     default_run_path,
+    detach_inherited_log,
     enabled,
     enabled_from_env,
     env_enabled,
@@ -61,6 +62,7 @@ __all__ = [
     "config_digest",
     "counter",
     "default_run_path",
+    "detach_inherited_log",
     "enabled",
     "enabled_from_env",
     "env_enabled",

@@ -47,6 +47,7 @@ __all__ = [
     "active_log",
     "counter",
     "default_run_path",
+    "detach_inherited_log",
     "enabled",
     "enabled_from_env",
     "env_enabled",
@@ -108,8 +109,9 @@ class EventLog:
 
     The log keeps running counter totals in :attr:`counters` so summaries
     do not need to re-read the file.  Instances are not thread-safe; the
-    library activates at most one per process (worker processes in
-    ``run_trials`` simply run with the log disabled).
+    library activates at most one per process.  Pool workers forked while
+    a log is active inherit it — worker chunk bodies call
+    :func:`detach_inherited_log` so only the parent process writes.
     """
 
     def __init__(self, path: str | Path, *, run_id: str | None = None) -> None:
@@ -120,6 +122,7 @@ class EventLog:
         self._next_span_id = 1
         self._closed = False
         self._start = time.perf_counter()
+        self._pid = os.getpid()
         self._file = self.path.open("w", encoding="utf-8")
         self._write(
             {
@@ -142,6 +145,10 @@ class EventLog:
             json.dumps(sanitize(record), allow_nan=False, separators=(",", ":"))
             + "\n"
         )
+        # Flush per record so the userspace buffer is empty whenever a
+        # pool worker forks — a child inheriting buffered bytes would
+        # replay them into the shared descriptor on exit.
+        self._file.flush()
 
     def _emit(self, record: dict) -> None:
         record.setdefault("t", round(time.perf_counter() - self._start, 9))
@@ -239,6 +246,22 @@ def active_log() -> EventLog | None:
 def is_enabled() -> bool:
     """True when a run log is active (use to gate costly field assembly)."""
     return _ACTIVE is not None
+
+
+def detach_inherited_log() -> None:
+    """Disable a log inherited from the parent process across ``fork``.
+
+    With the ``fork`` start method a pool worker inherits both the
+    module-global active log and the parent's open file descriptor, so
+    its events would interleave with (and corrupt the span nesting of)
+    the parent's log.  Worker chunk bodies call this first: if the
+    active log was created by a different process it is dropped without
+    closing the shared descriptor, and the worker runs with the log
+    disabled.  No-op in the process that created the log.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE._pid != os.getpid():
+        _ACTIVE = None
 
 
 def event(name: str, **fields: object) -> None:

@@ -26,7 +26,7 @@ from pathlib import Path
 
 from repro.obs.core import SCHEMA_VERSION, _package_version, sanitize
 
-__all__ = ["RunManifest", "config_digest"]
+__all__ = ["RunManifest", "config_digest", "matrix_digest"]
 
 
 def config_digest(config: dict | None) -> str:
@@ -40,6 +40,22 @@ def config_digest(config: dict | None) -> str:
         sanitize(config or {}), sort_keys=True, separators=(",", ":"), allow_nan=False
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def matrix_digest(matrix: object) -> str:
+    """Canonical SHA-256 of a 2-D numeric array (e.g. a routing matrix).
+
+    Defined as :func:`config_digest` over ``{"shape": ..., "data": ...}``
+    with the entries normalised by :func:`repro.obs.core.sanitize`, so the
+    digest is independent of dtype/container (a numpy array, a nested
+    list, and a tuple of rows with equal values all agree) and stable
+    across platforms.  The :mod:`repro.sweep` factorization cache keys
+    shared :class:`~repro.tomography.linear_system.LinearSystem` kernels
+    by this digest.
+    """
+    tolist = getattr(matrix, "tolist", None)
+    rows = tolist() if callable(tolist) else [list(row) for row in matrix]
+    return config_digest({"shape": [len(rows), len(rows[0]) if rows else 0], "data": rows})
 
 
 class RunManifest:

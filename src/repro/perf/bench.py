@@ -49,6 +49,7 @@ __all__ = [
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
+    "sweep_cache_benchmark",
     "write_bench_json",
 ]
 
@@ -259,11 +260,71 @@ def fig1_pipeline_benchmark(*, repeat: int = 1) -> dict:
     }
 
 
+def sweep_cache_benchmark(*, repeat: int = 3) -> dict:
+    """Cold vs. cached execution of a small sweep grid.
+
+    Runs a 9-point grid (3 strategies x 3 attacker counts on the Fig. 1
+    topology) two ways: cold — every grid point builds its own
+    :class:`~repro.sweep.cache.FactorizationCache` (so each point
+    re-factorises the routing matrix and re-assembles its LP base block)
+    — and warm — all points share one cache, the way
+    :func:`~repro.sweep.runner.run_sweep` shards them.  Both paths
+    produce bit-identical records (property-tested in
+    ``tests/sweep/test_properties.py``); the speedup is the point of the
+    cache.
+    """
+    from repro.sweep.cache import FactorizationCache
+    from repro.sweep.runner import run_grid_point
+    from repro.sweep.spec import SweepSpec
+
+    spec = SweepSpec.from_dict(
+        {
+            "format": "repro-sweep",
+            "version": 1,
+            "name": "bench-cache",
+            "seed": 2017,
+            "strategies": ["chosen-victim", "max-damage", "obfuscation"],
+            "topologies": [{"kind": "fig1"}],
+            "attacker_counts": [1, 2, 3],
+        }
+    )
+    points = spec.expand()
+    start = time.perf_counter()
+    scenarios: dict = {}
+
+    def cold() -> None:
+        for point in points:
+            run_grid_point(
+                spec, point, cache=FactorizationCache(), scenarios=scenarios
+            )
+
+    warm_cache = FactorizationCache()
+
+    def warm() -> None:
+        for point in points:
+            run_grid_point(spec, point, cache=warm_cache, scenarios=scenarios)
+
+    warm()  # populate both the cache and the scenario memo before timing
+    cold_s = _best_of(cold, repeat)
+    warm_s = _best_of(warm, repeat)
+    return {
+        "bench": "sweep_cache",
+        "repeat": repeat,
+        "points": len(points),
+        "wall_s": time.perf_counter() - start,
+        "cold_s": cold_s,
+        "cached_s": warm_s,
+        "speedup": {"sweep": cold_s / warm_s if warm_s > 0 else float("inf")},
+        "cache_stats": dict(warm_cache.stats),
+    }
+
+
 def full_perf_benchmark(*, repeat: int = 3) -> dict:
-    """Both benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
+    """All benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
     return {
         "fig1_pipeline": fig1_pipeline_benchmark(repeat=repeat),
         "fig5_max_damage": fig5_assembly_benchmark(repeat=repeat),
+        "sweep_cache": sweep_cache_benchmark(repeat=repeat),
     }
 
 

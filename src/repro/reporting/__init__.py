@@ -5,7 +5,7 @@ helpers render them as aligned ASCII tables and labelled series so the
 EXPERIMENTS.md comparisons can be regenerated verbatim.
 """
 
-from repro.reporting.tables import format_table, format_kv
+from repro.reporting.tables import format_table, format_kv, format_sweep_summary
 from repro.reporting.figures import (
     format_fig4_series,
     format_detection_table,
@@ -16,6 +16,7 @@ from repro.reporting.figures import (
 __all__ = [
     "format_table",
     "format_kv",
+    "format_sweep_summary",
     "format_fig4_series",
     "format_detection_table",
     "format_success_bins",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-__all__ = ["format_table", "format_kv"]
+__all__ = ["format_table", "format_kv", "format_sweep_summary"]
 
 
 def _cell(value: object) -> str:
@@ -49,3 +49,32 @@ def format_kv(title: str, mapping: dict) -> str:
     for key, value in mapping.items():
         lines.append(f"{str(key).ljust(width)}  {_cell(value)}")
     return "\n".join(lines)
+
+
+def format_sweep_summary(rows: Iterable[dict], *, title: str = "Sweep summary") -> str:
+    """Render aggregated sweep rows (see :func:`repro.sweep.aggregate_rows`).
+
+    One line per (topology, strategy) group: grid points, feasible count,
+    success rate, mean damage over feasible points, and the consistency
+    detector's hit rate among audited (feasible) points.
+    """
+    table_rows = []
+    for row in rows:
+        mean_damage = row.get("mean_damage")
+        detection = row.get("detection_rate")
+        table_rows.append(
+            [
+                row["topology"],
+                row["strategy"],
+                row["points"],
+                row["feasible"],
+                f"{row['success_rate']:.0%}",
+                "n/a" if mean_damage is None else f"{mean_damage:.1f}",
+                "n/a" if detection is None else f"{detection:.0%}",
+            ]
+        )
+    table = format_table(
+        ["topology", "strategy", "points", "feasible", "success", "mean damage", "detected"],
+        table_rows,
+    )
+    return f"{title}\n{'=' * len(title)}\n{table}"

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import math
 import pickle
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 
 import numpy as np
 
@@ -25,7 +26,7 @@ from repro.obs import core as obs
 from repro.perf import instrumentation as perf
 from repro.utils.rng import spawn_rngs
 
-__all__ = ["run_trials", "binned_rate", "success_rate"]
+__all__ = ["check_picklable", "iter_map_chunks", "run_trials", "binned_rate", "success_rate"]
 
 
 def _run_chunk(
@@ -34,7 +35,58 @@ def _run_chunk(
 ) -> list[dict | None]:
     """Worker body: run one chunk of trials serially (module-level so the
     process pool can pickle it)."""
+    obs.detach_inherited_log()
     return [trial(rng) for rng in rngs]
+
+
+def check_picklable(fn: object, what: str = "worker function") -> None:
+    """Raise :class:`ValidationError` when ``fn`` cannot ship to a pool.
+
+    Closures raise TypeError/AttributeError, custom ``__reduce__`` failures
+    PicklingError; all mean "not pool-shippable".
+    """
+    try:
+        pickle.dumps(fn)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise ValidationError(
+            f"{what} must be picklable for workers > 1 "
+            "(use a module-level function or functools.partial); "
+            f"pickling failed with: {exc}"
+        ) from exc
+
+
+def iter_map_chunks(
+    chunk_fn: Callable[[list], list],
+    chunks: Sequence[list],
+    *,
+    workers: int | None = None,
+) -> Iterator[list]:
+    """Apply ``chunk_fn`` to each chunk, yielding results in chunk order.
+
+    The generic sharding machinery behind :func:`run_trials` and the
+    :mod:`repro.sweep` engine.  ``workers=None``/``1`` (or a single chunk)
+    applies ``chunk_fn`` in-process; ``workers > 1`` fans the chunks out
+    over a process pool (never more processes than chunks).  Results are
+    always yielded in chunk order regardless of which worker ran them, so
+    the executor choice can never change what a caller observes — only
+    when each chunk becomes available.
+
+    ``chunk_fn`` must be picklable for ``workers > 1``; chunk contents must
+    be picklable too.  Yielding (rather than returning a list) lets callers
+    checkpoint or log per chunk as results arrive while the pool is still
+    running later chunks.
+    """
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1 or None, got {workers}")
+    chunk_list = list(chunks)
+    if workers is None or workers == 1 or len(chunk_list) <= 1:
+        for chunk in chunk_list:
+            yield chunk_fn(chunk)
+        return
+    check_picklable(chunk_fn, "chunk function")
+    pool_workers = min(workers, len(chunk_list))
+    with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+        yield from pool.map(chunk_fn, chunk_list)
 
 
 def run_trials(
@@ -88,16 +140,7 @@ def run_trials(
                 obs.event("mc_run", trials=num_trials, workers=1, chunks=1)
             outcomes = [trial(rng) for rng in rngs]
         else:
-            try:
-                pickle.dumps(trial)
-            except (pickle.PicklingError, TypeError, AttributeError) as exc:
-                # Closures raise TypeError/AttributeError, custom __reduce__
-                # failures PicklingError; all mean "not pool-shippable".
-                raise ValidationError(
-                    "trial function must be picklable for workers > 1 "
-                    "(use a module-level function or functools.partial); "
-                    f"pickling failed with: {exc}"
-                ) from exc
+            check_picklable(trial, "trial function")
             pool_workers = min(workers, num_trials)
             chunk = chunk_size or max(1, math.ceil(num_trials / (4 * pool_workers)))
             chunks = [rngs[i : i + chunk] for i in range(0, num_trials, chunk)]
@@ -111,21 +154,20 @@ def run_trials(
                     chunk_size=chunk,
                 )
             outcomes = []
-            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                for index, part in enumerate(
-                    pool.map(_run_chunk, [trial] * len(chunks), chunks)
-                ):
-                    outcomes.extend(part)
-                    if obs.is_enabled():
-                        # Arrival events: each record's monotonic ``t``
-                        # stamp gives per-chunk collection timing and the
-                        # inter-arrival gaps expose worker utilisation.
-                        obs.event(
-                            "mc_chunk",
-                            index=index,
-                            size=len(part),
-                            collected=len(outcomes),
-                        )
+            for index, part in enumerate(
+                iter_map_chunks(partial(_run_chunk, trial), chunks, workers=pool_workers)
+            ):
+                outcomes.extend(part)
+                if obs.is_enabled():
+                    # Arrival events: each record's monotonic ``t``
+                    # stamp gives per-chunk collection timing and the
+                    # inter-arrival gaps expose worker utilisation.
+                    obs.event(
+                        "mc_chunk",
+                        index=index,
+                        size=len(part),
+                        collected=len(outcomes),
+                    )
     kept = [outcome for outcome in outcomes if outcome is not None]
     if obs.is_enabled():
         obs.event("mc_done", trials=num_trials, kept=len(kept))

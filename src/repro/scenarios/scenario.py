@@ -143,8 +143,16 @@ class Scenario:
     # ------------------------------------------------------------------
     # derived objects
     # ------------------------------------------------------------------
-    def attack_context(self, attacker_nodes: Iterable[NodeId]) -> AttackContext:
-        """An :class:`AttackContext` for the given attacker set."""
+    def attack_context(
+        self, attacker_nodes: Iterable[NodeId], *, system=None
+    ) -> AttackContext:
+        """An :class:`AttackContext` for the given attacker set.
+
+        ``system`` optionally injects a pre-factorised
+        :class:`~repro.tomography.linear_system.LinearSystem` over this
+        scenario's routing matrix (see the sweep engine's factorization
+        cache); omitted, the context factorises its own.
+        """
         return AttackContext(
             self.path_set,
             self.true_metrics,
@@ -152,6 +160,7 @@ class Scenario:
             thresholds=self.thresholds,
             cap=self.cap,
             margin=self.margin,
+            system=system,
         )
 
     def engine(self, noise_model=None) -> AnalyticMeasurementEngine:
@@ -164,10 +173,14 @@ class Scenario:
             self.topology, self.true_metrics, agents=agents or {}, jitter=jitter
         )
 
-    def auditor(self, alpha: float = 200.0) -> TomographyAuditor:
-        """The operator's audited-tomography pipeline."""
+    def auditor(self, alpha: float = 200.0, *, system=None) -> TomographyAuditor:
+        """The operator's audited-tomography pipeline.
+
+        ``system`` optionally shares a pre-factorised kernel with the
+        detector (same contract as :meth:`attack_context`).
+        """
         return TomographyAuditor(
-            self.path_set, thresholds=self.thresholds, alpha=alpha
+            self.path_set, thresholds=self.thresholds, alpha=alpha, system=system
         )
 
     def honest_measurements(self) -> np.ndarray:

@@ -1,0 +1,117 @@
+"""Folding sweep results into report tables.
+
+A results file is self-describing (header + per-point records), so
+aggregation works from the file alone; passing the spec additionally
+verifies the file belongs to it.  Rows are grouped by
+``(topology, strategy)`` — the axes Figs. 3-6 of the paper sweep — and
+report the feasibility ("success") rate, mean damage over feasible
+points, and the consistency-detector hit rate, matching the metrics the
+paper tabulates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["RESULTS_FORMAT", "RESULTS_VERSION", "aggregate_rows", "load_results"]
+
+RESULTS_FORMAT = "repro-sweep-results"
+RESULTS_VERSION = 1
+
+
+def load_results(
+    path: str | Path, *, spec: SweepSpec | None = None
+) -> tuple[dict, list[dict]]:
+    """Parse a sweep results file into ``(header, points)``.
+
+    Points come back sorted by grid index, so an interrupted-then-resumed
+    file aggregates identically to an uninterrupted one.  Any structural
+    problem — unparseable line, missing or foreign header, duplicate
+    point — raises :class:`SerializationError`.
+    """
+    file_path = Path(path)
+    try:
+        lines = file_path.read_text().splitlines()
+    except OSError as exc:
+        raise SerializationError(f"cannot read results file {file_path}: {exc}") from exc
+    if not lines:
+        raise SerializationError(f"results file {file_path} is empty (no header)")
+    parsed = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"results file {file_path} is corrupt at line {number}: {exc}"
+            ) from exc
+    header = parsed[0]
+    if (
+        not isinstance(header, dict)
+        or header.get("kind") != "header"
+        or header.get("format") != RESULTS_FORMAT
+    ):
+        raise SerializationError(f"results file {file_path} has no valid header line")
+    if header.get("version") != RESULTS_VERSION:
+        raise SerializationError(
+            f"unsupported results version {header.get('version')!r} in {file_path}"
+        )
+    if spec is not None and header.get("spec_digest") != spec.digest:
+        raise SerializationError(
+            f"results file {file_path} belongs to a different sweep spec "
+            f"(digest {header.get('spec_digest')!r} != {spec.digest!r})"
+        )
+    points: list[dict] = []
+    seen: set[str] = set()
+    for number, record in enumerate(parsed[1:], start=2):
+        if not isinstance(record, dict) or record.get("kind") != "point":
+            raise SerializationError(
+                f"results file {file_path} line {number}: expected a point record"
+            )
+        digest = record.get("digest")
+        if digest in seen:
+            raise SerializationError(
+                f"results file {file_path} line {number}: duplicate point {digest!r}"
+            )
+        seen.add(digest)
+        result = record.get("result")
+        if not isinstance(result, dict):
+            raise SerializationError(
+                f"results file {file_path} line {number}: point has no result object"
+            )
+        points.append(result)
+    points.sort(key=lambda r: r["index"])
+    return header, points
+
+
+def aggregate_rows(points: list[dict]) -> list[dict]:
+    """Fold point records into per-``(topology, strategy)`` summary rows."""
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for point in points:
+        groups.setdefault((point["topology"], point["strategy"]), []).append(point)
+    rows = []
+    for (topology, strategy), members in sorted(groups.items()):
+        feasible = [p for p in members if p.get("feasible")]
+        audited = [p for p in feasible if p.get("detected") is not None]
+        detected = [p for p in audited if p["detected"]]
+        rows.append(
+            {
+                "topology": topology,
+                "strategy": strategy,
+                "points": len(members),
+                "feasible": len(feasible),
+                "success_rate": len(feasible) / len(members) if members else 0.0,
+                "mean_damage": (
+                    sum(p["damage"] for p in feasible) / len(feasible)
+                    if feasible
+                    else None
+                ),
+                "detection_rate": (
+                    len(detected) / len(audited) if audited else None
+                ),
+            }
+        )
+    return rows

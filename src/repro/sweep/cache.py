@@ -1,0 +1,146 @@
+"""Shared-work caches for grid sweeps.
+
+Many grid points differ only in strategy or attacker placement while
+sharing a routing matrix — rank/support structure is the natural cache
+key (cf. the identifiability literature: the estimator, the residual
+projector, and the detector's blind set are all functions of ``R``
+alone).  :class:`FactorizationCache` therefore keys every shared object
+by the canonical :func:`repro.obs.manifest.matrix_digest` of ``R``:
+
+- one :class:`~repro.tomography.linear_system.LinearSystem` per distinct
+  routing matrix — grid points on the same topology never re-run the SVD;
+- one :class:`~repro.attacks.lp.IncrementalLpSolver` base block per
+  (matrix, attacker set, mode) — victim-candidate scans across grid
+  points splice rows into the same assembled constraint arrays;
+- one :class:`~repro.detection.auditor.TomographyAuditor` per (matrix,
+  alpha), sharing the system's factors with the detector.
+
+The cache is process-local by design: worker processes each hold their
+own (the sweep runner shards grid points so points sharing a topology
+land in the same worker), and nothing here is thread-safe.  Hits and
+misses are counted on the instance and reported as ``sweep_cache`` obs
+events when a run log is active.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.attacks.base import AttackContext
+from repro.attacks.chosen_victim import build_chosen_victim_bands
+from repro.attacks.lp import IncrementalLpSolver
+from repro.detection.auditor import TomographyAuditor
+from repro.obs import core as obs
+from repro.obs.manifest import matrix_digest
+from repro.scenarios.scenario import Scenario
+from repro.tomography.linear_system import LinearSystem
+
+__all__ = ["FactorizationCache"]
+
+
+class FactorizationCache:
+    """Process-local cache of factorisations and LP base blocks.
+
+    All lookups are by value-digest of the routing matrix, never by object
+    identity, so two scenarios that happen to produce equal matrices share
+    one kernel.
+    """
+
+    def __init__(self) -> None:
+        self._systems: dict[str, LinearSystem] = {}
+        self._solvers: dict[tuple, IncrementalLpSolver] = {}
+        self._auditors: dict[tuple, TomographyAuditor] = {}
+        self.stats: Counter[str] = Counter()
+
+    def _count(self, kind: str, hit: bool, **fields: object) -> None:
+        self.stats[f"{kind}_{'hit' if hit else 'miss'}"] += 1
+        if obs.is_enabled():
+            obs.event("sweep_cache", kind=kind, hit=hit, **fields)
+
+    # ------------------------------------------------------------------
+    # the three cache layers
+    # ------------------------------------------------------------------
+    def system_for(self, routing_matrix: np.ndarray) -> LinearSystem:
+        """The shared :class:`LinearSystem` for this routing matrix."""
+        key = matrix_digest(routing_matrix)
+        system = self._systems.get(key)
+        if system is None:
+            system = LinearSystem(routing_matrix)
+            self._systems[key] = system
+            self._count("system", False, digest=key)
+        else:
+            self._count("system", True, digest=key)
+        return system
+
+    def context_for(
+        self, scenario: Scenario, attackers: tuple
+    ) -> AttackContext:
+        """An attack context whose kernel comes from the shared cache."""
+        return scenario.attack_context(
+            attackers, system=self.system_for(scenario.path_set.routing_matrix())
+        )
+
+    def solver_for(
+        self,
+        context: AttackContext,
+        *,
+        mode: str = "paper",
+        confined: bool = False,
+        stealthy: bool = False,
+    ) -> IncrementalLpSolver:
+        """The shared incremental LP solver for victim-candidate scans.
+
+        The base block is the empty-victim chosen-victim bands of this
+        context (controlled links normal, plus exclusive/confined rows) —
+        exactly what :class:`~repro.attacks.max_damage.MaxDamageAttack`
+        assembles internally, so it can be handed to its
+        ``shared_solver`` parameter directly.
+        """
+        key = (
+            context.system.digest,
+            tuple(sorted(context.controlled_links)),
+            mode,
+            confined,
+            stealthy,
+            context.cap,
+            context.margin,
+            (context.thresholds.lower, context.thresholds.upper),
+        )
+        solver = self._solvers.get(key)
+        if solver is None:
+            base_bands = build_chosen_victim_bands(context, (), mode, confined=confined)
+            solver = IncrementalLpSolver(
+                context.operator,
+                context.baseline_estimate,
+                context.support,
+                context.num_paths,
+                base_bands,
+                cap=context.cap,
+                consistency_matrix=(
+                    context.residual_projector() if stealthy else None
+                ),
+            )
+            self._solvers[key] = solver
+            self._count("solver", False, digest=key[0])
+        else:
+            self._count("solver", True, digest=key[0])
+        return solver
+
+    def auditor_for(self, scenario: Scenario, *, alpha: float = 200.0) -> TomographyAuditor:
+        """The shared auditor for this scenario's routing matrix."""
+        system = self.system_for(scenario.path_set.routing_matrix())
+        key = (
+            system.digest,
+            float(alpha),
+            (scenario.thresholds.lower, scenario.thresholds.upper),
+        )
+        auditor = self._auditors.get(key)
+        if auditor is None:
+            auditor = scenario.auditor(alpha, system=system)
+            self._auditors[key] = auditor
+            self._count("auditor", False, digest=key[0])
+        else:
+            self._count("auditor", True, digest=key[0])
+        return auditor

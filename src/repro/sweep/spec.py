@@ -1,0 +1,445 @@
+"""Declarative sweep specifications: a parameter grid as strict JSON.
+
+A sweep spec names the axes of a scenario grid — topology families,
+attack strategies, attacker-set sizes — plus the scenario- and
+attack-level knobs shared by every point.  :meth:`SweepSpec.expand`
+enumerates the Cartesian product into :class:`GridPoint`\\ s in a
+canonical, *stable* order (topology-major, so points sharing a routing
+matrix are contiguous and shard together), and stamps each point with a
+:func:`repro.obs.manifest.config_digest` of its effective configuration.
+The digest — not the index — is the resume key: a restarted sweep skips
+any point whose digest already appears in the checkpoint file, so spec
+edits that reorder axes never silently re-use a stale result.
+
+Specs are strict JSON (the same sentinel rules as
+:func:`repro.scenarios.serialization.scenario_to_json`): non-finite
+numbers travel as the string sentinels ``"Infinity"`` / ``"-Infinity"`` /
+``"NaN"``, never as bare tokens.
+
+Example spec::
+
+    {
+      "format": "repro-sweep",
+      "version": 1,
+      "name": "feasibility-grid",
+      "seed": 0,
+      "strategies": ["chosen-victim", "max-damage", "obfuscation"],
+      "topologies": [
+        {"kind": "fig1"},
+        {"kind": "grid", "rows": 3, "cols": 3}
+      ],
+      "attacker_counts": [1, 2, 3],
+      "scenario": {"cap": 2000.0, "margin": 1.0},
+      "attack": {"mode": "paper", "min_victims": 2, "alpha": 200.0}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import SerializationError, ValidationError
+from repro.obs.manifest import config_digest
+from repro.scenarios.serialization import _decode_float, _encode_float
+
+__all__ = ["GridPoint", "SweepSpec", "TOPOLOGY_KINDS"]
+
+_FORMAT = "repro-sweep"
+_FORMAT_VERSION = 1
+
+#: Strategies a sweep can run (the paper's three plus the naive baseline).
+STRATEGIES = ("chosen-victim", "max-damage", "obfuscation", "naive")
+
+#: Topology kinds a spec may name, with their generator parameters.
+#: Values are (parameter names accepted, whether the generator is seeded).
+TOPOLOGY_KINDS: dict[str, tuple[tuple[str, ...], bool]] = {
+    "fig1": ((), False),
+    "grid": (("rows", "cols"), False),
+    "ladder": (("rungs",), False),
+    "ring": (("num_nodes",), False),
+    "tree": (("depth", "branching"), False),
+    "fattree": (("k",), False),
+    "isp": (
+        ("backbone_nodes", "pops_per_backbone", "extra_backbone_chords"),
+        True,
+    ),
+    "rgg": (("num_nodes", "density", "mean_degree"), True),
+    "waxman": (("num_nodes", "alpha", "beta"), True),
+}
+
+#: Scenario-level knobs a spec's ``scenario`` block may set, mapping to
+#: :meth:`repro.scenarios.scenario.Scenario.build` keyword arguments.
+_SCENARIO_KEYS = (
+    "cap",
+    "margin",
+    "redundancy",
+    "max_per_pair",
+    "num_monitors",
+    "monitor_fraction",
+    "delay_range",
+    "thresholds",
+)
+
+#: Attack-level knobs a spec's ``attack`` block may set.
+_ATTACK_KEYS = ("mode", "confined", "stealthy", "min_victims", "alpha")
+
+_ATTACK_DEFAULTS = {
+    "mode": "paper",
+    "confined": False,
+    "stealthy": False,
+    "min_victims": 2,
+    "alpha": 200.0,
+}
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One fully specified cell of the sweep grid.
+
+    ``config`` is the flat effective configuration (JSON-safe) the digest
+    is computed over; equal configs always share a digest, whatever their
+    position in the grid.
+    """
+
+    index: int
+    topology_index: int
+    topology_label: str
+    strategy: str
+    num_attackers: int
+    config: dict = field(hash=False)
+    digest: str = ""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+class SweepSpec:
+    """A validated, expanded-on-demand sweep specification.
+
+    Construct via :meth:`from_dict`, :meth:`from_json`, or :meth:`load`;
+    the constructor takes already-validated fields.  Instances are
+    picklable plain data — worker processes receive the spec itself and
+    re-derive everything locally.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        seed: int,
+        strategies: tuple[str, ...],
+        topologies: tuple[dict, ...],
+        attacker_counts: tuple[int, ...],
+        scenario: dict,
+        attack: dict,
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self.strategies = strategies
+        self.topologies = topologies
+        self.attacker_counts = attacker_counts
+        self.scenario = scenario
+        self.attack = attack
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SweepSpec":
+        """Validate and build a spec from a parsed JSON document."""
+        if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+            raise SerializationError(
+                f"not a {_FORMAT} document (format={doc.get('format')!r} "
+                "missing or wrong)"
+                if isinstance(doc, dict)
+                else "sweep spec must be a JSON object"
+            )
+        if doc.get("version") != _FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported sweep spec version {doc.get('version')!r}"
+            )
+        unknown = set(doc) - {
+            "format",
+            "version",
+            "name",
+            "seed",
+            "strategies",
+            "topologies",
+            "attacker_counts",
+            "scenario",
+            "attack",
+        }
+        _require(not unknown, f"unknown sweep spec fields: {sorted(unknown)}")
+
+        name = doc.get("name", "")
+        _require(isinstance(name, str), "spec 'name' must be a string")
+        seed = doc.get("seed", 0)
+        _require(
+            isinstance(seed, int) and not isinstance(seed, bool) and seed >= 0,
+            f"spec 'seed' must be a non-negative integer, got {seed!r}",
+        )
+
+        strategies = doc.get("strategies")
+        _require(
+            isinstance(strategies, list) and strategies,
+            "spec 'strategies' must be a non-empty list",
+        )
+        for s in strategies:
+            _require(s in STRATEGIES, f"unknown strategy {s!r}; choose from {STRATEGIES}")
+        _require(
+            len(set(strategies)) == len(strategies),
+            "spec 'strategies' contains duplicates",
+        )
+
+        topologies = doc.get("topologies")
+        _require(
+            isinstance(topologies, list) and topologies,
+            "spec 'topologies' must be a non-empty list",
+        )
+        normalised_topologies = tuple(
+            _normalise_topology(entry, position) for position, entry in enumerate(topologies)
+        )
+        labels = [t["label"] for t in normalised_topologies]
+        _require(
+            len(set(labels)) == len(labels),
+            f"topology labels must be unique, got {labels}",
+        )
+
+        attacker_counts = doc.get("attacker_counts", [1])
+        _require(
+            isinstance(attacker_counts, list) and attacker_counts,
+            "spec 'attacker_counts' must be a non-empty list",
+        )
+        for count in attacker_counts:
+            _require(
+                isinstance(count, int) and not isinstance(count, bool) and count >= 1,
+                f"attacker counts must be integers >= 1, got {count!r}",
+            )
+        _require(
+            len(set(attacker_counts)) == len(attacker_counts),
+            "spec 'attacker_counts' contains duplicates",
+        )
+
+        scenario = doc.get("scenario", {})
+        _require(isinstance(scenario, dict), "spec 'scenario' must be an object")
+        unknown = set(scenario) - set(_SCENARIO_KEYS)
+        _require(not unknown, f"unknown scenario keys: {sorted(unknown)}")
+        scenario = {key: _decode_scalarish(value) for key, value in scenario.items()}
+
+        attack = dict(_ATTACK_DEFAULTS)
+        attack_doc = doc.get("attack", {})
+        _require(isinstance(attack_doc, dict), "spec 'attack' must be an object")
+        unknown = set(attack_doc) - set(_ATTACK_KEYS)
+        _require(not unknown, f"unknown attack keys: {sorted(unknown)}")
+        attack.update({key: _decode_scalarish(value) for key, value in attack_doc.items()})
+        _require(
+            attack["mode"] in ("paper", "exclusive"),
+            f"attack mode must be 'paper' or 'exclusive', got {attack['mode']!r}",
+        )
+        _require(
+            isinstance(attack["min_victims"], int) and attack["min_victims"] >= 1,
+            f"attack min_victims must be an integer >= 1, got {attack['min_victims']!r}",
+        )
+
+        return cls(
+            name=name,
+            seed=seed,
+            strategies=tuple(strategies),
+            topologies=normalised_topologies,
+            attacker_counts=tuple(attacker_counts),
+            scenario=scenario,
+            attack=attack,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a spec from its JSON text."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid sweep spec JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Read and validate a spec file."""
+        file_path = Path(path)
+        try:
+            text = file_path.read_text()
+        except OSError as exc:
+            raise SerializationError(f"cannot read sweep spec {file_path}: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # canonical forms
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe document (inverse of :meth:`from_dict`)."""
+        return {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "strategies": list(self.strategies),
+            "topologies": [dict(entry) for entry in self.topologies],
+            "attacker_counts": list(self.attacker_counts),
+            "scenario": {k: _encode_scalarish(v) for k, v in sorted(self.scenario.items())},
+            "attack": {k: _encode_scalarish(v) for k, v in sorted(self.attack.items())},
+        }
+
+    @property
+    def digest(self) -> str:
+        """Canonical SHA-256 of the whole spec (the checkpoint header key)."""
+        return config_digest(self.to_dict())
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[GridPoint]:
+        """Enumerate the grid, topology-major, with per-point digests.
+
+        The order is part of the format: points sharing a topology are
+        contiguous (so sharding by topology groups them into one cache
+        domain), and the index is stable for a given spec document.
+        """
+        points: list[GridPoint] = []
+        for topo_index, topo in enumerate(self.topologies):
+            for strategy in self.strategies:
+                for num_attackers in self.attacker_counts:
+                    config = {
+                        "sweep": self.name,
+                        "seed": self.seed,
+                        "topology": dict(topo),
+                        "strategy": strategy,
+                        "num_attackers": num_attackers,
+                        "scenario": {
+                            k: _encode_scalarish(v) for k, v in sorted(self.scenario.items())
+                        },
+                        "attack": {
+                            k: _encode_scalarish(v) for k, v in sorted(self.attack.items())
+                        },
+                    }
+                    points.append(
+                        GridPoint(
+                            index=len(points),
+                            topology_index=topo_index,
+                            topology_label=topo["label"],
+                            strategy=strategy,
+                            num_attackers=num_attackers,
+                            config=config,
+                            digest=config_digest(config),
+                        )
+                    )
+        return points
+
+    def num_points(self) -> int:
+        """Grid size without materialising the points."""
+        return len(self.topologies) * len(self.strategies) * len(self.attacker_counts)
+
+
+def _normalise_topology(entry: object, position: int) -> dict:
+    """Validate one ``topologies`` entry; returns it with a ``label``."""
+    _require(isinstance(entry, dict), f"topologies[{position}] must be an object")
+    kind = entry.get("kind")
+    _require(
+        kind in TOPOLOGY_KINDS,
+        f"topologies[{position}]: unknown kind {kind!r}; "
+        f"choose from {sorted(TOPOLOGY_KINDS)}",
+    )
+    allowed, _ = TOPOLOGY_KINDS[kind]
+    unknown = set(entry) - {"kind", "label"} - set(allowed)
+    _require(
+        not unknown,
+        f"topologies[{position}] ({kind}): unknown parameters {sorted(unknown)}; "
+        f"allowed: {sorted(allowed)}",
+    )
+    out = {"kind": kind}
+    for key in allowed:
+        if key in entry:
+            out[key] = _decode_scalarish(entry[key])
+    label = entry.get("label")
+    if label is None:
+        params = "-".join(str(out[k]) for k in allowed if k in out)
+        label = kind if not params else f"{kind}-{params}"
+    _require(isinstance(label, str) and label != "", "topology label must be a string")
+    out["label"] = label
+    return out
+
+
+def build_topology(entry: dict, *, seed: int):
+    """Construct the topology a normalised spec entry describes.
+
+    Seeded families derive their generator seed from the sweep seed so the
+    whole grid is reproducible from one number.
+    """
+    kind = entry["kind"]
+    params = {
+        k: v for k, v in entry.items() if k not in ("kind", "label")
+    }
+    if kind == "fig1":
+        from repro.topology.generators.simple import paper_example_network
+
+        return paper_example_network()
+    if kind == "grid":
+        from repro.topology.generators.simple import grid_topology
+
+        return grid_topology(params.get("rows", 3), params.get("cols", 3))
+    if kind == "ladder":
+        from repro.topology.generators.simple import ladder_topology
+
+        return ladder_topology(params.get("rungs", 4))
+    if kind == "ring":
+        from repro.topology.generators.simple import ring_topology
+
+        return ring_topology(params.get("num_nodes", 6))
+    if kind == "tree":
+        from repro.topology.generators.simple import tree_topology
+
+        return tree_topology(params.get("depth", 3), params.get("branching", 2))
+    if kind == "fattree":
+        from repro.topology.generators.extra import fat_tree_topology
+
+        return fat_tree_topology(params.get("k", 4))
+    if kind == "isp":
+        from repro.topology.generators.isp import synthetic_rocketfuel
+
+        return synthetic_rocketfuel(entry["label"], seed=seed, **params)
+    if kind == "rgg":
+        from repro.topology.generators.geometric import random_geometric_topology
+
+        return random_geometric_topology(
+            params.get("num_nodes", 50),
+            params.get("density", 5.0),
+            params.get("mean_degree", 5.0),
+            seed=seed,
+        )
+    from repro.topology.generators.extra import waxman_topology
+
+    return waxman_topology(
+        params.get("num_nodes", 50),
+        params.get("alpha", 0.4),
+        params.get("beta", 0.4),
+        seed=seed,
+    )
+
+
+def _encode_scalarish(value: object) -> object:
+    """Strict-JSON encoding of a scalar-or-small-list knob value."""
+    if isinstance(value, float):
+        return _encode_float(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode_scalarish(v) for v in value]
+    return value
+
+
+def _decode_scalarish(value: object) -> object:
+    """Inverse of :func:`_encode_scalarish` (sentinel strings -> floats)."""
+    if isinstance(value, str) and value in ("Infinity", "-Infinity", "NaN", "inf", "-inf", "nan"):
+        return _decode_float(value)
+    if isinstance(value, list):
+        return [_decode_scalarish(v) for v in value]
+    return value

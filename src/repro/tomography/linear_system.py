@@ -77,8 +77,21 @@ class LinearSystem:
                 paths=self.num_paths,
                 links=self.num_links,
                 rank=factors[3],
+                digest=self.digest,
             )
         return factors
+
+    @cached_property
+    def digest(self) -> str:
+        """Canonical SHA-256 of ``R`` (the sweep engine's cache key).
+
+        Two systems over value-equal matrices share the digest, so callers
+        holding one kernel per digest (``repro.sweep``'s factorization
+        cache) never factorise the same routing matrix twice.
+        """
+        from repro.obs.manifest import matrix_digest
+
+        return matrix_digest(self._matrix)
 
     # -- basic shape ------------------------------------------------------
 

@@ -324,3 +324,45 @@ class TestInstrumentedLibrary:
         with obs.enabled(tmp_path / "run.jsonl"):
             observed = run_trials(12, _stochastic_trial, seed=11, workers=2)
         assert plain == observed
+
+
+def _noisy_trial(rng):
+    """Module-level trial that tries to report into the event log."""
+    obs.event("worker_probe", pid=True)
+    with obs.span("worker_span"):
+        return {"v": float(rng.random())}
+
+
+class TestForkedWorkers:
+    """Pool workers must never write into the parent's inherited log."""
+
+    def test_detach_is_noop_in_owner_process(self, tmp_path):
+        with obs.enabled(tmp_path / "run.jsonl") as log:
+            obs.detach_inherited_log()
+            assert obs.active_log() is log
+        assert obs.active_log() is None
+
+    def test_detach_drops_log_from_other_pid(self, tmp_path, monkeypatch):
+        with obs.enabled(tmp_path / "run.jsonl") as log:
+            monkeypatch.setattr(log, "_pid", log._pid + 1)  # simulate fork
+            obs.detach_inherited_log()
+            assert obs.active_log() is None
+        # the owner's close still wrote a well-formed footer
+        assert read_events(tmp_path / "run.jsonl")[-1]["kind"] == "footer"
+
+    def test_worker_events_stay_out_of_parent_log(self, tmp_path):
+        """Trials emitting events in a forked pool leave no trace: the
+        inherited log is detached, and the parent's file stays a single
+        well-formed record stream (no replayed buffers, no interleaving)."""
+        from repro.scenarios.montecarlo import run_trials
+
+        path = tmp_path / "run.jsonl"
+        with obs.enabled(path):
+            results = run_trials(6, _noisy_trial, seed=5, workers=2)
+        assert len(results) == 6
+        records = read_events(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("header") == 1 and kinds.count("footer") == 1
+        assert kinds.count("span_start") == kinds.count("span_end")
+        names = {r.get("name") for r in records}
+        assert "worker_probe" not in names and "worker_span" not in names

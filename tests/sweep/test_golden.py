@@ -1,0 +1,120 @@
+"""Golden regression fixtures: one tiny scenario per attack strategy.
+
+Each fixture under ``tests/fixtures/golden/`` pins the exact planner
+output — estimate ``x_hat``, damage, feasibility, detector verdict — of
+one strategy on the deterministic Fig. 1 scenario.  Any drift (solver
+upgrade, refactor, accidental semantic change) fails with a readable
+field-by-field diff.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sweep/test_golden.py
+
+and review the fixture diff in git before committing.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.attacks.chosen_victim import ChosenVictimAttack
+from repro.attacks.max_damage import MaxDamageAttack
+from repro.attacks.obfuscation import ObfuscationAttack
+from repro.detection.auditor import TomographyAuditor
+from repro.scenarios.simple_network import (
+    PAPER_EXAMPLE_ATTACKERS,
+    PAPER_VICTIM_LINK,
+    paper_fig1_scenario,
+)
+
+GOLDEN_DIR = Path(__file__).parents[1] / "fixtures" / "golden"
+TOLERANCE = 1e-6
+
+STRATEGIES = ["chosen-victim", "max-damage", "obfuscation"]
+
+
+def compute_record(strategy: str) -> dict:
+    """The canonical planner output for one golden scenario."""
+    scenario = paper_fig1_scenario()
+    context = scenario.attack_context(PAPER_EXAMPLE_ATTACKERS)
+    if strategy == "chosen-victim":
+        outcome = ChosenVictimAttack(context, [PAPER_VICTIM_LINK]).run()
+    elif strategy == "max-damage":
+        outcome = MaxDamageAttack(context).run()
+    else:
+        outcome = ObfuscationAttack(context, min_victims=2).run()
+    record = {
+        "strategy": strategy,
+        "attackers": list(PAPER_EXAMPLE_ATTACKERS),
+        "feasible": bool(outcome.feasible),
+        "damage": float(outcome.damage),
+        "victim_links": [int(v) for v in outcome.victim_links],
+        "status": str(outcome.status),
+        "x_hat": [float(v) for v in outcome.predicted_estimate],
+        "abnormal_links": [int(v) for v in outcome.diagnosis.abnormal],
+    }
+    report = TomographyAuditor(scenario.path_set, alpha=200.0).audit(
+        outcome.observed_measurements
+    )
+    record["detected"] = bool(not report.trustworthy)
+    record["residual_l1"] = float(report.detection.residual_l1)
+    return record
+
+
+def _diff(expected: dict, actual: dict) -> list[str]:
+    """Human-readable field-by-field drift report (empty = match)."""
+    problems = []
+    for key in sorted(set(expected) | set(actual)):
+        if key not in expected or key not in actual:
+            problems.append(f"  {key}: only in {'actual' if key in actual else 'golden'}")
+            continue
+        want, got = expected[key], actual[key]
+        if key in ("damage", "residual_l1"):
+            if abs(want - got) > TOLERANCE:
+                problems.append(f"  {key}: golden {want!r} != actual {got!r}")
+        elif key == "x_hat":
+            if len(want) != len(got):
+                problems.append(f"  x_hat: length {len(want)} != {len(got)}")
+                continue
+            for index, (w, g) in enumerate(zip(want, got)):
+                if abs(w - g) > TOLERANCE:
+                    problems.append(
+                        f"  x_hat[{index}]: golden {w:.6f} != actual {g:.6f} "
+                        f"(drift {g - w:+.2e})"
+                    )
+        elif want != got:
+            problems.append(f"  {key}: golden {want!r} != actual {got!r}")
+    return problems
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_golden_fixture(strategy):
+    fixture = GOLDEN_DIR / f"{strategy.replace('-', '_')}.json"
+    actual = compute_record(strategy)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        fixture.parent.mkdir(parents=True, exist_ok=True)
+        fixture.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    if not fixture.exists():
+        pytest.fail(
+            f"golden fixture {fixture} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+    expected = json.loads(fixture.read_text())
+    problems = _diff(expected, actual)
+    if problems:
+        pytest.fail(
+            f"golden drift for {strategy} (fixture {fixture.name}):\n"
+            + "\n".join(problems)
+            + "\n(if intentional, regenerate with REPRO_REGEN_GOLDEN=1 and commit)"
+        )
+
+
+def test_golden_fixtures_committed():
+    """All three fixtures exist — a fresh checkout must not silently skip."""
+    missing = [
+        s for s in STRATEGIES
+        if not (GOLDEN_DIR / f"{s.replace('-', '_')}.json").exists()
+    ]
+    assert not missing, f"golden fixtures missing for {missing}"

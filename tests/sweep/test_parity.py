@@ -1,0 +1,80 @@
+"""Serial/parallel parity: workers must never change results.
+
+``run_trials`` parity is covered in ``tests/scenarios/test_montecarlo.py``;
+this module covers the shared chunk mapper it was refactored onto and the
+sweep runner built on top of it, including resume byte-identity.
+"""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenarios.montecarlo import iter_map_chunks
+from repro.sweep import SweepSpec, run_sweep
+
+
+def _double_chunk(chunk):
+    return [2 * value for value in chunk]
+
+
+def grid_doc() -> dict:
+    return {
+        "format": "repro-sweep",
+        "version": 1,
+        "name": "parity",
+        "seed": 7,
+        "strategies": ["chosen-victim", "max-damage", "obfuscation"],
+        "topologies": [{"kind": "fig1"}, {"kind": "grid", "rows": 3, "cols": 3}],
+        "attacker_counts": [1, 2, 3],
+    }
+
+
+class TestIterMapChunks:
+    def test_serial_equals_parallel_in_order(self):
+        chunks = [[1, 2], [3], [4, 5, 6]]
+        serial = list(iter_map_chunks(_double_chunk, chunks, workers=1))
+        parallel = list(iter_map_chunks(_double_chunk, chunks, workers=3))
+        assert serial == parallel == [[2, 4], [6], [8, 10, 12]]
+
+    def test_workers_capped_by_chunk_count(self):
+        assert list(iter_map_chunks(_double_chunk, [[9]], workers=8)) == [[18]]
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValidationError, match="workers"):
+            list(iter_map_chunks(_double_chunk, [[1]], workers=0))
+
+    def test_unpicklable_chunk_fn_rejected(self):
+        with pytest.raises(ValidationError, match="picklable"):
+            list(iter_map_chunks(lambda chunk: chunk, [[1], [2]], workers=2))
+
+
+@pytest.mark.slow
+class TestSweepParity:
+    """The 18-point acceptance grid: 3 strategies x 2 topologies x 3 counts."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SweepSpec.from_dict(grid_doc())
+
+    @pytest.fixture(scope="class")
+    def serial_bytes(self, spec, tmp_path_factory):
+        out = tmp_path_factory.mktemp("parity") / "serial.jsonl"
+        run_sweep(spec, results_path=out, workers=1)
+        return out.read_bytes()
+
+    def test_workers_byte_identical_to_serial(self, spec, serial_bytes, tmp_path):
+        out = tmp_path / "par.jsonl"
+        run_sweep(spec, results_path=out, workers=4)
+        assert out.read_bytes() == serial_bytes
+
+    def test_chunk_size_byte_identical(self, spec, serial_bytes, tmp_path):
+        out = tmp_path / "chunked.jsonl"
+        run_sweep(spec, results_path=out, workers=2, chunk_size=1)
+        assert out.read_bytes() == serial_bytes
+
+    def test_interrupted_resume_byte_identical(self, spec, serial_bytes, tmp_path):
+        """Kill-and-resume equals one uninterrupted run, byte for byte."""
+        out = tmp_path / "resumed.jsonl"
+        run_sweep(spec, results_path=out, workers=1, max_points=7)
+        assert len(out.read_text().splitlines()) == 1 + 7
+        run_sweep(spec, results_path=out, workers=3, resume=True)
+        assert out.read_bytes() == serial_bytes

@@ -1,0 +1,170 @@
+"""Sweep execution, checkpointing, and resume semantics."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.sweep import SweepSpec, aggregate_rows, load_results, run_sweep
+from repro.sweep.runner import read_checkpoint
+
+
+def small_doc(**overrides) -> dict:
+    doc = {
+        "format": "repro-sweep",
+        "version": 1,
+        "name": "runner-unit",
+        "seed": 5,
+        "strategies": ["chosen-victim", "naive"],
+        "topologies": [{"kind": "fig1"}],
+        "attacker_counts": [1, 2],
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture()
+def spec():
+    return SweepSpec.from_dict(small_doc())
+
+
+class TestRunSweep:
+    def test_checkpoint_file_structure(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        summary = run_sweep(spec, results_path=out)
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        header, points = lines[0], lines[1:]
+        assert header["kind"] == "header"
+        assert header["format"] == "repro-sweep-results"
+        assert header["spec_digest"] == spec.digest
+        assert header["points"] == spec.num_points() == len(points)
+        assert all(p["kind"] == "point" for p in points)
+        assert [p["index"] for p in points] == list(range(len(points)))
+        assert summary["ran"] == len(points)
+        assert summary["skipped"] == 0
+        assert summary["remaining"] == 0
+
+    def test_records_are_strict_json(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out)
+        for line in out.read_text().splitlines():
+            # bare Infinity/NaN tokens would make this raise
+            json.loads(line, parse_constant=lambda token: pytest.fail(token))
+
+    def test_existing_file_refused_without_resume(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out)
+        before = out.read_bytes()
+        with pytest.raises(SerializationError, match="already exists"):
+            run_sweep(spec, results_path=out)
+        assert out.read_bytes() == before
+
+    def test_budget_then_resume_completes(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        partial = run_sweep(spec, results_path=out, max_points=1)
+        assert partial["ran"] == 1
+        assert partial["remaining"] == spec.num_points() - 1
+        assert partial["budget_hit"] is True
+        finish = run_sweep(spec, results_path=out, resume=True)
+        assert finish["ran"] == spec.num_points() - 1
+        assert finish["skipped"] == 1
+        assert finish["remaining"] == 0
+
+    def test_resume_with_zero_remaining_is_noop(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out)
+        before = out.read_bytes()
+        again = run_sweep(spec, results_path=out, resume=True)
+        assert again["ran"] == 0
+        assert again["skipped"] == spec.num_points()
+        assert out.read_bytes() == before
+
+    def test_degenerate_points_recorded_not_raised(self, tmp_path):
+        # 50 attackers on the 8-node Fig. 1 graph: every node is malicious,
+        # so chosen-victim has no candidate; the point must be recorded as
+        # infeasible rather than aborting the sweep.
+        spec = SweepSpec.from_dict(
+            small_doc(strategies=["chosen-victim"], attacker_counts=[50])
+        )
+        summary = run_sweep(spec, results_path=tmp_path / "r.jsonl")
+        (record,) = summary["points"]
+        assert record["feasible"] is False
+        assert record["damage"] == 0.0
+
+
+class TestCheckpointIntegrity:
+    def test_corrupt_trailing_line_refused(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out)
+        out.write_bytes(out.read_bytes() + b'{"kind": "point", "trunc')
+        before = out.read_bytes()
+        with pytest.raises(SerializationError, match="corrupt"):
+            run_sweep(spec, results_path=out, resume=True)
+        assert out.read_bytes() == before
+
+    def test_garbage_header_refused(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        out.write_text('{"kind": "other"}\n')
+        with pytest.raises(SerializationError, match="header"):
+            run_sweep(spec, results_path=out, resume=True)
+
+    def test_foreign_spec_refused(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out)
+        other = SweepSpec.from_dict(small_doc(seed=6))
+        with pytest.raises(SerializationError, match="different sweep spec"):
+            run_sweep(other, results_path=out, resume=True)
+
+    def test_unknown_point_digest_refused(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out, max_points=1)
+        lines = out.read_text().splitlines()
+        forged = json.loads(lines[1])
+        forged["digest"] = "0" * 64
+        forged["result"]["digest"] = "0" * 64
+        out.write_text("\n".join([lines[0], json.dumps(forged)]) + "\n")
+        with pytest.raises(SerializationError, match="matches no point"):
+            read_checkpoint(out, spec)
+
+    def test_empty_file_refused(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        out.write_text("")
+        with pytest.raises(SerializationError, match="empty"):
+            run_sweep(spec, results_path=out, resume=True)
+
+
+class TestAggregation:
+    def test_load_results_sorts_and_validates(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        summary = run_sweep(spec, results_path=out)
+        header, points = load_results(out, spec=spec)
+        assert header["spec_digest"] == spec.digest
+        assert [p["index"] for p in points] == list(range(spec.num_points()))
+        assert points == summary["points"]
+
+    def test_duplicate_point_rejected(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        run_sweep(spec, results_path=out, max_points=1)
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.raises(SerializationError, match="duplicate"):
+            load_results(out)
+
+    def test_aggregate_rows_groups_and_rates(self, spec, tmp_path):
+        out = tmp_path / "r.jsonl"
+        summary = run_sweep(spec, results_path=out)
+        rows = aggregate_rows(summary["points"])
+        assert [(r["topology"], r["strategy"]) for r in rows] == [
+            ("fig1", "chosen-victim"),
+            ("fig1", "naive"),
+        ]
+        for row in rows:
+            assert row["points"] == 2
+            assert 0.0 <= row["success_rate"] <= 1.0
+            if row["feasible"] == 0:
+                assert row["mean_damage"] is None
+            else:
+                assert row["mean_damage"] > 0
+
+    def test_aggregate_empty(self):
+        assert aggregate_rows([]) == []

@@ -1,0 +1,185 @@
+"""Sweep spec parsing, validation, and grid expansion."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import SerializationError, ValidationError
+from repro.sweep.spec import STRATEGIES, TOPOLOGY_KINDS, SweepSpec, build_topology
+
+
+def minimal_doc(**overrides) -> dict:
+    doc = {
+        "format": "repro-sweep",
+        "version": 1,
+        "name": "unit",
+        "seed": 3,
+        "strategies": ["chosen-victim", "max-damage"],
+        "topologies": [{"kind": "fig1"}, {"kind": "grid", "rows": 3, "cols": 3}],
+        "attacker_counts": [1, 2],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestParsing:
+    def test_round_trip_preserves_digest(self):
+        spec = SweepSpec.from_dict(minimal_doc())
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again.digest == spec.digest
+        assert again.to_dict() == spec.to_dict()
+
+    def test_from_json_and_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(minimal_doc()))
+        assert SweepSpec.load(path).digest == SweepSpec.from_dict(minimal_doc()).digest
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SerializationError, match="invalid sweep spec JSON"):
+            SweepSpec.from_json("{not json")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot read sweep spec"):
+            SweepSpec.load(tmp_path / "nope.json")
+
+    def test_wrong_format_and_version_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            SweepSpec.from_dict(minimal_doc(format="other"))
+        with pytest.raises(SerializationError, match="version"):
+            SweepSpec.from_dict(minimal_doc(version=99))
+        with pytest.raises(SerializationError):
+            SweepSpec.from_dict(["not", "an", "object"])
+
+    def test_unknown_fields_rejected_everywhere(self):
+        with pytest.raises(ValidationError, match="unknown sweep spec fields"):
+            SweepSpec.from_dict(minimal_doc(extra=1))
+        with pytest.raises(ValidationError, match="unknown scenario keys"):
+            SweepSpec.from_dict(minimal_doc(scenario={"capz": 1}))
+        with pytest.raises(ValidationError, match="unknown attack keys"):
+            SweepSpec.from_dict(minimal_doc(attack={"modez": "paper"}))
+        with pytest.raises(ValidationError, match="unknown parameters"):
+            SweepSpec.from_dict(minimal_doc(topologies=[{"kind": "grid", "size": 3}]))
+
+    def test_bad_strategies_rejected(self):
+        with pytest.raises(ValidationError, match="unknown strategy"):
+            SweepSpec.from_dict(minimal_doc(strategies=["divide-and-conquer"]))
+        with pytest.raises(ValidationError, match="duplicates"):
+            SweepSpec.from_dict(minimal_doc(strategies=["naive", "naive"]))
+        with pytest.raises(ValidationError, match="non-empty"):
+            SweepSpec.from_dict(minimal_doc(strategies=[]))
+
+    def test_bad_topologies_rejected(self):
+        with pytest.raises(ValidationError, match="unknown kind"):
+            SweepSpec.from_dict(minimal_doc(topologies=[{"kind": "torus"}]))
+        with pytest.raises(ValidationError, match="unique"):
+            SweepSpec.from_dict(
+                minimal_doc(topologies=[{"kind": "fig1"}, {"kind": "fig1"}])
+            )
+
+    def test_bad_attacker_counts_rejected(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            SweepSpec.from_dict(minimal_doc(attacker_counts=[0]))
+        with pytest.raises(ValidationError, match="duplicates"):
+            SweepSpec.from_dict(minimal_doc(attacker_counts=[2, 2]))
+        with pytest.raises(ValidationError, match="integers"):
+            SweepSpec.from_dict(minimal_doc(attacker_counts=[True]))
+
+    def test_bad_attack_block_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            SweepSpec.from_dict(minimal_doc(attack={"mode": "greedy"}))
+        with pytest.raises(ValidationError, match="min_victims"):
+            SweepSpec.from_dict(minimal_doc(attack={"min_victims": 0}))
+
+    def test_attack_defaults_applied(self):
+        spec = SweepSpec.from_dict(minimal_doc())
+        assert spec.attack == {
+            "mode": "paper",
+            "confined": False,
+            "stealthy": False,
+            "min_victims": 2,
+            "alpha": 200.0,
+        }
+
+    def test_infinity_sentinel_round_trips(self):
+        spec = SweepSpec.from_dict(minimal_doc(scenario={"cap": "Infinity"}))
+        assert math.isinf(spec.scenario["cap"])
+        assert spec.to_dict()["scenario"]["cap"] == "Infinity"
+        # the canonical document stays strict JSON
+        json.loads(json.dumps(spec.to_dict(), allow_nan=False))
+
+
+class TestExpansion:
+    def test_topology_major_order_and_indices(self):
+        spec = SweepSpec.from_dict(minimal_doc())
+        points = spec.expand()
+        assert [p.index for p in points] == list(range(spec.num_points()))
+        assert len(points) == 2 * 2 * 2
+        # all points of topology 0 precede all points of topology 1
+        boundary = [p.topology_index for p in points]
+        assert boundary == sorted(boundary)
+
+    def test_digests_unique_and_position_independent(self):
+        spec = SweepSpec.from_dict(minimal_doc())
+        points = spec.expand()
+        assert len({p.digest for p in points}) == len(points)
+        # reversing the strategy axis permutes indices but preserves the
+        # digest of each (topology, strategy, count) cell
+        reordered = SweepSpec.from_dict(
+            minimal_doc(strategies=["max-damage", "chosen-victim"])
+        )
+        by_cell = {
+            (p.topology_label, p.strategy, p.num_attackers): p.digest for p in points
+        }
+        for p in reordered.expand():
+            assert by_cell[(p.topology_label, p.strategy, p.num_attackers)] == p.digest
+
+    def test_auto_and_explicit_labels(self):
+        spec = SweepSpec.from_dict(
+            minimal_doc(
+                topologies=[
+                    {"kind": "grid", "rows": 3, "cols": 4},
+                    {"kind": "ring", "num_nodes": 5, "label": "pentagon"},
+                ]
+            )
+        )
+        assert [t["label"] for t in spec.topologies] == ["grid-3-4", "pentagon"]
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            {"kind": "fig1"},
+            {"kind": "grid", "rows": 3, "cols": 3},
+            {"kind": "ladder", "rungs": 4},
+            {"kind": "ring", "num_nodes": 6},
+            {"kind": "tree", "depth": 3, "branching": 2},
+            {"kind": "fattree", "k": 4},
+            {"kind": "isp", "backbone_nodes": 5, "pops_per_backbone": 1},
+            {"kind": "rgg", "num_nodes": 30},
+            {"kind": "waxman", "num_nodes": 30},
+        ],
+    )
+    def test_every_registered_kind_builds(self, entry):
+        doc = minimal_doc(topologies=[entry])
+        spec = SweepSpec.from_dict(doc)
+        topology = build_topology(spec.topologies[0], seed=3)
+        assert topology.num_nodes > 0
+        assert topology.num_links > 0
+
+    def test_registry_covers_spec_kinds(self):
+        assert set(TOPOLOGY_KINDS) == {
+            "fig1", "grid", "ladder", "ring", "tree", "fattree", "isp", "rgg", "waxman",
+        }
+        assert set(STRATEGIES) == {
+            "chosen-victim", "max-damage", "obfuscation", "naive",
+        }
+
+    def test_seeded_kinds_reproducible(self):
+        entry = SweepSpec.from_dict(
+            minimal_doc(topologies=[{"kind": "rgg", "num_nodes": 30}])
+        ).topologies[0]
+        a = build_topology(entry, seed=11)
+        b = build_topology(entry, seed=11)
+        assert [(l.u, l.v) for l in a.links()] == [(l.u, l.v) for l in b.links()]
