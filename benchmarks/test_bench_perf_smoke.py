@@ -32,6 +32,7 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
         "fig1_pipeline",
         "fig5_max_damage",
         "sweep_cache",
+        "backends",
     }
 
     fig5 = envelope["benchmarks"]["fig5_max_damage"]
@@ -61,3 +62,12 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
     assert sweep["points"] == 9
     assert sweep["speedup"]["sweep"] > 0.0
     assert sweep["cache_stats"]["system_hit"] > 0
+
+    backends = envelope["benchmarks"]["backends"]
+    isp = backends["isp_scale"]
+    # The acceptance floor for the sparse kernel: >= 3x on the ISP-scale
+    # factorise+estimate stage (measured tens-of-x; 3x leaves timing
+    # headroom on loaded CI boxes).
+    assert isp["links"] >= 2000 and isp["paths"] >= 1500
+    assert backends["speedup"]["isp_factorize_estimate"] >= 3.0
+    assert len(backends["crossover"]) >= 3

@@ -103,19 +103,53 @@ class AttackContext:
             self.system = system
         else:
             self.system = LinearSystem(self.routing_matrix)
-        self.operator = self.system.estimator
         self._honest_measurements: np.ndarray | None = None
-        #: What tomography estimates *without* any attack.  Equals the true
-        #: metrics when R has full column rank; under partial
-        #: identifiability the min-norm estimator mixes links, and attack
-        #: planning must anchor its bands to this baseline, not to x*.
-        self.baseline_estimate: np.ndarray = self.operator @ self.honest_measurements()
+        self._baseline_estimate: np.ndarray | None = None
+        self._support_operator: np.ndarray | None = None
         self.controlled_links: frozenset[int] = frozenset(
             attacker_links(self.topology, self.attacker_nodes)
         )
         self.support: tuple[int, ...] = tuple(
             manipulable_paths(path_set, self.attacker_nodes)
         )
+
+    @property
+    def operator(self) -> np.ndarray:
+        """The full dense estimator ``R⁺`` (|L| x |P|).
+
+        Lazy: under the sparse backend planners should prefer
+        :attr:`support_operator` (the only columns Constraint 1 lets them
+        use), which never materialises the full pseudo-inverse.
+        """
+        return self.system.estimator
+
+    @property
+    def support_operator(self) -> np.ndarray:
+        """``R⁺[:, support]`` (|L| x k) — the columns an attacker can drive.
+
+        Constraint 1 restricts manipulations to the attacker's paths, so
+        every LP block is assembled from these columns alone.  Computed
+        once via :meth:`LinearSystem.estimator_columns` (a batched
+        matrix-free solve on the sparse backend).
+        """
+        if self._support_operator is None:
+            # Sorted-unique order — the convention the LP layer's
+            # ``_checked_support`` normalises to, so the columns line up.
+            cols = np.asarray(sorted(set(self.support)), dtype=int)
+            self._support_operator = self.system.estimator_columns(cols)
+        return self._support_operator
+
+    @property
+    def baseline_estimate(self) -> np.ndarray:
+        """What tomography estimates *without* any attack.
+
+        Equals the true metrics when R has full column rank; under partial
+        identifiability the min-norm estimator mixes links, and attack
+        planning must anchor its bands to this baseline, not to x*.
+        """
+        if self._baseline_estimate is None:
+            self._baseline_estimate = self.system.estimate(self.honest_measurements())
+        return self._baseline_estimate
 
     @property
     def num_paths(self) -> int:
@@ -159,7 +193,7 @@ class AttackContext:
         ``x_hat = Q y' = Q R x* + Q m`` — equals ``x* + Q m`` when ``R``
         has full column rank.
         """
-        return self.operator @ self.observed_measurements(manipulation)
+        return self.system.estimate(self.observed_measurements(manipulation))
 
     def residual_projector(self) -> np.ndarray:
         """The matrix ``I - R R⁺`` whose kernel is the detector's blind set.
@@ -171,6 +205,15 @@ class AttackContext:
         """
         return self.system.residual_projector
 
+    def residual_projector_support(self) -> np.ndarray:
+        """``(I - R R⁺)[:, support]`` — the only projector columns a
+        Constraint-1 manipulation can excite.  Matrix-free on the sparse
+        backend; stealthy LPs consume this block directly.
+        """
+        return self.system.residual_projector_columns(
+            np.asarray(sorted(set(self.support)), dtype=int)
+        )
+
     def manipulable_link_mask(self, tol: float = 1e-9) -> np.ndarray:
         """Boolean mask of links whose estimate the attacker can *raise*.
 
@@ -181,8 +224,7 @@ class AttackContext:
         """
         mask = np.zeros(self.num_links, dtype=bool)
         if self.support:
-            cols = np.asarray(self.support, dtype=int)
-            mask = np.max(self.operator[:, cols], axis=1) > tol
+            mask = np.max(self.support_operator, axis=1) > tol
         return mask
 
 

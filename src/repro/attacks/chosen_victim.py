@@ -123,14 +123,15 @@ class ChosenVictimAttack:
                 self.strategy_name, f"contradictory bands: {exc}", self.victim_links
             )
         solution = solve_manipulation_lp(
-            self.context.operator,
+            None,
             self.context.baseline_estimate,
             self.context.support,
             self.context.num_paths,
             bands,
             cap=self.context.cap,
-            consistency_matrix=(
-                self.context.residual_projector() if self.stealthy else None
+            sub_operator=self.context.support_operator,
+            consistency_columns=(
+                self.context.residual_projector_support() if self.stealthy else None
             ),
         )
         if not solution.feasible or solution.manipulation is None:

@@ -78,14 +78,15 @@ class FrameAndBlurAttack:
             bands.require_at_least(j, uncertain_lo)
             bands.require_at_most(j, uncertain_hi)
         solution = solve_manipulation_lp(
-            context.operator,
+            None,
             context.baseline_estimate,
             context.support,
             context.num_paths,
             bands,
             cap=context.cap,
-            consistency_matrix=(
-                context.residual_projector() if self.stealthy else None
+            sub_operator=context.support_operator,
+            consistency_columns=(
+                context.residual_projector_support() if self.stealthy else None
             ),
         )
         if not solution.feasible or solution.manipulation is None:

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 import numpy as np
+import scipy.sparse
 from scipy.optimize import linprog
 
 from repro.exceptions import AttackError, ValidationError
@@ -52,6 +53,28 @@ __all__ = [
 
 #: Cap substituted when re-solving an unbounded LP to return a finite vector.
 _UNBOUNDED_RESOLVE_CAP = 1e7
+
+#: Constraint-block size (rows * cols) above which sparse handoff is considered.
+_SPARSE_BLOCK_SIZE = 65536
+
+#: Exact-zero density at or below which a large block ships to HiGHS as CSR.
+_SPARSE_BLOCK_DENSITY = 0.25
+
+
+def _maybe_sparse(block: np.ndarray | None):
+    """Hand a constraint block to HiGHS in CSR form when it pays off.
+
+    HiGHS accepts sparse ``A_ub``/``A_eq`` directly; converting is only a
+    win for large blocks with mostly exact zeros (e.g. support-restricted
+    band rows at ISP scale).  Small or dense blocks pass through untouched
+    — the solver sees identical constraints either way.
+    """
+    if block is None or block.size < _SPARSE_BLOCK_SIZE:
+        return block
+    nnz = int(np.count_nonzero(block))
+    if nnz / block.size > _SPARSE_BLOCK_DENSITY:
+        return block
+    return scipy.sparse.csr_matrix(block)
 
 
 @dataclass
@@ -157,21 +180,34 @@ def _assemble_consistency(
     consistency_matrix: np.ndarray | None,
     support_list: list[int],
     num_paths: int,
+    *,
+    columns: np.ndarray | None = None,
 ) -> tuple[np.ndarray | None, np.ndarray | None]:
     """Equality block ``C m = 0`` restricted to the supported columns.
 
     Only the supported columns are variables; off-support entries of ``m``
     are zero and drop out of ``C m = 0``.  Numerically trivial rows are
-    discarded to help the solver.
+    discarded to help the solver.  ``columns`` supplies the pre-sliced
+    ``C[:, support]`` block directly (|P| x k, support in sorted order) —
+    the sparse backend produces it matrix-free, so the full |P| x |P|
+    projector never needs to exist.
     """
-    if consistency_matrix is None:
+    if columns is not None:
+        sub = np.asarray(columns, dtype=float)
+        if sub.shape != (num_paths, len(support_list)):
+            raise AttackError(
+                f"consistency columns must be ({num_paths} x {len(support_list)}), "
+                f"got {sub.shape}"
+            )
+    elif consistency_matrix is None:
         return None, None
-    cmat = np.asarray(consistency_matrix, dtype=float)
-    if cmat.shape != (num_paths, num_paths):
-        raise AttackError(
-            f"consistency matrix must be ({num_paths} x {num_paths}), got {cmat.shape}"
-        )
-    sub = cmat[:, support_list]
+    else:
+        cmat = np.asarray(consistency_matrix, dtype=float)
+        if cmat.shape != (num_paths, num_paths):
+            raise AttackError(
+                f"consistency matrix must be ({num_paths} x {num_paths}), got {cmat.shape}"
+            )
+        sub = cmat[:, support_list]
     keep = np.linalg.norm(sub, axis=1) > 1e-12
     if not np.any(keep):
         return None, None
@@ -246,17 +282,22 @@ def _solve_assembled(
 
     k = len(support_list)
     perf.record_event("lp_solve")
+    a_ub_opt = _maybe_sparse(a_ub)
+    a_eq_opt = _maybe_sparse(a_eq)
     with perf.stage("lp_solve"):
         result = linprog(
             c=-np.ones(k),
-            A_ub=a_ub,
+            A_ub=a_ub_opt,
             b_ub=b_ub,
-            A_eq=a_eq,
+            A_eq=a_eq_opt,
             b_eq=b_eq,
             bounds=[(0.0, cap)] * k,
             method="highs",
         )
     if obs.is_enabled():
+        sparse_handoff = scipy.sparse.issparse(a_ub_opt) or scipy.sparse.issparse(
+            a_eq_opt
+        )
         obs.event(
             "lp_solve",
             success=bool(result.success),
@@ -266,6 +307,7 @@ def _solve_assembled(
             rows_ub=0 if a_ub is None else int(a_ub.shape[0]),
             rows_eq=0 if a_eq is None else int(a_eq.shape[0]),
             cap=cap,
+            backend="sparse" if sparse_handoff else "dense",
         )
 
     if not result.success:
@@ -285,8 +327,38 @@ def _solve_assembled(
     )
 
 
+def _resolve_sub_operator(
+    estimator_operator: np.ndarray | None,
+    sub_operator: np.ndarray | None,
+    support_list: list[int],
+    num_paths: int,
+) -> np.ndarray:
+    """The |L| x k support-restricted operator block, whichever way it came.
+
+    ``sub_operator`` (columns in sorted-support order) wins when given —
+    the sparse backend computes exactly those columns matrix-free and the
+    full ``R⁺`` never exists.  Otherwise the dense operator is sliced.
+    """
+    if sub_operator is not None:
+        sub = np.asarray(sub_operator, dtype=float)
+        if sub.ndim != 2 or sub.shape[1] != len(support_list):
+            raise AttackError(
+                f"sub operator must be (num_links x {len(support_list)}), "
+                f"got {sub.shape}"
+            )
+        return sub
+    if estimator_operator is None:
+        raise AttackError("need either estimator_operator or sub_operator")
+    operator = np.asarray(estimator_operator, dtype=float)
+    if operator.ndim != 2 or operator.shape[1] != num_paths:
+        raise AttackError(
+            f"estimator operator must be (num_links x {num_paths}), got {operator.shape}"
+        )
+    return operator[:, support_list]
+
+
 def solve_manipulation_lp(
-    estimator_operator: np.ndarray,
+    estimator_operator: np.ndarray | None,
     true_metrics: np.ndarray,
     support: Sequence[int],
     num_paths: int,
@@ -294,6 +366,8 @@ def solve_manipulation_lp(
     *,
     cap: float | None = 2000.0,
     consistency_matrix: np.ndarray | None = None,
+    sub_operator: np.ndarray | None = None,
+    consistency_columns: np.ndarray | None = None,
 ) -> LpSolution:
     """Maximise ``sum(m)`` subject to Constraint 1, ``m <= cap`` and bands.
 
@@ -323,14 +397,16 @@ def solve_manipulation_lp(
         hence invisible to the eq. (23) detector.  Theorem 3: such a
         solution always exists under a perfect cut and (generically) not
         otherwise.
+    sub_operator:
+        Pre-sliced ``Q[:, support]`` (|L| x k, sorted support order).
+        When given, ``estimator_operator`` may be None — sparse-backend
+        callers hand the support columns over without ever materialising
+        the full pseudo-inverse.
+    consistency_columns:
+        Pre-sliced stealth block ``C[:, support]`` (|P| x k); same idea
+        for the residual projector.
     """
-    operator = np.asarray(estimator_operator, dtype=float)
-    if operator.ndim != 2 or operator.shape[1] != num_paths:
-        raise AttackError(
-            f"estimator operator must be (num_links x {num_paths}), got {operator.shape}"
-        )
-    num_links = operator.shape[0]
-    x_true = check_finite_vector(true_metrics, "true_metrics", length=num_links)
+    x_true = check_finite_vector(true_metrics, "true_metrics")
     bands.validate()
     if cap is not None and cap < 0:
         raise ValidationError(f"cap must be non-negative or None, got {cap}")
@@ -345,13 +421,20 @@ def solve_manipulation_lp(
         return _empty_support_solution(bands.lower, bands.upper, x_true, num_paths)
 
     with perf.stage("lp_assembly"):
-        sub_operator = operator[:, support_list]  # |L| x k
-        a_ub, b_ub, _ = _assemble_band_rows(
-            sub_operator, bands.lower, bands.upper, x_true
+        sub = _resolve_sub_operator(
+            estimator_operator, sub_operator, support_list, num_paths
         )
+        if sub.shape[0] != x_true.shape[0]:
+            raise AttackError(
+                f"operator rows ({sub.shape[0]}) must match true_metrics "
+                f"length ({x_true.shape[0]})"
+            )
+        a_ub, b_ub, _ = _assemble_band_rows(sub, bands.lower, bands.upper, x_true)
         if a_ub.shape[0] == 0:
             a_ub, b_ub = None, None
-        a_eq, b_eq = _assemble_consistency(consistency_matrix, support_list, num_paths)
+        a_eq, b_eq = _assemble_consistency(
+            consistency_matrix, support_list, num_paths, columns=consistency_columns
+        )
 
     return _solve_assembled(support_list, num_paths, a_ub, b_ub, a_eq, b_eq, cap)
 
@@ -375,7 +458,7 @@ class IncrementalLpSolver:
 
     def __init__(
         self,
-        estimator_operator: np.ndarray,
+        estimator_operator: np.ndarray | None,
         true_metrics: np.ndarray,
         support: Sequence[int],
         num_paths: int,
@@ -383,32 +466,36 @@ class IncrementalLpSolver:
         *,
         cap: float | None = 2000.0,
         consistency_matrix: np.ndarray | None = None,
+        sub_operator: np.ndarray | None = None,
+        consistency_columns: np.ndarray | None = None,
     ) -> None:
-        operator = np.asarray(estimator_operator, dtype=float)
-        if operator.ndim != 2 or operator.shape[1] != num_paths:
-            raise AttackError(
-                f"estimator operator must be (num_links x {num_paths}), "
-                f"got {operator.shape}"
-            )
-        self.num_links = operator.shape[0]
         self.num_paths = int(num_paths)
         self.cap = cap
         if cap is not None and cap < 0:
             raise ValidationError(f"cap must be non-negative or None, got {cap}")
-        self._x_true = check_finite_vector(
-            true_metrics, "true_metrics", length=self.num_links
-        )
+        self._x_true = check_finite_vector(true_metrics, "true_metrics")
+        self.num_links = int(self._x_true.shape[0])
         base_bands.validate()
         self._base_lower = np.array(base_bands.lower, dtype=float)
         self._base_upper = np.array(base_bands.upper, dtype=float)
         self._support = _checked_support(support, num_paths)
         with perf.stage("lp_assembly"):
-            self._sub_operator = operator[:, self._support]
+            self._sub_operator = _resolve_sub_operator(
+                estimator_operator, sub_operator, self._support, num_paths
+            )
+            if self._sub_operator.shape[0] != self.num_links:
+                raise AttackError(
+                    f"operator rows ({self._sub_operator.shape[0]}) must match "
+                    f"true_metrics length ({self.num_links})"
+                )
             self._base_a, self._base_b, self._base_keys = _assemble_band_rows(
                 self._sub_operator, self._base_lower, self._base_upper, self._x_true
             )
             self._a_eq, self._b_eq = _assemble_consistency(
-                consistency_matrix, self._support, num_paths
+                consistency_matrix,
+                self._support,
+                num_paths,
+                columns=consistency_columns,
             )
 
     def _rows_for_overrides(

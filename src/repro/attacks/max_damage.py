@@ -125,14 +125,15 @@ class MaxDamageAttack:
                 self.context, (), self.mode, confined=self.confined
             )
             self._solver = IncrementalLpSolver(
-                self.context.operator,
+                None,
                 self.context.baseline_estimate,
                 self.context.support,
                 self.context.num_paths,
                 base_bands,
                 cap=self.context.cap,
-                consistency_matrix=(
-                    self.context.residual_projector() if self.stealthy else None
+                sub_operator=self.context.support_operator,
+                consistency_columns=(
+                    self.context.residual_projector_support() if self.stealthy else None
                 ),
             )
         return self._solver

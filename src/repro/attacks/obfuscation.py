@@ -130,8 +130,8 @@ class ObfuscationAttack:
         # over supported paths — easiest links first keeps the greedy scan
         # productive.
         if context.support:
-            cols = np.asarray(context.support, dtype=int)
-            strength = {j: float(np.max(context.operator[j, cols])) for j in candidates}
+            sub = context.support_operator
+            strength = {j: float(np.max(sub[j])) for j in candidates}
         else:
             strength = {j: 0.0 for j in candidates}
         self.candidates = tuple(sorted(candidates, key=lambda j: -strength[j]))
@@ -144,14 +144,15 @@ class ObfuscationAttack:
             confined=self.confined,
         )
         return solve_manipulation_lp(
-            self.context.operator,
+            None,
             self.context.baseline_estimate,
             self.context.support,
             self.context.num_paths,
             bands,
             cap=self.context.cap,
-            consistency_matrix=(
-                self.context.residual_projector() if self.stealthy else None
+            sub_operator=self.context.support_operator,
+            consistency_columns=(
+                self.context.residual_projector_support() if self.stealthy else None
             ),
         )
 

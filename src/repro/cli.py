@@ -126,12 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "target",
-        choices=["fig1", "fig5", "sweep", "all"],
+        choices=["fig1", "fig5", "sweep", "backends", "all"],
         nargs="?",
         default="all",
         help=(
             "fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison, "
-            "sweep = cold-vs-cached grid execution"
+            "sweep = cold-vs-cached grid execution, "
+            "backends = dense-vs-sparse kernel crossover"
         ),
     )
     bench.add_argument(
@@ -575,6 +576,7 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.perf.bench import (
+        backends_benchmark,
         fig1_pipeline_benchmark,
         fig5_assembly_benchmark,
         sweep_cache_benchmark,
@@ -587,11 +589,14 @@ def _cmd_bench(args) -> int:
         benchmarks = {"fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat)}
     elif args.target == "sweep":
         benchmarks = {"sweep_cache": sweep_cache_benchmark(repeat=args.repeat)}
+    elif args.target == "backends":
+        benchmarks = {"backends": backends_benchmark(repeat=args.repeat)}
     else:
         benchmarks = {
             "fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat),
             "fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat),
             "sweep_cache": sweep_cache_benchmark(repeat=args.repeat),
+            "backends": backends_benchmark(repeat=args.repeat),
         }
 
     default_name = "BENCH_perf.json" if args.target == "all" else f"BENCH_{args.target}.json"

@@ -84,7 +84,6 @@ class ConsistencyDetector:
             self._system = system
         else:
             self._system = LinearSystem(matrix)
-        self._operator = self._system.estimator
         self.alpha = float(alpha)
         # Residuals vanish identically iff rows span no redundancy: every
         # y' is consistent with some x.  That is rank == num_paths (which
@@ -97,7 +96,12 @@ class ConsistencyDetector:
         return self._matrix.copy()
 
     def check(self, observed: np.ndarray) -> DetectionResult:
-        """Run the detector on one observed measurement vector."""
+        """Run the detector on one observed measurement vector.
+
+        Estimate and residual both come from the shared kernel — under
+        the sparse backend this is two sparse matvecs per check, never a
+        dense operator.
+        """
         y = np.asarray(observed, dtype=float)
         if y.shape != (self._matrix.shape[0],):
             raise DetectionError(
@@ -105,7 +109,7 @@ class ConsistencyDetector:
             )
         if not np.all(np.isfinite(y)):
             raise DetectionError("observed measurements must be finite")
-        estimate = self._operator @ y
+        estimate = self._system.estimate(y)
         residual = measurement_residual(self._matrix, estimate, y)
         residual_l1 = float(np.abs(residual).sum())
         return DetectionResult(
@@ -115,3 +119,33 @@ class ConsistencyDetector:
             per_path_residual=residual,
             estimate=estimate,
         )
+
+    def check_batch(self, observed_block: np.ndarray) -> list[DetectionResult]:
+        """Run the detector on a block of measurement vectors (|P| x k).
+
+        One multi-RHS kernel call covers the whole block — a single GEMM
+        on the dense backend, one batched Gram solve on the sparse one —
+        so Monte-Carlo chunks pay one solve instead of ``k``.  Verdicts
+        are identical to ``k`` independent :meth:`check` calls.
+        """
+        block = np.asarray(observed_block, dtype=float)
+        if block.ndim != 2 or block.shape[0] != self._matrix.shape[0]:
+            raise DetectionError(
+                f"observed block must have shape ({self._matrix.shape[0]}, k), "
+                f"got {block.shape}"
+            )
+        if not np.all(np.isfinite(block)):
+            raise DetectionError("observed measurements must be finite")
+        estimates = self._system.estimate_many(block)
+        residuals = self._matrix @ estimates - block
+        residual_l1 = np.abs(residuals).sum(axis=0)
+        return [
+            DetectionResult(
+                detected=bool(residual_l1[j] > self.alpha),
+                residual_l1=float(residual_l1[j]),
+                threshold=self.alpha,
+                per_path_residual=residuals[:, j],
+                estimate=estimates[:, j],
+            )
+            for j in range(block.shape[1])
+        ]

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DetectionError
-from repro.utils.linalg import column_rank, least_squares_pinv
+from repro.tomography.linear_system import LinearSystem
 
 __all__ = ["RobustEstimate", "TrimmedLeastSquares"]
 
@@ -93,7 +93,7 @@ class TrimmedLeastSquares:
         if max_exclusions is not None and max_exclusions < 0:
             raise DetectionError(f"max_exclusions must be >= 0, got {max_exclusions}")
         self._matrix = matrix
-        self._rank = column_rank(matrix)
+        self._rank = LinearSystem(matrix).rank
         self.residual_tolerance = float(residual_tolerance)
         self.max_exclusions = max_exclusions
 
@@ -118,7 +118,7 @@ class TrimmedLeastSquares:
         while True:
             iterations += 1
             sub = self._matrix[keep]
-            x_hat = least_squares_pinv(sub) @ y[keep]
+            x_hat = LinearSystem(sub).estimate(y[keep])
             residual = np.abs(sub @ x_hat - y[keep])
             worst = float(np.max(residual)) if residual.size else 0.0
             if worst <= self.residual_tolerance:
@@ -148,9 +148,12 @@ class TrimmedLeastSquares:
                     continue
                 candidate = keep[:pos] + keep[pos + 1 :]
                 candidate_matrix = self._matrix[candidate]
-                if column_rank(candidate_matrix) < self._rank:
+                # One kernel per candidate: rank check and refit share a
+                # single factorisation instead of two independent SVDs.
+                candidate_system = LinearSystem(candidate_matrix)
+                if candidate_system.rank < self._rank:
                     continue
-                refit = least_squares_pinv(candidate_matrix) @ y[candidate]
+                refit = candidate_system.estimate(y[candidate])
                 sse = float(
                     np.sum((candidate_matrix @ refit - y[candidate]) ** 2)
                 )

@@ -26,6 +26,7 @@ __all__ = [
     "record_event",
     "recording",
     "stage",
+    "backends_benchmark",
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 _BENCH_EXPORTS = {
+    "backends_benchmark",
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",

@@ -46,6 +46,7 @@ from repro.perf.instrumentation import PerfRecorder, recording, stage
 
 __all__ = [
     "append_trajectory",
+    "backends_benchmark",
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
@@ -319,12 +320,123 @@ def sweep_cache_benchmark(*, repeat: int = 3) -> dict:
     }
 
 
+def _path_incidence_matrix(num_paths: int, num_links: int, hops: int, seed: int) -> np.ndarray:
+    """A random path-like 0/1 incidence matrix (``hops`` ones per row)."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_paths, num_links))
+    for i in range(num_paths):
+        cols = rng.choice(num_links, size=min(hops, num_links), replace=False)
+        matrix[i, cols] = 1.0
+    return matrix
+
+
+def _time_factorize_estimate(matrix, backend: str, observed: np.ndarray, repeat: int) -> float:
+    """Best wall time of a cold factorise + one estimate on ``backend``."""
+
+    def run() -> None:
+        from repro.tomography.linear_system import LinearSystem
+
+        system = LinearSystem(matrix, backend=backend)
+        system.estimate(observed)
+
+    return _best_of(run, repeat)
+
+
+def backends_benchmark(*, repeat: int = 3, seed: int = 2017) -> dict:
+    """Dense-vs-sparse backend crossover curve plus the ISP-scale headline.
+
+    Two measurements:
+
+    - **Crossover curve**: cold factorise + one estimate on synthetic
+      path-incidence matrices of growing size, timed on both backends.
+      Small systems favour the dense SVD (the sparse Gram machinery has
+      fixed overhead); the curve records where sparse takes over.
+    - **ISP scale**: shortest paths between sampled monitor pairs of
+      :func:`~repro.topology.generators.isp.large_isp_topology` give a
+      real routing matrix with thousands of links; the sparse backend's
+      Gram solve replaces a dense SVD that is cubic in these dimensions.
+      The ``speedup`` entry is the acceptance headline for the sparse
+      backend (target: >= 3x on factorise + estimate).
+    """
+    from repro.routing.ksp import k_shortest_paths
+    from repro.routing.paths import MeasurementPath, PathSet
+    from repro.routing.routing_matrix import density
+    from repro.exceptions import NoPathError
+    from repro.topology.generators.isp import large_isp_topology
+
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+
+    crossover = []
+    for num_paths, num_links, hops in (
+        (40, 60, 4),
+        (120, 180, 6),
+        (320, 480, 8),
+        (800, 1200, 10),
+    ):
+        matrix = _path_incidence_matrix(num_paths, num_links, hops, seed)
+        observed = matrix @ rng.uniform(1.0, 20.0, size=num_links)
+        dense_s = _time_factorize_estimate(matrix, "dense", observed, repeat)
+        sparse_s = _time_factorize_estimate(matrix, "sparse", observed, repeat)
+        crossover.append(
+            {
+                "paths": num_paths,
+                "links": num_links,
+                "density": float(matrix.sum() / matrix.size),
+                "dense_s": dense_s,
+                "sparse_s": sparse_s,
+                "speedup": dense_s / sparse_s if sparse_s > 0 else float("inf"),
+            }
+        )
+
+    # ISP scale: real shortest paths on the large topology.  Pairs are
+    # sampled (the quadratic all-pairs enumeration is exactly what the
+    # pair_budget knob exists to avoid) until the path count clears the
+    # acceptance floor.
+    topology = large_isp_topology(seed=seed)
+    nodes = topology.nodes()
+    path_set = PathSet(topology)
+    target_paths = 1600
+    attempts = 0
+    while path_set.num_paths < target_paths and attempts < 20 * target_paths:
+        attempts += 1
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        try:
+            sequences = k_shortest_paths(topology, nodes[int(a)], nodes[int(b)], 1)
+        except NoPathError:
+            continue
+        path_set.append(MeasurementPath(topology, sequences[0]))
+    matrix = path_set.routing_matrix()
+    observed = matrix @ rng.uniform(1.0, 20.0, size=matrix.shape[1])
+    isp_repeat = max(1, min(repeat, 2))  # the dense SVD here costs seconds
+    dense_s = _time_factorize_estimate(matrix, "dense", observed, isp_repeat)
+    sparse_s = _time_factorize_estimate(matrix, "sparse", observed, isp_repeat)
+    return {
+        "bench": "backends",
+        "repeat": repeat,
+        "wall_s": time.perf_counter() - start,
+        "crossover": crossover,
+        "isp_scale": {
+            "nodes": topology.num_nodes,
+            "links": matrix.shape[1],
+            "paths": matrix.shape[0],
+            "density": density(matrix),
+            "dense_s": dense_s,
+            "sparse_s": sparse_s,
+        },
+        "speedup": {
+            "isp_factorize_estimate": dense_s / sparse_s if sparse_s > 0 else float("inf"),
+        },
+    }
+
+
 def full_perf_benchmark(*, repeat: int = 3) -> dict:
     """All benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
     return {
         "fig1_pipeline": fig1_pipeline_benchmark(repeat=repeat),
         "fig5_max_damage": fig5_assembly_benchmark(repeat=repeat),
         "sweep_cache": sweep_cache_benchmark(repeat=repeat),
+        "backends": backends_benchmark(repeat=repeat),
     }
 
 

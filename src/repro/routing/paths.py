@@ -202,11 +202,50 @@ class PathSet:
         paper.  Float dtype because the matrix immediately enters numerical
         linear algebra.
         """
+        rows, cols = self._incidence_indices()
         matrix = np.zeros((len(self._paths), self.topology.num_links), dtype=float)
-        for i, path in enumerate(self._paths):
-            for j in path.link_indices:
-                matrix[i, j] = 1.0
+        matrix[rows, cols] = 1.0
         return matrix
+
+    def sparse_routing_matrix(self) -> "scipy.sparse.csr_matrix":
+        """``R`` as ``scipy.sparse.csr_matrix`` — same entries, CSR storage.
+
+        The form the sparse tomography backend consumes directly; at
+        ISP scale this skips materialising the (mostly zero) dense array
+        entirely.
+        """
+        import scipy.sparse
+
+        rows, cols = self._incidence_indices()
+        data = np.ones(rows.size, dtype=float)
+        matrix = scipy.sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(self._paths), self.topology.num_links),
+        )
+        # CSR assembly sums duplicate coordinates; the dense builder's
+        # assignment is idempotent — keep the two representations equal.
+        matrix.sum_duplicates()
+        matrix.data.fill(1.0)
+        return matrix
+
+    def _incidence_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row, col) index arrays of the path-link incidences, in path order.
+
+        Built with ``np.repeat`` over per-path link counts — no per-entry
+        Python loop, which dominates matrix construction at ISP scale.
+        """
+        counts = np.fromiter(
+            (len(path.link_indices) for path in self._paths),
+            dtype=np.intp,
+            count=len(self._paths),
+        )
+        rows = np.repeat(np.arange(len(self._paths), dtype=np.intp), counts)
+        cols = np.fromiter(
+            (j for path in self._paths for j in path.link_indices),
+            dtype=np.intp,
+            count=int(counts.sum()),
+        )
+        return rows, cols
 
     def __iter__(self) -> Iterator[MeasurementPath]:
         return iter(self._paths)

@@ -12,12 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse
 
 from repro.routing.paths import PathSet
-from repro.utils.linalg import column_rank, is_full_column_rank, nullspace
+from repro.utils.linalg import nullspace
 
 __all__ = [
     "routing_matrix",
+    "density",
     "identifiable_links",
     "identifiability_report",
     "IdentifiabilityReport",
@@ -32,6 +34,23 @@ def routing_matrix(path_set: PathSet) -> np.ndarray:
     return path_set.routing_matrix()
 
 
+def density(matrix) -> float:
+    """Fraction of nonzero entries of ``R`` (0.0 for empty matrices).
+
+    Accepts dense arrays and ``scipy.sparse`` matrices alike; the backend
+    dispatch in :mod:`repro.tomography.backends` keys its dense/sparse
+    heuristic on this number.
+    """
+    if scipy.sparse.issparse(matrix):
+        rows, cols = matrix.shape
+        size = rows * cols
+        return matrix.nnz / size if size else 0.0
+    mat = np.asarray(matrix)
+    if mat.size == 0:
+        return 0.0
+    return float(np.count_nonzero(mat)) / mat.size
+
+
 def identifiable_links(matrix: np.ndarray, tol: float = _IDENTIFIABLE_TOL) -> list[int]:
     """Indices of links whose metric is uniquely determined by ``R``.
 
@@ -40,11 +59,16 @@ def identifiable_links(matrix: np.ndarray, tol: float = _IDENTIFIABLE_TOL) -> li
     measurements then agree in coordinate ``j``.
     """
     mat = np.asarray(matrix, dtype=float)
-    basis = nullspace(mat)
+    return _identifiable_from_basis(nullspace(mat), mat.shape[1], tol)
+
+
+def _identifiable_from_basis(
+    basis: np.ndarray, num_links: int, tol: float
+) -> list[int]:
     if basis.shape[1] == 0:
-        return list(range(mat.shape[1]))
+        return list(range(num_links))
     row_norms = np.linalg.norm(basis, axis=1)
-    return [j for j in range(mat.shape[1]) if row_norms[j] < tol]
+    return [j for j in range(num_links) if row_norms[j] < tol]
 
 
 @dataclass(frozen=True)
@@ -85,18 +109,27 @@ class IdentifiabilityReport:
 
 
 def identifiability_report(path_set: PathSet) -> IdentifiabilityReport:
-    """Build an :class:`IdentifiabilityReport` for ``path_set``."""
+    """Build an :class:`IdentifiabilityReport` for ``path_set``.
+
+    One shared :class:`~repro.tomography.linear_system.LinearSystem`
+    supplies rank, full-rank flag, and the nullspace basis — previously
+    three independent SVDs of the same matrix.
+    """
+    from repro.tomography.linear_system import LinearSystem
+
     matrix = path_set.routing_matrix()
-    rank = column_rank(matrix)
-    ident = identifiable_links(matrix)
+    system = LinearSystem(matrix)
+    ident = _identifiable_from_basis(
+        system.nullspace, matrix.shape[1], _IDENTIFIABLE_TOL
+    )
     ident_set = set(ident)
     unident = [j for j in range(matrix.shape[1]) if j not in ident_set]
     return IdentifiabilityReport(
         num_paths=matrix.shape[0],
         num_links=matrix.shape[1],
-        rank=rank,
-        full_column_rank=is_full_column_rank(matrix),
+        rank=system.rank,
+        full_column_rank=system.is_full_column_rank,
         identifiable=tuple(ident),
         unidentifiable=tuple(unident),
-        redundancy=matrix.shape[0] - rank,
+        redundancy=system.redundancy,
     )

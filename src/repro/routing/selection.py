@@ -46,6 +46,8 @@ def enumerate_candidate_paths(
     max_per_pair: int = 20,
     max_hops: int | None = None,
     exhaustive: bool | None = None,
+    pair_budget: int | None = None,
+    rng: object = None,
 ) -> list[MeasurementPath]:
     """Candidate measurement paths between every unordered monitor pair.
 
@@ -55,32 +57,50 @@ def enumerate_candidate_paths(
     ``max_per_pair`` candidates per pair.  Monitor pairs in different
     components contribute nothing (no error), matching how an operator
     would simply not measure between them.
+
+    ``pair_budget`` caps how many monitor pairs are searched at all: when
+    the number of unordered pairs exceeds it, a seeded sample of pairs is
+    drawn (without replacement) from ``rng``.  This is what keeps
+    enumeration tractable on ISP-scale topologies, where the quadratic
+    pair count — not per-pair path search — dominates; operators likewise
+    measure a budgeted subset of monitor pairs rather than all of them.
     """
     if len(set(monitors)) < 2:
         raise ValidationError("need at least two distinct monitors")
     if max_per_pair < 1:
         raise ValidationError(f"max_per_pair must be >= 1, got {max_per_pair}")
+    if pair_budget is not None and pair_budget < 1:
+        raise ValidationError(f"pair_budget must be >= 1 or None, got {pair_budget}")
     use_exhaustive = (
         exhaustive if exhaustive is not None else topology.num_links <= _EXHAUSTIVE_LINK_LIMIT
     )
     monitor_list = list(dict.fromkeys(monitors))
+    pairs = [
+        (monitor_list[a], monitor_list[b])
+        for a in range(len(monitor_list))
+        for b in range(a + 1, len(monitor_list))
+    ]
+    if pair_budget is not None and len(pairs) > pair_budget:
+        generator = ensure_rng(rng)
+        picks = generator.choice(len(pairs), size=pair_budget, replace=False)
+        # Keep canonical pair order so only membership — not sequencing —
+        # depends on the draw.
+        pairs = [pairs[i] for i in sorted(int(p) for p in picks)]
     candidates: list[MeasurementPath] = []
-    for a_index in range(len(monitor_list)):
-        for b_index in range(a_index + 1, len(monitor_list)):
-            source, target = monitor_list[a_index], monitor_list[b_index]
-            try:
-                if use_exhaustive:
-                    sequences = sorted(
-                        all_simple_paths(topology, source, target, max_hops=max_hops),
-                        key=len,
-                    )[:max_per_pair]
-                else:
-                    sequences = k_shortest_paths(topology, source, target, max_per_pair)
-                    if max_hops is not None:
-                        sequences = [seq for seq in sequences if len(seq) - 1 <= max_hops]
-            except NoPathError:
-                continue
-            candidates.extend(MeasurementPath(topology, seq) for seq in sequences)
+    for source, target in pairs:
+        try:
+            if use_exhaustive:
+                sequences = sorted(
+                    all_simple_paths(topology, source, target, max_hops=max_hops),
+                    key=len,
+                )[:max_per_pair]
+            else:
+                sequences = k_shortest_paths(topology, source, target, max_per_pair)
+                if max_hops is not None:
+                    sequences = [seq for seq in sequences if len(seq) - 1 <= max_hops]
+        except NoPathError:
+            continue
+        candidates.extend(MeasurementPath(topology, seq) for seq in sequences)
     return candidates
 
 
@@ -131,15 +151,18 @@ def select_identifiable_paths(
     max_per_pair: int = 20,
     max_hops: int | None = None,
     require_full_rank: bool = False,
+    pair_budget: int | None = None,
     rng: object = None,
 ) -> PathSet:
     """Select a measurement path set for the given monitors.
 
-    Pipeline: enumerate candidates per monitor pair, shuffle them (the
-    randomised selection the paper's experiments use), keep a rank-greedy
-    core, then append up to ``redundancy`` additional distinct paths that do
-    *not* increase rank — these redundant rows are what give the
-    scapegoating detector its consistency checks.
+    Pipeline: enumerate candidates per monitor pair (optionally over a
+    seeded ``pair_budget``-sized sample of pairs — see
+    :func:`enumerate_candidate_paths`), shuffle them (the randomised
+    selection the paper's experiments use), keep a rank-greedy core, then
+    append up to ``redundancy`` additional distinct paths that do *not*
+    increase rank — these redundant rows are what give the scapegoating
+    detector its consistency checks.
 
     Raises :class:`IdentifiabilityError` when ``require_full_rank`` is set
     and the candidates cannot span all links (too few monitors, or monitors
@@ -149,20 +172,27 @@ def select_identifiable_paths(
         raise ValidationError(f"redundancy must be >= 0, got {redundancy}")
     generator = ensure_rng(rng)
     candidates = enumerate_candidate_paths(
-        topology, monitors, max_per_pair=max_per_pair, max_hops=max_hops
+        topology,
+        monitors,
+        max_per_pair=max_per_pair,
+        max_hops=max_hops,
+        pair_budget=pair_budget,
+        rng=generator,
     )
     order = list(range(len(candidates)))
     generator.shuffle(order)
     shuffled = [candidates[i] for i in order]
 
     core = select_paths_rank_greedy(topology, shuffled)
-    core_matrix = core.routing_matrix()
-    rank = column_rank(core_matrix)
-    if require_full_rank and rank < topology.num_links:
-        raise IdentifiabilityError(
-            f"monitors {list(monitors)!r} can only identify rank {rank} of "
-            f"{topology.num_links} links"
-        )
+    if require_full_rank:
+        # Only pay for the rank check when the caller asked for the
+        # guarantee — the greedy core already tracks rank incrementally.
+        rank = column_rank(core.routing_matrix())
+        if rank < topology.num_links:
+            raise IdentifiabilityError(
+                f"monitors {list(monitors)!r} can only identify rank {rank} of "
+                f"{topology.num_links} links"
+            )
 
     chosen = {path.key() for path in core}
     extras_added = 0

@@ -26,7 +26,14 @@ from repro.obs import core as obs
 from repro.perf import instrumentation as perf
 from repro.utils.rng import spawn_rngs
 
-__all__ = ["check_picklable", "iter_map_chunks", "run_trials", "binned_rate", "success_rate"]
+__all__ = [
+    "check_picklable",
+    "iter_map_chunks",
+    "run_trials",
+    "run_batched_trials",
+    "binned_rate",
+    "success_rate",
+]
 
 
 def _run_chunk(
@@ -172,6 +179,71 @@ def run_trials(
     if obs.is_enabled():
         obs.event("mc_done", trials=num_trials, kept=len(kept))
     return kept
+
+
+def run_batched_trials(
+    num_trials: int,
+    draw: Callable[[np.random.Generator], np.ndarray | None],
+    batch: Callable[[np.ndarray], Sequence],
+    *,
+    seed: object = 0,
+    chunk_size: int | None = None,
+) -> list:
+    """Monte-Carlo with the linear-algebra applications batched per chunk.
+
+    ``draw`` produces one measurement vector per trial from its own
+    spawned RNG stream (returning ``None`` rejects the trial, as in
+    :func:`run_trials`); the kept vectors are stacked into |P| x k column
+    blocks of up to ``chunk_size`` trials and each block goes through
+    ``batch`` in *one* call — e.g.
+    :meth:`~repro.detection.consistency.ConsistencyDetector.check_batch`,
+    which turns a Python loop of per-trial estimator matvecs into a
+    single multi-RHS kernel solve.  ``batch`` must return one result per
+    column, in column order.
+
+    Seeding is identical to :func:`run_trials`: trial ``i`` always draws
+    from the same spawned child stream regardless of chunking, so results
+    are reproducible for any ``chunk_size``.
+    """
+    if num_trials < 1:
+        raise ValidationError(f"num_trials must be >= 1, got {num_trials}")
+    if chunk_size is not None and chunk_size < 0:
+        raise ValidationError(
+            f"chunk_size must be >= 1, or 0/None for the default, got {chunk_size}"
+        )
+    chunk = chunk_size or 256
+    rngs = spawn_rngs(seed, num_trials)
+    perf.record_event("mc_trial", num_trials)
+    with perf.stage("mc_trials"):
+        draws = [draw(rng) for rng in rngs]
+        kept = [np.asarray(d, dtype=float) for d in draws if d is not None]
+        if obs.is_enabled():
+            obs.event(
+                "mc_batch_run",
+                trials=num_trials,
+                kept=len(kept),
+                chunk_size=chunk,
+            )
+        results: list = []
+        for start in range(0, len(kept), chunk):
+            block = np.stack(kept[start : start + chunk], axis=1)
+            part = list(batch(block))
+            if len(part) != block.shape[1]:
+                raise ValidationError(
+                    f"batch function returned {len(part)} results for a "
+                    f"{block.shape[1]}-column block"
+                )
+            results.extend(part)
+            if obs.is_enabled():
+                obs.event(
+                    "mc_batch_chunk",
+                    index=start // chunk,
+                    size=block.shape[1],
+                    collected=len(results),
+                )
+    if obs.is_enabled():
+        obs.event("mc_done", trials=num_trials, kept=len(results))
+    return results
 
 
 def success_rate(results: Sequence[dict], flag: str = "success") -> float:

@@ -78,6 +78,7 @@ class Scenario:
         monitor_fraction: float | None = None,
         redundancy: int = 3,
         max_per_pair: int = 20,
+        pair_budget: int | None = None,
         delay_range: tuple[float, float] = (1.0, 20.0),
         thresholds: StateThresholds | None = None,
         cap: float | None = 2000.0,
@@ -99,7 +100,9 @@ class Scenario:
         nodes.  Paths are chosen by the randomised rank-greedy selection
         with ``redundancy`` extra rows for detectability; ground-truth
         delays are uniform over ``delay_range`` (paper: 1-20 ms routine
-        traffic).
+        traffic).  ``pair_budget`` caps how many monitor pairs path
+        enumeration searches (seeded sample) — the knob that keeps
+        ISP-scale scenarios tractable.
         """
         generator = ensure_rng(rng)
         if monitors is None:
@@ -125,6 +128,7 @@ class Scenario:
             monitors,
             redundancy=redundancy,
             max_per_pair=max_per_pair,
+            pair_budget=pair_budget,
             rng=generator,
         )
         low, high = delay_range

@@ -112,14 +112,15 @@ class FactorizationCache:
         if solver is None:
             base_bands = build_chosen_victim_bands(context, (), mode, confined=confined)
             solver = IncrementalLpSolver(
-                context.operator,
+                None,
                 context.baseline_estimate,
                 context.support,
                 context.num_paths,
                 base_bands,
                 cap=context.cap,
-                consistency_matrix=(
-                    context.residual_projector() if stealthy else None
+                sub_operator=context.support_operator,
+                consistency_columns=(
+                    context.residual_projector_support() if stealthy else None
                 ),
             )
             self._solvers[key] = solver

@@ -65,6 +65,10 @@ TOPOLOGY_KINDS: dict[str, tuple[tuple[str, ...], bool]] = {
         ("backbone_nodes", "pops_per_backbone", "extra_backbone_chords"),
         True,
     ),
+    "isp-large": (
+        ("backbone_nodes", "pops_per_backbone", "extra_backbone_chords"),
+        True,
+    ),
     "rgg": (("num_nodes", "density", "mean_degree"), True),
     "waxman": (("num_nodes", "alpha", "beta"), True),
 }
@@ -76,6 +80,7 @@ _SCENARIO_KEYS = (
     "margin",
     "redundancy",
     "max_per_pair",
+    "pair_budget",
     "num_monitors",
     "monitor_fraction",
     "delay_range",
@@ -408,6 +413,10 @@ def build_topology(entry: dict, *, seed: int):
         from repro.topology.generators.isp import synthetic_rocketfuel
 
         return synthetic_rocketfuel(entry["label"], seed=seed, **params)
+    if kind == "isp-large":
+        from repro.topology.generators.isp import large_isp_topology
+
+        return large_isp_topology(entry["label"], seed=seed, **params)
     if kind == "rgg":
         from repro.topology.generators.geometric import random_geometric_topology
 

@@ -1,0 +1,437 @@
+"""Pluggable linear-algebra backends for :class:`LinearSystem`.
+
+The measurement matrix ``R`` of eq. (1) is an extremely sparse 0/1
+path-link incidence matrix, yet the original kernel materialised dense
+operators (``R⁺``, the projectors) from one dense SVD.  That is the right
+call at Fig.-1 scale and caps out quickly on ISP-scale topologies.  This
+module supplies two interchangeable numerical cores:
+
+- :class:`DenseBackend` — the historical dense path: one
+  :func:`repro.utils.linalg.compact_svd`, every derived operator assembled
+  from the shared factors.  Bit-identical to the pre-backend kernel.
+- :class:`SparseBackend` — stores ``R`` as ``scipy.sparse.csr_matrix`` and
+  never materialises ``R⁺``.  Estimates are solved matrix-free: a
+  Cholesky factorisation of the *smaller-side* Gram matrix
+  (``R^T R`` when tall, ``R R^T`` when wide) with iterative refinement
+  when the small side has full rank, and LSMR (min-norm least squares)
+  otherwise.  Residuals are two sparse matvecs (``R x_hat - y``) instead
+  of a dense ``(I - R R⁺)`` projector.  Rank queries use the Gram
+  spectrum with a certified decision rule; spectra too ambiguous to
+  certify fall back to the dense factors, so rank decisions never
+  silently disagree with the library-wide cutoff convention.
+
+Backend choice is resolved by :func:`resolve_backend_name` with the
+precedence *explicit argument > ``REPRO_BACKEND`` environment variable >
+auto heuristic*.  The heuristic picks sparse only when the matrix is
+large (``m * n >= 65536``) and sparse (density <= 0.25) — exactly the
+regime where the dense SVD dominates end-to-end sweep time.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import cached_property
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse
+from scipy.sparse.linalg import lsmr
+
+from repro.exceptions import ValidationError
+from repro.perf import instrumentation as perf
+from repro.utils.linalg import compact_svd, pinv_from_svd
+
+__all__ = [
+    "DenseBackend",
+    "SparseBackend",
+    "resolve_backend_name",
+    "AUTO_SIZE_THRESHOLD",
+    "AUTO_DENSITY_THRESHOLD",
+]
+
+#: ``m * n`` at or above which the auto heuristic considers going sparse.
+AUTO_SIZE_THRESHOLD = 65536
+
+#: Density at or below which the auto heuristic considers going sparse.
+AUTO_DENSITY_THRESHOLD = 0.25
+
+#: Environment variable overriding the auto dispatch (``dense``/``sparse``/``auto``).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_BACKEND_NAMES = ("dense", "sparse", "auto")
+
+#: LSMR stopping tolerances — far below the library parity tolerance so
+#: iterative estimates agree with the dense pseudo-inverse to <= 1e-8.
+_LSMR_TOL = 1e-13
+
+#: Iterative-refinement passes after a Gram or LSMR solve.  Normal
+#: equations square the condition number; one or two refinement steps
+#: recover the accuracy of a backward-stable direct solve.
+_REFINE_STEPS = 2
+
+
+def resolve_backend_name(
+    requested: str | None,
+    *,
+    shape: tuple[int, int],
+    density: float,
+    sparse_input: bool = False,
+) -> str:
+    """Resolve ``dense``/``sparse`` from request, environment and heuristic.
+
+    Precedence: explicit ``requested`` argument, then the
+    ``REPRO_BACKEND`` environment variable, then the auto heuristic
+    (sparse iff the matrix is both large and sparse, or the caller handed
+    us an already-sparse matrix).  ``"auto"`` at either override level
+    falls through to the heuristic.
+    """
+    choice = requested
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    if choice not in _BACKEND_NAMES:
+        raise ValidationError(
+            f"unknown backend {choice!r}; choose from {_BACKEND_NAMES}"
+        )
+    if choice != "auto":
+        return choice
+    if sparse_input:
+        return "sparse"
+    m, n = shape
+    if m * n >= AUTO_SIZE_THRESHOLD and density <= AUTO_DENSITY_THRESHOLD:
+        return "sparse"
+    return "dense"
+
+
+class DenseBackend:
+    """The historical dense kernel: one SVD, dense derived operators.
+
+    ``owner`` is the :class:`~repro.tomography.linear_system.LinearSystem`
+    this backend serves; it provides the dense matrix and the rank
+    tolerance.  Every quantity here is assembled from the one shared
+    :func:`compact_svd` factorisation, exactly as before the backend
+    split — existing results are bit-identical.
+    """
+
+    name = "dense"
+
+    def __init__(self, owner) -> None:
+        self._owner = owner
+
+    @cached_property
+    def factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """``(u, s, vt, rank)`` — the one factorisation everything shares."""
+        return compact_svd(self._owner.matrix, rank_tol=self._owner.rank_tol)
+
+    @property
+    def rank(self) -> int:
+        return self.factors[3]
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        return self.factors[1]
+
+    @cached_property
+    def estimator(self) -> np.ndarray:
+        """``R⁺`` (|L| x |P|), assembled from the shared factors."""
+        return pinv_from_svd(*self.factors)
+
+    @cached_property
+    def column_space_projector(self) -> np.ndarray:
+        u, _, _, rank = self.factors
+        return u[:, :rank] @ u[:, :rank].T
+
+    @cached_property
+    def residual_projector(self) -> np.ndarray:
+        return np.eye(self._owner.num_paths) - self.column_space_projector
+
+    @cached_property
+    def nullspace(self) -> np.ndarray:
+        if self._owner.matrix.size == 0:
+            return np.eye(self._owner.num_links)
+        _, _, vt, rank = self.factors
+        return vt[rank:].T.copy()
+
+    def estimate(self, y: np.ndarray) -> np.ndarray:
+        return self.estimator @ y
+
+    def estimate_many(self, ys: np.ndarray) -> np.ndarray:
+        """Multi-RHS estimate: one GEMM for a whole chunk of trials."""
+        return self.estimator @ ys
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._owner.matrix @ x
+
+    def predict_many(self, xs: np.ndarray) -> np.ndarray:
+        return self._owner.matrix @ xs
+
+    def residual(self, y: np.ndarray) -> np.ndarray:
+        return self.column_space_projector @ y - y
+
+    def residual_many(self, ys: np.ndarray) -> np.ndarray:
+        return self.column_space_projector @ ys - ys
+
+    def estimator_columns(self, cols: np.ndarray) -> np.ndarray:
+        return self.estimator[:, cols]
+
+    def residual_projector_columns(self, cols: np.ndarray) -> np.ndarray:
+        return self.residual_projector[:, cols]
+
+
+class SparseBackend:
+    """Matrix-free sparse kernel: CSR storage, Gram/LSMR solves.
+
+    Estimates and residuals never materialise ``R⁺`` or the dense
+    projectors.  Quantities that are irreducibly dense (the full
+    estimator matrix, the projectors, a nullspace basis, singular
+    values) fall back to a lazily constructed :class:`DenseBackend` over
+    the same matrix, so requesting them is always *correct* — merely not
+    matrix-free — and parity with the dense backend is exact for them.
+    """
+
+    name = "sparse"
+
+    def __init__(self, owner) -> None:
+        self._owner = owner
+
+    # -- storage ----------------------------------------------------------
+
+    @cached_property
+    def matrix(self) -> scipy.sparse.csr_matrix:
+        """``R`` in CSR form (built once from whichever form the owner has)."""
+        raw = self._owner.raw_matrix
+        if scipy.sparse.issparse(raw):
+            return scipy.sparse.csr_matrix(raw, dtype=float)
+        return scipy.sparse.csr_matrix(np.asarray(raw, dtype=float))
+
+    @cached_property
+    def matrix_t(self) -> scipy.sparse.csr_matrix:
+        """``R^T`` in CSR form (cached — transposition is not free at scale)."""
+        return self.matrix.T.tocsr()
+
+    @cached_property
+    def _dense_fallback(self) -> DenseBackend:
+        """Dense twin used for irreducibly dense quantities."""
+        return DenseBackend(self._owner)
+
+    # -- small-side Gram factorisation ------------------------------------
+
+    @cached_property
+    def _gram(self) -> np.ndarray:
+        """The smaller-side Gram matrix, densified (k x k, k = min(m, n))."""
+        m, n = self.matrix.shape
+        if m >= n:
+            gram = self.matrix_t @ self.matrix
+        else:
+            gram = self.matrix @ self.matrix_t
+        return np.asarray(gram.todense(), dtype=float)
+
+    @cached_property
+    def _cholesky(self) -> tuple | None:
+        """Certified Cholesky factor of the Gram, or None when deficient.
+
+        The certificate is a verification solve: reconstruct a known
+        vector through the factorisation and require the round trip to be
+        accurate.  A near-singular Gram that Cholesky happens to survive
+        fails the round trip and is treated as rank-deficient, routing
+        estimates through LSMR instead of an unstable direct solve.
+        """
+        gram = self._gram
+        k = gram.shape[0]
+        if k == 0:
+            return None
+        perf.record_event("gram_cholesky")
+        try:
+            factor = scipy.linalg.cho_factor(gram, check_finite=False)
+        except scipy.linalg.LinAlgError:
+            return None
+        diag = np.abs(np.diagonal(factor[0]))
+        if diag.min() <= 1e-12 * max(diag.max(), 1.0):
+            return None
+        probe = np.cos(np.arange(k, dtype=float))
+        rhs = gram @ probe
+        back = scipy.linalg.cho_solve(factor, rhs, check_finite=False)
+        scale = float(np.abs(probe).max()) or 1.0
+        if float(np.abs(back - probe).max()) > 1e-8 * scale:
+            return None
+        return factor
+
+    # -- rank -------------------------------------------------------------
+
+    @cached_property
+    def _rank(self) -> int:
+        """Numerical rank under the shared cutoff, without a dense SVD.
+
+        Full small-side rank is certified by the Gram Cholesky.  When the
+        Gram is deficient, the rank is read off its eigenvalue spectrum,
+        but only when every eigenvalue sits far from the decision
+        threshold (a factor-4 spectral gap both ways); ambiguous spectra
+        — where squaring the condition number could miscount — fall back
+        to the exact dense factorisation.  Routing matrices have integer
+        spectra whose zero singular values are exact, so the fallback is
+        rare in practice.
+        """
+        m, n = self.matrix.shape
+        k = min(m, n)
+        if k == 0 or self.matrix.nnz == 0:
+            return 0
+        if self._cholesky is not None:
+            return k
+        perf.record_event("gram_eigh")
+        lam = scipy.linalg.eigvalsh(self._gram)
+        s = np.sqrt(np.clip(lam, 0.0, None))
+        s_max = float(s[-1])
+        if s_max == 0.0:
+            return 0
+        cutoff = self._owner.rank_tol * max(m, n) * s_max
+        # Resolution floor of the Gram spectrum in singular-value units:
+        # eigenvalues carry O(k * eps * lam_max) absolute error.
+        noise = s_max * np.sqrt(64.0 * k * np.finfo(float).eps)
+        threshold = max(cutoff, 8.0 * noise)
+        clear_above = s >= 4.0 * threshold
+        clear_below = s <= threshold / 4.0
+        if bool(np.all(clear_above | clear_below)):
+            return int(np.count_nonzero(clear_above))
+        return self._dense_fallback.rank
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """Exact singular values require the dense factors (documented cost)."""
+        return self._dense_fallback.singular_values
+
+    # -- solves -----------------------------------------------------------
+
+    def _solve_gram_tall(self, ys: np.ndarray) -> np.ndarray:
+        """Full column rank: ``x = (R^T R)^{-1} R^T y`` with refinement."""
+        factor = self._cholesky
+        aty = self.matrix_t @ ys
+        x = scipy.linalg.cho_solve(factor, aty, check_finite=False)
+        for _ in range(_REFINE_STEPS):
+            residual = aty - self._gram @ x
+            x = x + scipy.linalg.cho_solve(factor, residual, check_finite=False)
+        return x
+
+    def _solve_gram_wide(self, ys: np.ndarray) -> np.ndarray:
+        """Full row rank: min-norm ``x = R^T (R R^T)^{-1} y`` with refinement."""
+        factor = self._cholesky
+        z = scipy.linalg.cho_solve(factor, ys, check_finite=False)
+        for _ in range(_REFINE_STEPS):
+            residual = ys - self._gram @ z
+            z = z + scipy.linalg.cho_solve(factor, residual, check_finite=False)
+        return self.matrix_t @ z
+
+    def _solve_lsmr(self, y: np.ndarray) -> np.ndarray:
+        """Min-norm least squares via LSMR, with refinement passes.
+
+        LSMR iterates in the row space of ``R`` from a zero start, so its
+        limit — and every refinement correction — is the minimum-norm
+        least-squares solution, matching ``R⁺ y`` for rank-deficient
+        systems too.
+        """
+        matrix = self.matrix
+        if matrix.nnz == 0:
+            return np.zeros(matrix.shape[1])
+        x = lsmr(matrix, y, atol=_LSMR_TOL, btol=_LSMR_TOL, conlim=1e14)[0]
+        for _ in range(_REFINE_STEPS):
+            residual = y - matrix @ x
+            correction = lsmr(
+                matrix, residual, atol=_LSMR_TOL, btol=_LSMR_TOL, conlim=1e14
+            )[0]
+            if not np.any(correction):
+                break
+            x = x + correction
+        return x
+
+    def estimate(self, y: np.ndarray) -> np.ndarray:
+        perf.record_event("sparse_solve")
+        if self._cholesky is not None:
+            m, n = self.matrix.shape
+            solve = self._solve_gram_tall if m >= n else self._solve_gram_wide
+            return solve(np.asarray(y, dtype=float))
+        return self._solve_lsmr(np.asarray(y, dtype=float))
+
+    def estimate_many(self, ys: np.ndarray) -> np.ndarray:
+        """Multi-RHS estimate: one Gram solve per chunk when certified.
+
+        With a certified full-rank Gram the whole block is one LAPACK
+        triangular multi-solve; otherwise each column runs LSMR (the
+        min-norm path has no blocked equivalent in scipy).
+        """
+        block = np.asarray(ys, dtype=float)
+        perf.record_event("sparse_solve")
+        if block.ndim == 2 and block.shape[1] == 0:
+            return np.zeros((self.matrix.shape[1], 0))
+        if self._cholesky is not None:
+            m, n = self.matrix.shape
+            solve = self._solve_gram_tall if m >= n else self._solve_gram_wide
+            return solve(block)
+        if block.ndim == 1:
+            return self._solve_lsmr(block)
+        return np.stack(
+            [self._solve_lsmr(block[:, j]) for j in range(block.shape[1])], axis=1
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix @ x
+
+    def predict_many(self, xs: np.ndarray) -> np.ndarray:
+        return self.matrix @ xs
+
+    def residual(self, y: np.ndarray) -> np.ndarray:
+        """``R x_hat - y`` via sparse matvecs — no dense projector."""
+        y = np.asarray(y, dtype=float)
+        return self.matrix @ self.estimate(y) - y
+
+    def residual_many(self, ys: np.ndarray) -> np.ndarray:
+        ys = np.asarray(ys, dtype=float)
+        return self.matrix @ self.estimate_many(ys) - ys
+
+    def estimator_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Selected columns of ``R⁺`` via batched unit-vector solves.
+
+        ``R⁺[:, j] = R⁺ e_j``, so the requested columns are one
+        :meth:`estimate_many` over the corresponding identity columns —
+        the full dense pseudo-inverse is never formed.
+        """
+        cols = np.asarray(cols, dtype=int)
+        m = self._owner.num_paths
+        if cols.size == 0:
+            return np.zeros((self._owner.num_links, 0))
+        unit = np.zeros((m, cols.size))
+        unit[cols, np.arange(cols.size)] = 1.0
+        return self.estimate_many(unit)
+
+    def residual_projector_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Selected columns of ``I - R R⁺`` without the dense projector."""
+        cols = np.asarray(cols, dtype=int)
+        m = self._owner.num_paths
+        if cols.size == 0:
+            return np.zeros((m, 0))
+        unit = np.zeros((m, cols.size))
+        unit[cols, np.arange(cols.size)] = 1.0
+        return unit - (self.matrix @ self.estimate_many(unit))
+
+    # -- irreducibly dense operators (exact dense fallback) ---------------
+
+    @property
+    def factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        return self._dense_fallback.factors
+
+    @property
+    def estimator(self) -> np.ndarray:
+        return self._dense_fallback.estimator
+
+    @property
+    def column_space_projector(self) -> np.ndarray:
+        return self._dense_fallback.column_space_projector
+
+    @property
+    def residual_projector(self) -> np.ndarray:
+        return self._dense_fallback.residual_projector
+
+    @property
+    def nullspace(self) -> np.ndarray:
+        return self._dense_fallback.nullspace

@@ -15,7 +15,7 @@ import numpy as np
 from scipy.optimize import nnls
 
 from repro.exceptions import SingularSystemError, TomographyError
-from repro.utils.linalg import is_full_column_rank, least_squares_pinv
+from repro.tomography.linear_system import LinearSystem
 from repro.utils.validation import check_finite_vector
 
 __all__ = ["LeastSquaresEstimator", "NonNegativeEstimator", "RidgeEstimator"]
@@ -42,13 +42,14 @@ class LeastSquaresEstimator:
             raise TomographyError(f"routing matrix must be 2-D, got ndim={matrix.ndim}")
         if matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
-        if require_full_rank and not is_full_column_rank(matrix):
+        system = LinearSystem(matrix)
+        if require_full_rank and not system.is_full_column_rank:
             raise SingularSystemError(
                 f"routing matrix with shape {matrix.shape} is rank-deficient; "
                 "some link metrics are unidentifiable"
             )
         self._matrix = matrix
-        self._operator = least_squares_pinv(matrix)
+        self._system = system
 
     @property
     def routing_matrix(self) -> np.ndarray:
@@ -58,12 +59,12 @@ class LeastSquaresEstimator:
     @property
     def operator(self) -> np.ndarray:
         """A copy of the estimator operator ``R⁺``."""
-        return self._operator.copy()
+        return self._system.estimator.copy()
 
     def estimate(self, measurements: np.ndarray) -> np.ndarray:
         """Estimate the link-metric vector from path measurements."""
         y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
-        return self._operator @ y
+        return self._system.estimate(y)
 
 
 class NonNegativeEstimator:

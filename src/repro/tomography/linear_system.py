@@ -8,12 +8,16 @@ scapegoating detector thresholds (eq. 23 / Remark 4): honest measurements
 lie in the column space of ``R`` (up to noise), manipulated ones generally
 do not.
 
-:class:`LinearSystem` is the shared kernel behind all of this: it runs
-*one* economy SVD of ``R`` and derives every operator the library needs —
-``R⁺``, the column-space and residual projectors, rank/redundancy, and a
-nullspace basis — from the same factors.  Attack contexts, detectors and
-estimators that previously each ran their own ``pinv``/``svd`` now share
-these factorisations.
+:class:`LinearSystem` is the shared kernel behind all of this.  The
+numerics live in a pluggable backend (:mod:`repro.tomography.backends`):
+the dense backend runs *one* economy SVD of ``R`` and derives every
+operator from the same factors; the sparse backend stores ``R`` in CSR
+form and solves estimates matrix-free (Gram Cholesky / LSMR) without ever
+materialising ``R⁺``.  Which backend runs is resolved per system —
+explicit ``backend=`` argument, then the ``REPRO_BACKEND`` environment
+variable, then a size/density heuristic — so attack contexts, detectors,
+the sweep cache and Monte-Carlo drivers pick the right kernel
+transparently.
 """
 
 from __future__ import annotations
@@ -21,10 +25,16 @@ from __future__ import annotations
 from functools import cached_property
 
 import numpy as np
+import scipy.sparse
 
 from repro.analysis.contracts import check_routing_matrix, contract
 from repro.obs import core as obs
-from repro.utils.linalg import DEFAULT_RANK_TOL, compact_svd, pinv_from_svd
+from repro.tomography.backends import (
+    DenseBackend,
+    SparseBackend,
+    resolve_backend_name,
+)
+from repro.utils.linalg import DEFAULT_RANK_TOL
 from repro.utils.validation import check_finite_vector
 
 __all__ = [
@@ -36,50 +46,103 @@ __all__ = [
 
 
 class LinearSystem:
-    """One-SVD kernel for the measurement system ``y = R x``.
+    """Shared kernel for the measurement system ``y = R x``.
 
     Parameters
     ----------
     routing_matrix:
-        The 0/1 measurement matrix ``R`` (|P| x |L|).
+        The 0/1 measurement matrix ``R`` (|P| x |L|) — a dense array or a
+        ``scipy.sparse`` matrix.
     rank_tol:
         Relative singular-value cutoff for rank decisions (the library-wide
         :data:`repro.utils.linalg.DEFAULT_RANK_TOL` by default).
+    backend:
+        ``"dense"``, ``"sparse"``, ``"auto"`` or ``None``.  ``None`` defers
+        to the ``REPRO_BACKEND`` environment variable and then the auto
+        heuristic (sparse only for large, sparse matrices); see
+        :func:`repro.tomography.backends.resolve_backend_name`.
 
-    The SVD runs once, lazily, on first use of any derived quantity; each
-    derived operator is then assembled from the shared factors and cached.
-    For a routing matrix this replaces three independent dense
+    Factorisation is lazy: nothing numerical happens until the first
+    derived quantity is requested, and each derived operator is then
+    cached.  Under the dense backend this replaces three independent dense
     factorisations (estimator ``pinv``, projector ``pinv``, nullspace
-    ``svd``) with one.
+    ``svd``) with one; under the sparse backend estimates and residuals
+    never materialise a dense operator at all.
     """
 
     # NOTE: no 0/1 contract here — the kernel is deliberately generic (the
     # parity suite feeds it arbitrary dense matrices).  The routing-matrix
     # contract sits on the tomography entry points that *mean* ``R``.
     def __init__(
-        self, routing_matrix: np.ndarray, *, rank_tol: float = DEFAULT_RANK_TOL
+        self,
+        routing_matrix: np.ndarray,
+        *,
+        rank_tol: float = DEFAULT_RANK_TOL,
+        backend: str | None = None,
     ) -> None:
-        matrix = np.asarray(routing_matrix, dtype=float)
-        if matrix.ndim != 2:
-            raise ValueError(f"routing matrix must be 2-D, got ndim={matrix.ndim}")
-        self._matrix = matrix
-        self._rank_tol = float(rank_tol)
+        from repro.routing.routing_matrix import density
 
-    # -- shared factors ---------------------------------------------------
+        if scipy.sparse.issparse(routing_matrix):
+            self._raw = routing_matrix.tocsr().astype(float)
+            sparse_input = True
+        else:
+            matrix = np.asarray(routing_matrix, dtype=float)
+            if matrix.ndim != 2:
+                raise ValueError(f"routing matrix must be 2-D, got ndim={matrix.ndim}")
+            self._raw = matrix
+            sparse_input = False
+        self._rank_tol = float(rank_tol)
+        name = resolve_backend_name(
+            backend,
+            shape=self._raw.shape,
+            density=density(self._raw),
+            sparse_input=sparse_input,
+        )
+        self._backend = (
+            SparseBackend(self) if name == "sparse" else DenseBackend(self)
+        )
+
+    # -- backend plumbing --------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Which numerical core serves this system (``dense``/``sparse``)."""
+        return self._backend.name
+
+    @property
+    def rank_tol(self) -> float:
+        """Relative singular-value cutoff shared by every rank decision."""
+        return self._rank_tol
+
+    @property
+    def raw_matrix(self):
+        """``R`` exactly as handed in (dense array or scipy sparse matrix)."""
+        return self._raw
 
     @cached_property
-    def _factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """``(u, s, vt, rank)`` — the one factorisation everything shares."""
-        factors = compact_svd(self._matrix, rank_tol=self._rank_tol)
+    def _factorized(self) -> object:
+        """Touch the backend's factorisation once, emitting the obs event.
+
+        For the dense backend this is the shared SVD; for the sparse
+        backend it is the Gram factorisation that certifies rank and
+        powers multi-RHS solves.  Either way the event fires exactly once
+        per system, tagged with the backend that did the work.
+        """
+        rank = (
+            self._backend.factors[3]
+            if self._backend.name == "dense"
+            else self._backend.rank
+        )
         if obs.is_enabled():
             obs.event(
                 "linear_system_factorize",
                 paths=self.num_paths,
                 links=self.num_links,
-                rank=factors[3],
+                rank=rank,
+                backend=self.backend_name,
                 digest=self.digest,
             )
-        return factors
+        return self._backend
 
     @cached_property
     def digest(self) -> str:
@@ -91,36 +154,38 @@ class LinearSystem:
         """
         from repro.obs.manifest import matrix_digest
 
-        return matrix_digest(self._matrix)
+        return matrix_digest(self.matrix)
 
     # -- basic shape ------------------------------------------------------
 
-    @property
+    @cached_property
     def matrix(self) -> np.ndarray:
-        """The routing matrix ``R`` (not copied; treat as read-only)."""
-        return self._matrix
+        """The routing matrix ``R`` as a dense array (treat as read-only)."""
+        if scipy.sparse.issparse(self._raw):
+            return np.asarray(self._raw.todense(), dtype=float)
+        return self._raw
 
     @property
     def num_paths(self) -> int:
         """Number of measurement paths (rows of ``R``)."""
-        return self._matrix.shape[0]
+        return self._raw.shape[0]
 
     @property
     def num_links(self) -> int:
         """Number of links (columns of ``R``)."""
-        return self._matrix.shape[1]
+        return self._raw.shape[1]
 
     # -- rank structure ---------------------------------------------------
 
     @property
     def singular_values(self) -> np.ndarray:
         """The singular values of ``R`` (descending)."""
-        return self._factors[1]
+        return self._factorized.singular_values
 
     @property
     def rank(self) -> int:
         """Numerical rank of ``R`` under the shared cutoff."""
-        return self._factors[3]
+        return self._factorized.rank
 
     @property
     def redundancy(self) -> int:
@@ -132,53 +197,110 @@ class LinearSystem:
         """True when every link metric is identifiable (eq. 2 well posed)."""
         return self.rank == self.num_links
 
-    # -- derived operators (each assembled once from the shared factors) --
+    # -- derived operators (dense; assembled once, cached) ----------------
 
-    @cached_property
+    @property
     def estimator(self) -> np.ndarray:
-        """``R⁺`` — the measurement-to-estimate operator (|L| x |P|)."""
-        return pinv_from_svd(*self._factors)
+        """``R⁺`` — the measurement-to-estimate operator (|L| x |P|).
 
-    @cached_property
+        Dense by construction; under the sparse backend prefer
+        :meth:`estimate`/:meth:`estimator_columns`, which never build it.
+        """
+        return self._factorized.estimator
+
+    @property
     def column_space_projector(self) -> np.ndarray:
         """``P = U_r U_r^T`` with ``P y = R R⁺ y`` (|P| x |P|)."""
-        u, _, _, rank = self._factors
-        return u[:, :rank] @ u[:, :rank].T
+        return self._factorized.column_space_projector
 
-    @cached_property
+    @property
     def residual_projector(self) -> np.ndarray:
         """``I - R R⁺`` — its kernel is the eq. (23) detector's blind set."""
-        return np.eye(self.num_paths) - self.column_space_projector
+        return self._factorized.residual_projector
 
-    @cached_property
+    @property
     def nullspace(self) -> np.ndarray:
         """Orthonormal right-nullspace basis as columns (|L| x (|L|-rank))."""
-        if self._matrix.size == 0:
-            return np.eye(self.num_links)
-        _, _, vt, rank = self._factors
-        return vt[rank:].T.copy()
+        return self._factorized.nullspace
+
+    def estimator_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Columns ``R⁺[:, cols]`` (|L| x k) without forming all of ``R⁺``.
+
+        The dense backend slices its cached estimator; the sparse backend
+        solves one batched system over the corresponding identity columns.
+        Attack planners that only touch the support columns (Constraint 1)
+        should prefer this over :attr:`estimator`.
+        """
+        return self._factorized.estimator_columns(np.asarray(cols, dtype=int))
+
+    def residual_projector_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Columns ``(I - R R⁺)[:, cols]`` (|P| x k), matrix-free when sparse."""
+        return self._factorized.residual_projector_columns(
+            np.asarray(cols, dtype=int)
+        )
 
     # -- operations -------------------------------------------------------
 
     def estimate(self, observed: np.ndarray) -> np.ndarray:
         """Least-squares estimate ``x_hat = R⁺ y`` (eq. 2)."""
         y = check_finite_vector(observed, "observed", length=self.num_paths)
-        return self.estimator @ y
+        return self._factorized.estimate(y)
+
+    def estimate_many(self, observed: np.ndarray) -> np.ndarray:
+        """Column-wise estimates of a measurement block (|P| x k -> |L| x k).
+
+        One multi-RHS solve — a single GEMM on the dense backend, one
+        batched Gram solve on the sparse backend — so Monte-Carlo chunks
+        cost one kernel call instead of a Python loop of matvecs.
+        """
+        block = np.asarray(observed, dtype=float)
+        if block.ndim == 1:
+            return self.estimate(block)
+        if block.ndim != 2 or block.shape[0] != self.num_paths:
+            raise ValueError(
+                f"expected a ({self.num_paths}, k) measurement block, "
+                f"got shape {block.shape}"
+            )
+        if not np.all(np.isfinite(block)):
+            raise ValueError("measurement block must be finite")
+        return self._factorized.estimate_many(block)
 
     def predict(self, metrics: np.ndarray) -> np.ndarray:
         """Forward model ``y = R x`` (eq. 1)."""
         x = check_finite_vector(metrics, "metrics", length=self.num_links)
-        return self._matrix @ x
+        return self._factorized.predict(x)
+
+    def predict_many(self, metrics: np.ndarray) -> np.ndarray:
+        """Forward model over a block of metric columns (|L| x k -> |P| x k)."""
+        block = np.asarray(metrics, dtype=float)
+        if block.ndim == 1:
+            return self.predict(block)
+        return self._factorized.predict_many(block)
 
     def residual(self, observed: np.ndarray) -> np.ndarray:
         """Per-path residual ``R x_hat - y`` of the observed vector.
 
-        Computed as ``(P - I) y`` from the shared column-space projector —
-        identical to estimating first and re-predicting, without the
-        round trip through link space.
+        The dense backend computes ``(P - I) y`` from the shared
+        column-space projector; the sparse backend estimates and
+        re-predicts with two sparse matvecs — same vector, no dense
+        projector.
         """
         y = check_finite_vector(observed, "observed", length=self.num_paths)
-        return self.column_space_projector @ y - y
+        return self._factorized.residual(y)
+
+    def residual_many(self, observed: np.ndarray) -> np.ndarray:
+        """Per-path residuals of a measurement block (|P| x k -> |P| x k)."""
+        block = np.asarray(observed, dtype=float)
+        if block.ndim == 1:
+            return self.residual(block)
+        if block.ndim != 2 or block.shape[0] != self.num_paths:
+            raise ValueError(
+                f"expected a ({self.num_paths}, k) measurement block, "
+                f"got shape {block.shape}"
+            )
+        if not np.all(np.isfinite(block)):
+            raise ValueError("measurement block must be finite")
+        return self._factorized.residual_many(block)
 
     def residual_l1(self, observed: np.ndarray) -> float:
         """The detector statistic ``||R x_hat - y'||_1`` of Remark 4."""

@@ -21,6 +21,7 @@ from repro.topology.generators.simple import (
 )
 from repro.topology.generators.isp import (
     barabasi_albert_topology,
+    large_isp_topology,
     load_rocketfuel_edges,
     synthetic_rocketfuel,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "star_topology",
     "tree_topology",
     "barabasi_albert_topology",
+    "large_isp_topology",
     "load_rocketfuel_edges",
     "synthetic_rocketfuel",
     "random_geometric_topology",

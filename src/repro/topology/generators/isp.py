@@ -24,6 +24,7 @@ from repro.utils.rng import ensure_rng
 
 __all__ = [
     "synthetic_rocketfuel",
+    "large_isp_topology",
     "barabasi_albert_topology",
     "load_rocketfuel_edges",
 ]
@@ -108,6 +109,41 @@ def synthetic_rocketfuel(
                 # Occasionally dual-home access routers for path diversity.
                 if rng.random() < 0.3 and not topo.has_link(acc, bb):
                     topo.add_link(acc, bb)
+    return topo
+
+
+def large_isp_topology(
+    name: str = "isp-large",
+    *,
+    backbone_nodes: int = 60,
+    pops_per_backbone: int = 6,
+    access_per_pop: tuple[int, int] = (4, 8),
+    extra_backbone_chords: int = 150,
+    seed: object = 0,
+) -> Topology:
+    """An ISP-scale topology with thousands of links.
+
+    Same hierarchical Rocketfuel-style structure as
+    :func:`synthetic_rocketfuel`, scaled from the ~100-router AS1221 regime
+    up to a national-carrier regime: with the defaults, roughly 2,500
+    routers and 3,500+ links.  This is the substrate for the sparse-backend
+    experiments — dense SVD factorisation is quadratic-to-cubic in these
+    dimensions while the routing matrix stays well under 1% dense, so the
+    dense/sparse crossover sits far below this scale.  Pair it with the
+    ``pair_budget`` scenario knob so path enumeration samples monitor pairs
+    instead of visiting all of them.
+
+    Deterministic for a fixed ``seed``.
+    """
+    topo = synthetic_rocketfuel(
+        name,
+        backbone_nodes=backbone_nodes,
+        pops_per_backbone=pops_per_backbone,
+        access_per_pop=access_per_pop,
+        extra_backbone_chords=extra_backbone_chords,
+        seed=seed,
+    )
+    topo.name = name
     return topo
 
 

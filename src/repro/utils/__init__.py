@@ -4,7 +4,6 @@ from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.linalg import (
     column_rank,
     is_full_column_rank,
-    least_squares_pinv,
     nullspace,
     projector_onto_column_space,
 )
@@ -20,7 +19,6 @@ __all__ = [
     "spawn_rngs",
     "column_rank",
     "is_full_column_rank",
-    "least_squares_pinv",
     "nullspace",
     "projector_onto_column_space",
     "check_finite_vector",

@@ -23,7 +23,6 @@ __all__ = [
     "column_rank",
     "compact_svd",
     "is_full_column_rank",
-    "least_squares_pinv",
     "nullspace",
     "projector_onto_column_space",
     "DEFAULT_RANK_TOL",
@@ -98,17 +97,6 @@ def pinv_from_svd(
     if rank == 0:
         return np.zeros((vt.shape[1], u.shape[0]))
     return (vt[:rank].T / s[:rank]) @ u[:, :rank].T
-
-
-def least_squares_pinv(matrix: np.ndarray) -> np.ndarray:
-    """Return the Moore-Penrose pseudo-inverse of ``matrix``.
-
-    For a full-column-rank routing matrix ``R`` this equals
-    ``(R^T R)^{-1} R^T``, the estimator matrix of eq. (2) in the paper; for
-    rank-deficient systems it yields the minimum-norm least-squares solution
-    operator.
-    """
-    return pinv_from_svd(*compact_svd(matrix))
 
 
 def nullspace(matrix: np.ndarray, tol: float = DEFAULT_RANK_TOL) -> np.ndarray:

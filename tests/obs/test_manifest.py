@@ -6,6 +6,37 @@ import math
 import numpy as np
 
 from repro.obs import RunManifest, config_digest
+from repro.obs.manifest import _binary_matrix_digest, matrix_digest
+
+
+class TestMatrixDigest:
+    def _generic(self, matrix) -> str:
+        rows = matrix.tolist()
+        return config_digest(
+            {"shape": [len(rows), len(rows[0]) if rows else 0], "data": rows}
+        )
+
+    def test_fast_path_byte_identical_to_generic(self):
+        rng = np.random.default_rng(0)
+        for shape in [(1, 1), (3, 4), (7, 1), (1, 9), (40, 60)]:
+            matrix = (rng.random(shape) < 0.3).astype(float)
+            assert _binary_matrix_digest(matrix) == self._generic(matrix)
+            assert matrix_digest(matrix) == self._generic(matrix)
+
+    def test_non_binary_and_empty_fall_back(self):
+        for matrix in (
+            np.array([[0.5, 1.0]]),
+            np.array([[0.0, -0.0], [1.0, 0.0]]),  # canonical JSON keeps -0.0
+            np.zeros((0, 3)),
+            np.zeros((2, 0)),
+            np.eye(3, dtype=np.float32),
+        ):
+            assert _binary_matrix_digest(matrix) is None
+            assert matrix_digest(matrix) == self._generic(matrix)
+
+    def test_container_independence(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert matrix_digest(matrix) == matrix_digest(matrix.tolist())
 
 
 class TestConfigDigest:

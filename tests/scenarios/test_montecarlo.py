@@ -2,10 +2,16 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.scenarios.montecarlo import binned_rate, run_trials, success_rate
+from repro.scenarios.montecarlo import (
+    binned_rate,
+    run_batched_trials,
+    run_trials,
+    success_rate,
+)
 
 
 def _stochastic_trial(rng):
@@ -97,6 +103,49 @@ class TestRunTrialsWorkers:
         serial = run_trials(3, _stochastic_trial, seed=7)
         parallel = run_trials(3, _stochastic_trial, seed=7, workers=8)
         assert serial == parallel
+
+
+class TestRunBatchedTrials:
+    @staticmethod
+    def _draw(rng):
+        return rng.uniform(0.0, 10.0, size=4)
+
+    @staticmethod
+    def _batch(block):
+        return list(np.sum(block, axis=0))
+
+    def test_matches_per_trial_loop(self):
+        """Batched results equal drawing + processing each trial alone."""
+        batched = run_batched_trials(12, self._draw, self._batch, seed=3)
+        per_trial = run_trials(
+            12, lambda rng: {"sum": float(np.sum(self._draw(rng)))}, seed=3
+        )
+        assert [float(b) for b in batched] == [t["sum"] for t in per_trial]
+
+    def test_chunk_size_does_not_change_results(self):
+        whole = run_batched_trials(10, self._draw, self._batch, seed=1)
+        chunked = run_batched_trials(
+            10, self._draw, self._batch, seed=1, chunk_size=3
+        )
+        assert [float(a) for a in whole] == [float(b) for b in chunked]
+
+    def test_none_draws_rejected(self):
+        def draw(rng):
+            value = rng.uniform(0.0, 10.0, size=4)
+            return value if value[0] > 2.0 else None
+
+        results = run_batched_trials(40, draw, self._batch, seed=0)
+        assert 0 < len(results) < 40
+
+    def test_batch_result_count_enforced(self):
+        with pytest.raises(ValidationError, match="results"):
+            run_batched_trials(4, self._draw, lambda block: [0.0], seed=0)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            run_batched_trials(0, self._draw, self._batch, seed=0)
+        with pytest.raises(ValidationError):
+            run_batched_trials(4, self._draw, self._batch, seed=0, chunk_size=-2)
 
 
 class TestSuccessRate:

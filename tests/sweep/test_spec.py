@@ -157,6 +157,7 @@ class TestBuildTopology:
             {"kind": "tree", "depth": 3, "branching": 2},
             {"kind": "fattree", "k": 4},
             {"kind": "isp", "backbone_nodes": 5, "pops_per_backbone": 1},
+            {"kind": "isp-large", "backbone_nodes": 6, "pops_per_backbone": 1},
             {"kind": "rgg", "num_nodes": 30},
             {"kind": "waxman", "num_nodes": 30},
         ],
@@ -170,7 +171,8 @@ class TestBuildTopology:
 
     def test_registry_covers_spec_kinds(self):
         assert set(TOPOLOGY_KINDS) == {
-            "fig1", "grid", "ladder", "ring", "tree", "fattree", "isp", "rgg", "waxman",
+            "fig1", "grid", "ladder", "ring", "tree", "fattree", "isp",
+            "isp-large", "rgg", "waxman",
         }
         assert set(STRATEGIES) == {
             "chosen-victim", "max-damage", "obfuscation", "naive",

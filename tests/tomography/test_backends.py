@@ -1,0 +1,232 @@
+"""Dense/sparse backend parity and dispatch.
+
+The sparse backend must be numerically interchangeable with the dense
+SVD kernel: same estimates, residuals, rank, and nullspace span, to a
+per-component tolerance of 1e-8, over random path-like 0/1 matrices —
+including rank-deficient ones, where the min-norm solution is the
+contract.  Dispatch (argument > environment > heuristic) is pinned down
+separately.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.tomography.backends import (
+    AUTO_DENSITY_THRESHOLD,
+    AUTO_SIZE_THRESHOLD,
+    BACKEND_ENV_VAR,
+    resolve_backend_name,
+)
+from repro.tomography.linear_system import LinearSystem
+
+PARITY_TOL = 1e-8
+
+
+def _incidence(num_paths: int, num_links: int, hops: int, seed: int) -> np.ndarray:
+    """Random 0/1 path-link incidence matrix with ``hops`` ones per row."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_paths, num_links))
+    for i in range(num_paths):
+        cols = rng.choice(num_links, size=min(hops, num_links), replace=False)
+        matrix[i, cols] = 1.0
+    return matrix
+
+
+def _pair(matrix: np.ndarray) -> tuple[LinearSystem, LinearSystem]:
+    return (
+        LinearSystem(matrix, backend="dense"),
+        LinearSystem(matrix, backend="sparse"),
+    )
+
+
+class TestParity:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_paths=st.integers(2, 14),
+        num_links=st.integers(2, 18),
+        hops=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_estimate_residual_rank_parity(self, num_paths, num_links, hops, seed):
+        matrix = _incidence(num_paths, num_links, hops, seed)
+        dense, sparse = _pair(matrix)
+        rng = np.random.default_rng(seed + 1)
+        observed = rng.uniform(0.0, 100.0, size=num_paths)
+
+        assert dense.rank == sparse.rank
+        np.testing.assert_allclose(
+            dense.estimate(observed), sparse.estimate(observed), atol=PARITY_TOL
+        )
+        np.testing.assert_allclose(
+            dense.residual(observed), sparse.residual(observed), atol=PARITY_TOL
+        )
+        assert sparse.residual_l1(observed) == pytest.approx(
+            dense.residual_l1(observed), abs=PARITY_TOL * num_paths
+        )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_paths=st.integers(2, 12),
+        num_links=st.integers(2, 14),
+        hops=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+        width=st.integers(1, 6),
+    )
+    def test_estimate_many_matches_per_column(self, num_paths, num_links, hops, seed, width):
+        matrix = _incidence(num_paths, num_links, hops, seed)
+        dense, sparse = _pair(matrix)
+        rng = np.random.default_rng(seed + 2)
+        block = rng.uniform(0.0, 100.0, size=(num_paths, width))
+
+        dense_block = dense.estimate_many(block)
+        sparse_block = sparse.estimate_many(block)
+        np.testing.assert_allclose(dense_block, sparse_block, atol=PARITY_TOL)
+        for j in range(width):
+            np.testing.assert_allclose(
+                sparse_block[:, j], dense.estimate(block[:, j]), atol=PARITY_TOL
+            )
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_paths=st.integers(2, 12),
+        num_links=st.integers(2, 14),
+        hops=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_nullspace_span_and_operator_parity(self, num_paths, num_links, hops, seed):
+        matrix = _incidence(num_paths, num_links, hops, seed)
+        dense, sparse = _pair(matrix)
+
+        np.testing.assert_allclose(dense.estimator, sparse.estimator, atol=PARITY_TOL)
+        nd, ns = dense.nullspace, sparse.nullspace
+        assert nd.shape == ns.shape
+        # Same span: each sparse-backend nullspace column must be killed by
+        # R and reproduced by projection onto the dense basis.
+        np.testing.assert_allclose(matrix @ ns, 0.0, atol=PARITY_TOL)
+        if nd.shape[1]:
+            np.testing.assert_allclose(nd @ (nd.T @ ns), ns, atol=PARITY_TOL)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_paths=st.integers(2, 10),
+        num_links=st.integers(2, 12),
+        hops=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_column_slices_match_full_operators(self, num_paths, num_links, hops, seed):
+        matrix = _incidence(num_paths, num_links, hops, seed)
+        dense, sparse = _pair(matrix)
+        rng = np.random.default_rng(seed + 3)
+        # Both operators (R⁺ and I - R R⁺) have columns indexed by path.
+        path_cols = np.unique(rng.integers(0, num_paths, size=min(4, num_paths)))
+
+        np.testing.assert_allclose(
+            sparse.estimator_columns(path_cols),
+            dense.estimator[:, path_cols],
+            atol=PARITY_TOL,
+        )
+        np.testing.assert_allclose(
+            sparse.residual_projector_columns(path_cols),
+            dense.residual_projector[:, path_cols],
+            atol=PARITY_TOL,
+        )
+
+
+class TestDispatch:
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        system = LinearSystem(np.eye(3), backend="dense")
+        assert system.backend_name == "dense"
+
+    def test_environment_overrides_heuristic(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        assert LinearSystem(np.eye(3)).backend_name == "sparse"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dense")
+        assert LinearSystem(np.eye(3)).backend_name == "dense"
+
+    def test_auto_picks_dense_for_small_matrices(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert LinearSystem(np.eye(4)).backend_name == "dense"
+
+    def test_auto_picks_sparse_for_large_sparse_matrices(self):
+        side = int(np.sqrt(AUTO_SIZE_THRESHOLD))
+        assert resolve_backend_name(
+            "auto", shape=(side, side), density=AUTO_DENSITY_THRESHOLD / 10
+        ) == "sparse"
+        # Large but dense stays on the SVD path.
+        assert resolve_backend_name(
+            "auto", shape=(side, side), density=0.9
+        ) == "dense"
+
+    def test_sparse_input_defaults_to_sparse_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        matrix = scipy.sparse.eye(5, format="csr")
+        system = LinearSystem(matrix)
+        assert system.backend_name == "sparse"
+        np.testing.assert_allclose(system.estimate(np.ones(5)), np.ones(5))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearSystem(np.eye(3), backend="cursed")
+        with pytest.raises(ValidationError):
+            resolve_backend_name("cursed", shape=(3, 3), density=1.0)
+
+
+class TestSparseEndToEnd:
+    def test_fig1_attack_damage_matches_dense(self, monkeypatch):
+        """The full chosen-victim pipeline agrees across backends."""
+        from repro.attacks.chosen_victim import ChosenVictimAttack
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        outcomes = {}
+        for name in ("dense", "sparse"):
+            monkeypatch.setenv(BACKEND_ENV_VAR, name)
+            scenario = paper_fig1_scenario()
+            context = scenario.attack_context(["B", "C"])
+            assert context.system.backend_name == name
+            outcomes[name] = ChosenVictimAttack(context, [9]).run()
+        assert outcomes["dense"].feasible and outcomes["sparse"].feasible
+        assert outcomes["sparse"].damage == pytest.approx(
+            outcomes["dense"].damage, abs=1e-6
+        )
+        np.testing.assert_allclose(
+            outcomes["sparse"].predicted_estimate,
+            outcomes["dense"].predicted_estimate,
+            atol=1e-6,
+        )
+
+    def test_detector_batch_matches_single_checks_on_sparse(self, monkeypatch):
+        from repro.detection.consistency import ConsistencyDetector
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        scenario = paper_fig1_scenario()
+        detector = ConsistencyDetector(scenario.path_set.routing_matrix(), alpha=50.0)
+        rng = np.random.default_rng(7)
+        honest = scenario.honest_measurements()
+        block = honest[:, None] + rng.normal(0.0, 30.0, size=(honest.size, 5))
+        batched = detector.check_batch(block)
+        for j, result in enumerate(batched):
+            single = detector.check(block[:, j])
+            assert result.detected == single.detected
+            assert result.residual_l1 == pytest.approx(single.residual_l1, abs=1e-9)

@@ -6,10 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.tomography.linear_system import LinearSystem
 from repro.utils.linalg import (
     column_rank,
     is_full_column_rank,
-    least_squares_pinv,
     nullspace,
     projector_onto_column_space,
 )
@@ -47,17 +47,19 @@ class TestFullColumnRank:
 
 
 class TestPinv:
+    # ``least_squares_pinv`` collapsed into the shared kernel: the
+    # pseudo-inverse now only exists as ``LinearSystem.estimator``.
     def test_matches_normal_equations_on_full_rank(self):
         rng = np.random.default_rng(0)
         mat = rng.random((6, 3))
         expected = np.linalg.inv(mat.T @ mat) @ mat.T
-        assert np.allclose(least_squares_pinv(mat), expected)
+        assert np.allclose(LinearSystem(mat).estimator, expected)
 
     def test_pinv_recovers_exact_solution(self):
         rng = np.random.default_rng(1)
         mat = (rng.random((8, 4)) < 0.5).astype(float) + np.eye(8, 4)
         x = rng.random(4)
-        assert np.allclose(least_squares_pinv(mat) @ (mat @ x), x)
+        assert np.allclose(LinearSystem(mat).estimator @ (mat @ x), x)
 
 
 class TestNullspace:
