@@ -20,6 +20,10 @@ from repro.perf import full_perf_benchmark, write_bench_json
 # Headline target is >= 2x; assert with margin against timing noise.
 MIN_COMBINED_SPEEDUP = 1.5
 
+# LP engine acceptance floor: headline target is >= 5x cold-vs-warm on the
+# fig5 scan (measured ~9-20x with HiGHS bindings); 3x absorbs CI noise.
+MIN_LP_WARM_SPEEDUP = 3.0
+
 
 def test_perf_smoke_writes_bench_json(results_dir, record):
     benchmarks = full_perf_benchmark(repeat=3)
@@ -31,6 +35,7 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
     assert set(envelope["benchmarks"]) == {
         "fig1_pipeline",
         "fig5_max_damage",
+        "lp",
         "sweep_cache",
         "backends",
     }
@@ -57,6 +62,26 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
     assert fig1["counters"]["lp_solve"] >= 1
     for stage in ("context_build", "max_damage", "detection"):
         assert stage in fig1["stages"]
+
+    lp = envelope["benchmarks"]["lp"]
+    record(
+        "BENCH_lp_summary",
+        "lp engine ({engine}): cold/warm x{warm:.2f}, gap {gap:.2e}".format(
+            engine=lp["engine"],
+            warm=lp["speedup"]["fig5_max_damage"],
+            gap=lp["max_damage_gap"],
+        ),
+    )
+    # All three phases solve identical LPs — optimal damage must agree to
+    # solver tolerance regardless of which engine ran.
+    assert lp["max_damage_gap"] <= 1e-6
+    for phase in ("cold_s", "incremental_s", "warm_s"):
+        assert lp["phases"][phase] > 0.0
+    if lp["engine"] == "highs":
+        # The persistent warm-started model is the acceptance headline;
+        # without HiGHS bindings the warm phase aliases the incremental
+        # scipy path and no floor applies.
+        assert lp["speedup"]["fig5_max_damage"] >= MIN_LP_WARM_SPEEDUP
 
     sweep = envelope["benchmarks"]["sweep_cache"]
     assert sweep["points"] == 9

@@ -32,7 +32,19 @@ from repro.attacks.cuts import (
     uncut_victim_paths,
     victim_paths,
 )
-from repro.attacks.lp import LpSolution, solve_manipulation_lp, theorem1_manipulation
+from repro.attacks.lp import (
+    IncrementalLpSolver,
+    LpSolution,
+    resolve_unbounded_cap,
+    solve_manipulation_lp,
+    theorem1_fast_path,
+    theorem1_manipulation,
+)
+from repro.attacks.lp_engine import (
+    PersistentLpSolver,
+    highs_bindings,
+    resolve_engine_name,
+)
 from repro.attacks.chosen_victim import ChosenVictimAttack
 from repro.attacks.max_damage import MaxDamageAttack
 from repro.attacks.obfuscation import ObfuscationAttack
@@ -55,8 +67,14 @@ __all__ = [
     "perfectly_cut_links",
     "uncut_victim_paths",
     "victim_paths",
+    "IncrementalLpSolver",
     "LpSolution",
+    "PersistentLpSolver",
+    "highs_bindings",
+    "resolve_engine_name",
+    "resolve_unbounded_cap",
     "solve_manipulation_lp",
+    "theorem1_fast_path",
     "theorem1_manipulation",
     "ChosenVictimAttack",
     "MaxDamageAttack",

@@ -106,6 +106,7 @@ class AttackContext:
         self._honest_measurements: np.ndarray | None = None
         self._baseline_estimate: np.ndarray | None = None
         self._support_operator: np.ndarray | None = None
+        self._residual_projector_support: np.ndarray | None = None
         self.controlled_links: frozenset[int] = frozenset(
             attacker_links(self.topology, self.attacker_nodes)
         )
@@ -208,11 +209,15 @@ class AttackContext:
     def residual_projector_support(self) -> np.ndarray:
         """``(I - R R⁺)[:, support]`` — the only projector columns a
         Constraint-1 manipulation can excite.  Matrix-free on the sparse
-        backend; stealthy LPs consume this block directly.
+        backend; stealthy LPs consume this block directly.  Computed once
+        per context — stealthy candidate scans and repeated attack runs
+        reuse the same block.
         """
-        return self.system.residual_projector_columns(
-            np.asarray(sorted(set(self.support)), dtype=int)
-        )
+        if self._residual_projector_support is None:
+            self._residual_projector_support = self.system.residual_projector_columns(
+                np.asarray(sorted(set(self.support)), dtype=int)
+            )
+        return self._residual_projector_support
 
     def manipulable_link_mask(self, tol: float = 1e-9) -> np.ndarray:
         """Boolean mask of links whose estimate the attacker can *raise*.

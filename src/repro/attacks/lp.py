@@ -9,35 +9,55 @@ estimator is linear, the estimate under manipulation is affine in ``m``:
 so "link j must look normal/abnormal/uncertain" becomes a pair of linear
 inequalities in ``m``, and each strategy is one LP (proof of Theorem 1
 writes the same thing from the ``Δx_hat`` side; :func:`theorem1_manipulation`
-implements that constructive direction for perfect cuts).
+implements that constructive direction for perfect cuts, and
+:func:`theorem1_fast_path` turns it into a solver-free feasibility
+witness when a perfect cut is detected).
 
 Constraint assembly is vectorised: the finite band bounds are selected by
 numpy masks and turned into inequality rows in one shot, preserving the
 historical per-link (upper row, then lower row) ordering so solver vertex
 selection is unchanged.  Candidate scans that vary only a few links' bands
-(max-damage, per-victim damage maps) should use
-:class:`IncrementalLpSolver`, which assembles the shared constraint block
-once and splices per-candidate rows into it.
+(max-damage, per-victim damage maps, the obfuscation greedy growth)
+should use :class:`IncrementalLpSolver`, which assembles the shared
+constraint block once and splices per-candidate rows into it.
 
-Solved with scipy's HiGHS backend.  An unbounded LP (possible only with an
-infinite per-path cap) is reported as feasible with ``unbounded=True`` and
-re-solved under a large finite cap so callers still get a concrete vector;
-the re-solve reuses the already-assembled constraint arrays.  The reported
-``damage`` is always the L1 norm of the *returned* vector — unboundedness
-is signalled exclusively through the flag, never as an infinite damage
-value, so downstream aggregation (max-damage scans, reporting tables)
-stays finite.
+Two solver engines serve the assembled problem
+(:func:`repro.attacks.lp_engine.resolve_engine_name` decides which):
+
+- ``"scipy"`` (the default) — one :func:`scipy.optimize.linprog` HiGHS
+  call per solve, byte-identical to the historical path;
+- ``"highs"`` — a :class:`~repro.attacks.lp_engine.PersistentLpSolver`
+  holding one mutable HiGHS model per solver instance: candidate solves
+  edit only the overridden links' row bounds and reuse the previous
+  simplex basis (warm start).  Opt in per solver (``engine=``) or
+  globally (``REPRO_LP_ENGINE=highs``/``auto``); requires the ``highspy``
+  bindings (standalone or scipy-vendored).  Optimal damage matches the
+  scipy engine to solver tolerance; the chosen vertex may differ when
+  optima are non-unique.
+
+An unbounded LP (possible only with an infinite per-path cap) is reported
+as feasible with ``unbounded=True`` and re-solved under a large finite cap
+so callers still get a concrete vector; the re-solve reuses the
+already-assembled constraint arrays, and the cap is configurable via
+:func:`resolve_unbounded_cap` (``REPRO_LP_RESOLVE_CAP`` or an explicit
+``resolve_cap=`` argument).  The reported ``damage`` is always the L1
+norm of the *returned* vector — unboundedness is signalled exclusively
+through the flag, never as an infinite damage value, so downstream
+aggregation (max-damage scans, reporting tables) stays finite.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse
 from scipy.optimize import linprog
 
+from repro.attacks.lp_engine import resolve_engine_name
 from repro.exceptions import AttackError, ValidationError
 from repro.obs import core as obs
 from repro.perf import instrumentation as perf
@@ -47,12 +67,24 @@ __all__ = [
     "BandConstraints",
     "IncrementalLpSolver",
     "LpSolution",
+    "PRESOLVE_STATUS_PREFIX",
+    "RESOLVE_CAP_ENV_VAR",
+    "resolve_unbounded_cap",
     "solve_manipulation_lp",
+    "theorem1_fast_path",
     "theorem1_manipulation",
 ]
 
-#: Cap substituted when re-solving an unbounded LP to return a finite vector.
+#: Default cap substituted when re-solving an unbounded LP to return a
+#: finite vector (override via ``REPRO_LP_RESOLVE_CAP`` or ``resolve_cap=``).
 _UNBOUNDED_RESOLVE_CAP = 1e7
+
+#: Environment variable overriding the unbounded re-solve cap.
+RESOLVE_CAP_ENV_VAR = "REPRO_LP_RESOLVE_CAP"
+
+#: Status prefix marking solutions rejected by the Constraint-1 presolve
+#: pruner without any LP being assembled or solved.
+PRESOLVE_STATUS_PREFIX = "presolve:"
 
 #: Constraint-block size (rows * cols) above which sparse handoff is considered.
 _SPARSE_BLOCK_SIZE = 65536
@@ -61,17 +93,54 @@ _SPARSE_BLOCK_SIZE = 65536
 _SPARSE_BLOCK_DENSITY = 0.25
 
 
-def _maybe_sparse(block: np.ndarray | None):
+def resolve_unbounded_cap(explicit: float | None = None) -> float:
+    """The finite cap used to re-solve an unbounded LP.
+
+    Precedence: explicit argument, then the ``REPRO_LP_RESOLVE_CAP``
+    environment variable, then the library default (``1e7``).  The value
+    must be a positive finite number — a non-positive or unparseable cap
+    raises :class:`ValidationError` (a zero cap would silently turn every
+    unbounded instance into the trivial ``m = 0``).
+    """
+    if explicit is not None:
+        value, source = explicit, "resolve_cap argument"
+    else:
+        raw = os.environ.get(RESOLVE_CAP_ENV_VAR, "").strip()
+        if not raw:
+            return _UNBOUNDED_RESOLVE_CAP
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"{RESOLVE_CAP_ENV_VAR} must be a number, got {raw!r}"
+            ) from exc
+        source = f"{RESOLVE_CAP_ENV_VAR} environment variable"
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValidationError(
+            f"unbounded re-solve cap must be positive and finite, "
+            f"got {value} ({source})"
+        )
+    return value
+
+
+def _maybe_sparse(block, nnz: int | None = None):
     """Hand a constraint block to HiGHS in CSR form when it pays off.
 
     HiGHS accepts sparse ``A_ub``/``A_eq`` directly; converting is only a
     win for large blocks with mostly exact zeros (e.g. support-restricted
     band rows at ISP scale).  Small or dense blocks pass through untouched
-    — the solver sees identical constraints either way.
+    — the solver sees identical constraints either way.  A block that is
+    *already* sparse passes straight through, and callers that track
+    their block's nonzero count incrementally (``IncrementalLpSolver``)
+    pass it as ``nnz`` so unchanged base blocks are never recounted.
     """
-    if block is None or block.size < _SPARSE_BLOCK_SIZE:
+    if block is None or scipy.sparse.issparse(block):
         return block
-    nnz = int(np.count_nonzero(block))
+    if block.size < _SPARSE_BLOCK_SIZE:
+        return block
+    if nnz is None:
+        nnz = int(np.count_nonzero(block))
     if nnz / block.size > _SPARSE_BLOCK_DENSITY:
         return block
     return scipy.sparse.csr_matrix(block)
@@ -242,25 +311,41 @@ def _pinned_at_cap(values: np.ndarray, cap: float) -> bool:
 def _solve_assembled(
     support_list: list[int],
     num_paths: int,
-    a_ub: np.ndarray | None,
+    a_ub,
     b_ub: np.ndarray | None,
-    a_eq: np.ndarray | None,
+    a_eq,
     b_eq: np.ndarray | None,
     cap: float | None,
+    *,
+    resolve_cap: float | None = None,
+    a_ub_nnz: int | None = None,
 ) -> LpSolution:
     """Run HiGHS on pre-assembled constraints (``cap`` must be finite here);
-    ``cap=None`` delegates to a large-cap solve and flags unboundedness."""
+    ``cap=None`` delegates to a large-cap solve and flags unboundedness.
+
+    ``a_ub``/``a_eq`` may arrive dense or already in CSR form;
+    ``a_ub_nnz`` is an optional nonzero-count hint so incrementally
+    maintained blocks skip the density recount inside :func:`_maybe_sparse`.
+    """
     if cap is None:
         # HiGHS can misclassify feasible-but-unbounded instances of this LP
         # as infeasible when variables are uncapped; solve under a large
         # finite cap instead and infer unboundedness from variables pinned
         # at that cap.  The constraint arrays are reused as-is.
+        large_cap = resolve_unbounded_cap(resolve_cap)
         capped = _solve_assembled(
-            support_list, num_paths, a_ub, b_ub, a_eq, b_eq, _UNBOUNDED_RESOLVE_CAP
+            support_list,
+            num_paths,
+            a_ub,
+            b_ub,
+            a_eq,
+            b_eq,
+            large_cap,
+            a_ub_nnz=a_ub_nnz,
         )
         if not capped.feasible or capped.manipulation is None:
             return capped
-        if _pinned_at_cap(capped.manipulation, _UNBOUNDED_RESOLVE_CAP):
+        if _pinned_at_cap(capped.manipulation, large_cap):
             # The optimum is infinite, but the damage reported must stay
             # the L1 norm of the concrete (capped) vector handed back —
             # an inf here would poison every downstream aggregate that
@@ -268,7 +353,7 @@ def _solve_assembled(
             if obs.is_enabled():
                 obs.event(
                     "lp_unbounded_resolve",
-                    resolve_cap=_UNBOUNDED_RESOLVE_CAP,
+                    resolve_cap=large_cap,
                     capped_damage=capped.damage,
                 )
             return LpSolution(
@@ -282,7 +367,7 @@ def _solve_assembled(
 
     k = len(support_list)
     perf.record_event("lp_solve")
-    a_ub_opt = _maybe_sparse(a_ub)
+    a_ub_opt = _maybe_sparse(a_ub, a_ub_nnz)
     a_eq_opt = _maybe_sparse(a_eq)
     with perf.stage("lp_solve"):
         result = linprog(
@@ -368,6 +453,7 @@ def solve_manipulation_lp(
     consistency_matrix: np.ndarray | None = None,
     sub_operator: np.ndarray | None = None,
     consistency_columns: np.ndarray | None = None,
+    resolve_cap: float | None = None,
 ) -> LpSolution:
     """Maximise ``sum(m)`` subject to Constraint 1, ``m <= cap`` and bands.
 
@@ -405,6 +491,14 @@ def solve_manipulation_lp(
     consistency_columns:
         Pre-sliced stealth block ``C[:, support]`` (|P| x k); same idea
         for the residual projector.
+    resolve_cap:
+        Finite cap substituted when an uncapped LP turns out unbounded
+        (default: ``REPRO_LP_RESOLVE_CAP`` or ``1e7``); see
+        :func:`resolve_unbounded_cap`.
+
+    This one-shot entry point always runs the cold scipy path — it is the
+    bit-compatibility reference.  Candidate scans wanting warm starts use
+    :class:`IncrementalLpSolver` with ``engine="highs"``.
     """
     x_true = check_finite_vector(true_metrics, "true_metrics")
     bands.validate()
@@ -436,21 +530,42 @@ def solve_manipulation_lp(
             consistency_matrix, support_list, num_paths, columns=consistency_columns
         )
 
-    return _solve_assembled(support_list, num_paths, a_ub, b_ub, a_eq, b_eq, cap)
+    return _solve_assembled(
+        support_list, num_paths, a_ub, b_ub, a_eq, b_eq, cap, resolve_cap=resolve_cap
+    )
 
 
 class IncrementalLpSolver:
     """Manipulation-LP solver with an incrementally editable band block.
 
-    Candidate scans (max-damage, per-victim damage maps) solve thousands of
-    LPs that differ only in one or two links' bands.  This solver validates
-    the problem, slices the support-restricted operator, and assembles the
-    *base* band rows and the consistency block exactly once; each
-    :meth:`solve` call splices the overridden links' rows into the cached
-    block (dropping the links' base rows first) and hands the result to
-    HiGHS.  Row ordering matches :func:`solve_manipulation_lp`'s
-    interleaved convention, so solutions are identical to a from-scratch
-    assembly of the edited bands.
+    Candidate scans (max-damage, per-victim damage maps, the obfuscation
+    greedy growth) solve thousands of LPs that differ only in one or two
+    links' bands.  This solver validates the problem, slices the
+    support-restricted operator, and assembles the *base* band rows and
+    the consistency block exactly once; each :meth:`solve` call splices
+    the overridden links' rows into the cached block (dropping the links'
+    base rows first) and hands the result to HiGHS.  Row ordering matches
+    :func:`solve_manipulation_lp`'s interleaved convention, so solutions
+    are identical to a from-scratch assembly of the edited bands.
+
+    Three optimisation layers sit on top of the splice:
+
+    - ``engine="highs"`` (or ``REPRO_LP_ENGINE=highs``/``auto``) swaps the
+      per-candidate :func:`scipy.optimize.linprog` call for one persistent
+      warm-started HiGHS model
+      (:class:`~repro.attacks.lp_engine.PersistentLpSolver`): candidate
+      solves edit only the overridden links' row bounds and reuse the
+      previous simplex basis.  Optimal damage agrees with the scipy
+      engine to solver tolerance; the default (``"scipy"``) stays
+      byte-identical to the historical path.
+    - ``presolve=True`` (default) rejects overrides whose required
+      estimate shift provably exceeds what any Constraint-1 manipulation
+      can deliver (:meth:`presolve_prune_reason`) before anything is
+      assembled; pruned solves return an infeasible solution whose status
+      starts with :data:`PRESOLVE_STATUS_PREFIX` and are counted in
+      :attr:`presolve_pruned` (and as ``lp_presolve_prune`` obs events).
+    - the base block's sparsity decision and conversions are cached, so
+      repeated solves never recount an unchanged block's nonzeros.
 
     Parameters mirror :func:`solve_manipulation_lp`; ``base_bands`` is the
     constraint state shared by every candidate.
@@ -468,11 +583,20 @@ class IncrementalLpSolver:
         consistency_matrix: np.ndarray | None = None,
         sub_operator: np.ndarray | None = None,
         consistency_columns: np.ndarray | None = None,
+        engine: str | None = None,
+        presolve: bool = True,
+        resolve_cap: float | None = None,
     ) -> None:
         self.num_paths = int(num_paths)
         self.cap = cap
         if cap is not None and cap < 0:
             raise ValidationError(f"cap must be non-negative or None, got {cap}")
+        self.engine = resolve_engine_name(engine)
+        self.presolve = bool(presolve)
+        self.resolve_cap = resolve_cap
+        if resolve_cap is not None:
+            resolve_unbounded_cap(resolve_cap)  # fail fast on bad values
+        self.presolve_pruned = 0
         self._x_true = check_finite_vector(true_metrics, "true_metrics")
         self.num_links = int(self._x_true.shape[0])
         base_bands.validate()
@@ -497,17 +621,43 @@ class IncrementalLpSolver:
                 num_paths,
                 columns=consistency_columns,
             )
+            # Cached sparsity bookkeeping: the base block's per-row nonzero
+            # counts ride along through every splice, so a spliced block's
+            # density decision costs a vector sum, never a full recount,
+            # and the unchanged base / consistency blocks convert at most
+            # once for the lifetime of the solver.
+            self._base_row_nnz = (
+                np.count_nonzero(self._base_a, axis=1)
+                if self._base_a.shape[0]
+                else np.zeros(0, dtype=int)
+            )
+            self._base_nnz = int(self._base_row_nnz.sum())
+            self._base_a_opt = _maybe_sparse(self._base_a, self._base_nnz)
+            self._a_eq_opt = _maybe_sparse(self._a_eq)
+            # Presolve capacities: what any Constraint-1 manipulation can
+            # do to each link's estimate (see lp_engine.prune_capacities).
+            from repro.attacks.lp_engine import prune_capacities
+
+            self._pos_capacity, self._neg_capacity = prune_capacities(
+                self._sub_operator
+            )
+        self._persistent = None
+        self._persistent_cap: float | None = None
 
     def _rows_for_overrides(
         self, overrides: Mapping[int, tuple[float, float]]
-    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+    ) -> tuple[np.ndarray | None, np.ndarray | None, int]:
         """Base rows with each overridden link's rows replaced, in order.
 
         The base keys are sorted, so each edited link's rows occupy one
         contiguous slice located by binary search; the replacement is a
         three-piece splice per link — no re-sort, no mask over the block.
+        Returns ``(a_ub, b_ub, nnz)``; the nonzero count is maintained
+        through the splice so the sparsity decision never rescans the
+        block.
         """
         a_ub, b_ub, keys = self._base_a, self._base_b, self._base_keys
+        row_nnz = self._base_row_nnz
         for j, (lower, upper) in overrides.items():
             lo_pos, hi_pos = np.searchsorted(keys, (2 * j, 2 * j + 2))
             add_a: list[np.ndarray] = []
@@ -522,16 +672,131 @@ class IncrementalLpSolver:
                 add_b.append(float(self._x_true[j] - lower))
                 add_keys.append(2 * j + 1)
             if add_a:
+                add_nnz = [int(np.count_nonzero(row)) for row in add_a]
                 a_ub = np.concatenate([a_ub[:lo_pos], add_a, a_ub[hi_pos:]])
                 b_ub = np.concatenate([b_ub[:lo_pos], add_b, b_ub[hi_pos:]])
                 keys = np.concatenate([keys[:lo_pos], add_keys, keys[hi_pos:]])
+                row_nnz = np.concatenate(
+                    [row_nnz[:lo_pos], add_nnz, row_nnz[hi_pos:]]
+                )
             elif hi_pos > lo_pos:
                 a_ub = np.concatenate([a_ub[:lo_pos], a_ub[hi_pos:]])
                 b_ub = np.concatenate([b_ub[:lo_pos], b_ub[hi_pos:]])
                 keys = np.concatenate([keys[:lo_pos], keys[hi_pos:]])
+                row_nnz = np.concatenate([row_nnz[:lo_pos], row_nnz[hi_pos:]])
         if a_ub.shape[0] == 0:
-            return None, None
-        return a_ub, b_ub
+            return None, None, 0
+        return a_ub, b_ub, int(row_nnz.sum())
+
+    def presolve_prune_reason(
+        self, overrides: Mapping[int, tuple[float, float]]
+    ) -> str | None:
+        """Constraint-1 infeasibility certificate for an override set.
+
+        Any feasible manipulation satisfies ``0 <= m <= cap``, so link
+        ``j``'s estimate shift is bracketed by the cap times the row-wise
+        positive/negative coefficient mass of ``Q[:, support]``.  An
+        override demanding more shift than the bracket allows is
+        infeasible *regardless of every other constraint* — the certifier
+        is sound (it never rejects a feasible override, property-tested),
+        deliberately incomplete, and costs two comparisons per overridden
+        link.  The comparison margin (``1e-6`` absolute) sits well above
+        the solver's own feasibility tolerance so borderline candidates
+        are always left to the LP.
+        """
+        cap = self.cap
+        for j, (lower, upper) in overrides.items():
+            if np.isfinite(lower):
+                need = float(lower) - float(self._x_true[j])
+                if need > 0:
+                    capacity = float(self._pos_capacity[j])
+                    if capacity <= 0.0:
+                        available = 0.0
+                    elif cap is None:
+                        available = math.inf
+                    else:
+                        available = float(cap) * capacity
+                    if need > available * (1 + 1e-9) + 1e-6:
+                        return (
+                            f"{PRESOLVE_STATUS_PREFIX} link {j} needs an estimate "
+                            f"raise of {need:.6g} but the Constraint-1 support "
+                            f"can deliver at most {available:.6g}"
+                        )
+            if np.isfinite(upper):
+                need = float(self._x_true[j]) - float(upper)
+                if need > 0:
+                    capacity = float(self._neg_capacity[j])
+                    if capacity <= 0.0:
+                        available = 0.0
+                    elif cap is None:
+                        available = math.inf
+                    else:
+                        available = float(cap) * capacity
+                    if need > available * (1 + 1e-9) + 1e-6:
+                        return (
+                            f"{PRESOLVE_STATUS_PREFIX} link {j} needs an estimate "
+                            f"drop of {need:.6g} but the Constraint-1 support "
+                            f"can deliver at most {available:.6g}"
+                        )
+        return None
+
+    def _warm_solver(self):
+        """The persistent HiGHS model (built once per solver instance)."""
+        if self._persistent is None:
+            from repro.attacks.lp_engine import PersistentLpSolver
+
+            self._persistent_cap = (
+                self.cap
+                if self.cap is not None
+                else resolve_unbounded_cap(self.resolve_cap)
+            )
+            self._persistent = PersistentLpSolver(
+                self._sub_operator,
+                self._base_lower - self._x_true,
+                self._base_upper - self._x_true,
+                eq_rows=self._a_eq,
+                var_upper=self._persistent_cap,
+            )
+        return self._persistent
+
+    def _solve_warm(
+        self, overrides: Mapping[int, tuple[float, float]]
+    ) -> LpSolution:
+        """One warm-started solve on the persistent HiGHS model."""
+        solver = self._warm_solver()
+        shifted = {
+            j: (lower - self._x_true[j], upper - self._x_true[j])
+            for j, (lower, upper) in overrides.items()
+        }
+        raw = solver.solve(shifted)
+        if not raw.optimal or raw.values is None:
+            return LpSolution(
+                feasible=False, manipulation=None, damage=0.0, status=raw.status
+            )
+        m = np.zeros(self.num_paths)
+        m[self._support] = np.maximum(raw.values, 0.0)  # clip solver round-off
+        damage = float(m.sum())
+        if self.cap is None and _pinned_at_cap(
+            m[self._support], self._persistent_cap
+        ):
+            # Same unbounded semantics as the scipy path: the flag carries
+            # the infinity, the damage stays the L1 norm of the vector.
+            if obs.is_enabled():
+                obs.event(
+                    "lp_unbounded_resolve",
+                    resolve_cap=self._persistent_cap,
+                    capped_damage=damage,
+                )
+            return LpSolution(
+                feasible=True,
+                manipulation=m,
+                damage=damage,
+                status="unbounded (re-solved with large cap)",
+                unbounded=True,
+            )
+        return LpSolution(
+            feasible=True, manipulation=m, damage=damage, status=raw.status
+        )
 
     def solve(
         self, overrides: Mapping[int, tuple[float, float]] | None = None
@@ -558,11 +823,55 @@ class IncrementalLpSolver:
                 lower[j], upper[j] = lo, up
             return _empty_support_solution(lower, upper, self._x_true, self.num_paths)
 
+        if self.presolve and overrides:
+            reason = self.presolve_prune_reason(overrides)
+            if reason is not None:
+                self.presolve_pruned += 1
+                perf.record_event("lp_presolve_prune")
+                if obs.is_enabled():
+                    obs.event(
+                        "lp_presolve_prune",
+                        links=sorted(int(j) for j in overrides),
+                        reason=reason,
+                        pruned_total=self.presolve_pruned,
+                    )
+                return LpSolution(
+                    feasible=False, manipulation=None, damage=0.0, status=reason
+                )
+
+        if self.engine == "highs":
+            return self._solve_warm(overrides)
+
         with perf.stage("lp_assembly"):
-            a_ub, b_ub = self._rows_for_overrides(overrides)
+            a_ub, b_ub, a_ub_nnz = self._rows_for_overrides(overrides)
+        if a_ub is self._base_a:
+            a_ub = self._base_a_opt  # cached conversion + density decision
         return _solve_assembled(
-            self._support, self.num_paths, a_ub, b_ub, self._a_eq, self._b_eq, self.cap
+            self._support,
+            self.num_paths,
+            a_ub,
+            b_ub,
+            self._a_eq_opt,
+            self._b_eq,
+            self.cap,
+            resolve_cap=self.resolve_cap,
+            a_ub_nnz=a_ub_nnz,
         )
+
+    def solve_many(
+        self, overrides_iter: Iterable[Mapping[int, tuple[float, float]]]
+    ) -> Iterator[LpSolution]:
+        """Lazily solve one LP per override mapping, sharing all warm state.
+
+        Candidate scans consume this instead of calling :meth:`solve` in
+        a loop: the base block, its sparsity decision, the presolve
+        capacities and (under ``engine="highs"``) the warm-started model
+        basis all carry across iterations.  The generator is lazy, so
+        ``stop_at_first_feasible`` searches stop paying the moment they
+        stop consuming.
+        """
+        for overrides in overrides_iter:
+            yield self.solve(overrides)
 
 
 def theorem1_manipulation(
@@ -582,3 +891,94 @@ def theorem1_manipulation(
     matrix = np.asarray(routing_matrix, dtype=float)
     delta = check_finite_vector(delta_estimate, "delta_estimate", length=matrix.shape[1])
     return matrix @ delta
+
+
+def theorem1_fast_path(
+    routing_matrix: np.ndarray,
+    baseline: np.ndarray,
+    support: Sequence[int],
+    bands: BandConstraints,
+    target_links: Sequence[int],
+    *,
+    cap: float | None,
+    rank: int,
+    tol: float = 1e-9,
+) -> LpSolution | None:
+    """Solver-free feasibility witness for the perfect-cut case.
+
+    Theorem 1's constructive direction: under a perfect cut, the attacker
+    can forge *any* estimate shift ``Δ`` supported on the cut links via
+    ``m = R Δ`` — no LP needed to decide feasibility.  This routine
+    builds the minimal such shift (each target link raised exactly to its
+    lower band edge, everything else untouched) and checks the theorem's
+    applicability conditions numerically:
+
+    - ``R`` has full column rank (``rank == num_links``), so the forged
+      estimate is exactly ``baseline + Δ``;
+    - the baseline already satisfies the bands on every non-target link,
+      and no target link needs *lowering* (attacks only add delay);
+    - every path crossing a raised link lies in the Constraint-1 support
+      — the perfect-cut condition, read off the routing matrix directly;
+    - the resulting ``m = R Δ`` respects the per-path cap.
+
+    Returns the witness as a feasible :class:`LpSolution` (status
+    ``"theorem1 fast path (perfect cut)"``), or None when any condition
+    fails — in which case callers fall back to the LP.  The witness is a
+    *feasibility certificate with minimal forged shift*, not the
+    damage-maximising optimum; existence queries (success-probability
+    scans, ``stop_at_first_feasible`` searches) are its intended
+    consumers.  Because ``m = R Δ`` lies in the column space of ``R`` it
+    has exactly zero measurement residual, so the witness remains valid
+    when the LP would carry the residual-projector stealth block
+    (Theorem 3); arbitrary other consistency constraints are *not*
+    checked here.
+    """
+    matrix = np.asarray(routing_matrix, dtype=float)
+    num_paths, num_links = matrix.shape
+    if int(rank) != num_links:
+        return None
+    x = check_finite_vector(baseline, "baseline", length=num_links)
+    bands.validate()
+    targets = sorted(set(int(j) for j in target_links))
+    for j in targets:
+        if not 0 <= j < num_links:
+            raise AttackError(f"target link {j} out of range [0, {num_links})")
+    target_mask = np.zeros(num_links, dtype=bool)
+    target_mask[targets] = True
+
+    # Baseline must already sit inside the bands off the target set —
+    # the minimal shift leaves those estimates untouched.
+    off = ~target_mask
+    if np.any(x[off] < bands.lower[off] - tol) or np.any(
+        x[off] > bands.upper[off] + tol
+    ):
+        return None
+
+    delta = np.zeros(num_links)
+    for j in targets:
+        lower, upper = bands.lower[j], bands.upper[j]
+        if x[j] > upper + tol:
+            return None  # would need lowering; Δ >= 0 only
+        if np.isfinite(lower) and x[j] < lower:
+            need = float(lower - x[j])
+            if np.isfinite(upper) and x[j] + need > upper + tol:
+                return None
+            delta[j] = need
+
+    # Perfect cut: every path crossing a raised link must be manipulable.
+    raised = delta > 0
+    if np.any(raised):
+        touching = np.nonzero(matrix[:, raised].sum(axis=1) > 0)[0]
+        support_set = set(int(s) for s in support)
+        if not set(int(r) for r in touching) <= support_set:
+            return None
+
+    m = matrix @ delta
+    if cap is not None and m.size and float(m.max()) > cap + tol * max(cap, 1.0):
+        return None
+    return LpSolution(
+        feasible=True,
+        manipulation=m,
+        damage=float(m.sum()),
+        status="theorem1 fast path (perfect cut)",
+    )

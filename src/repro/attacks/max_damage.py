@@ -29,7 +29,7 @@ from collections.abc import Iterable
 from itertools import combinations
 
 from repro.attacks.base import AttackContext, AttackOutcome
-from repro.attacks.chosen_victim import build_chosen_victim_bands
+from repro.attacks.chosen_victim import analytic_witness, build_chosen_victim_bands
 from repro.attacks.lp import IncrementalLpSolver
 from repro.exceptions import ValidationError
 
@@ -60,6 +60,24 @@ class MaxDamageAttack:
         Return the first feasible victim set instead of the best one.
         Success-probability experiments (Fig. 8) only need existence, and
         this short-circuits the candidate scan.
+    engine:
+        LP engine for the candidate scan (see
+        :func:`repro.attacks.lp_engine.resolve_engine_name`).
+        ``"highs"`` keeps one warm-started persistent model across the
+        whole victim loop; the default (scipy / ``REPRO_LP_ENGINE``)
+        stays byte-identical to the historical path.  Ignored when a
+        ``shared_solver`` is supplied (its engine wins).
+    presolve:
+        Enable the Constraint-1 presolve pruner on the candidate scan
+        (default True); pruned candidates are counted in
+        ``extras["presolve_pruned"]`` without any LP being solved.
+    analytic:
+        With ``stop_at_first_feasible``, try Theorem 1's solver-free
+        perfect-cut witness per candidate before falling back to the LP
+        scan.  Existence-only queries on perfectly cut victims then never
+        touch a solver.  The witness is not damage-optimal, so the flag
+        is ignored (the full LP scan runs) when the best victim set is
+        wanted.
     shared_solver:
         Optional pre-assembled :class:`IncrementalLpSolver` whose base
         block is the empty-victim chosen-victim bands of this context /
@@ -85,6 +103,9 @@ class MaxDamageAttack:
         stealthy: bool = False,
         confined: bool = False,
         shared_solver: IncrementalLpSolver | None = None,
+        engine: str | None = None,
+        presolve: bool = True,
+        analytic: bool = False,
     ) -> None:
         if victim_set_size < 1:
             raise ValidationError(f"victim_set_size must be >= 1, got {victim_set_size}")
@@ -97,6 +118,9 @@ class MaxDamageAttack:
         self.stop_at_first_feasible = stop_at_first_feasible
         self.stealthy = stealthy
         self.confined = confined
+        self.engine = engine
+        self.presolve = bool(presolve)
+        self.analytic = bool(analytic)
         if candidate_links is None:
             mask = context.manipulable_link_mask()
             self.candidates = tuple(
@@ -135,6 +159,8 @@ class MaxDamageAttack:
                 consistency_columns=(
                     self.context.residual_projector_support() if self.stealthy else None
                 ),
+                engine=self.engine,
+                presolve=self.presolve,
             )
         return self._solver
 
@@ -153,21 +179,21 @@ class MaxDamageAttack:
             return AttackOutcome.infeasible(
                 self.strategy_name, "no manipulable victim candidates"
             )
+        pending, enumerated, skipped_controlled = self._enumerate_subsets()
+        if self.analytic and self.stop_at_first_feasible:
+            outcome = self._analytic_scan(pending, enumerated, skipped_controlled)
+            if outcome is not None:
+                return outcome
         solver = self._candidate_solver()
+        pruned_before = solver.presolve_pruned
         best_solution = None
         best_victims: tuple[int, ...] = ()
         trace: list[dict] = []
-        enumerated = 0
         solved = 0
-        skipped_controlled = 0
-        for subset in combinations(self.candidates, self.victim_set_size):
-            if enumerated >= self.max_combinations:
-                break
-            enumerated += 1
-            if any(j in self.context.controlled_links for j in subset):
-                skipped_controlled += 1
-                continue
-            solution = solver.solve(self._victim_overrides(subset))
+        solutions = solver.solve_many(
+            self._victim_overrides(subset) for subset in pending
+        )
+        for subset, solution in zip(pending, solutions):
             solved += 1
             trace.append(
                 {
@@ -202,20 +228,97 @@ class MaxDamageAttack:
                 "subsets_examined": enumerated,
                 "skipped_controlled": skipped_controlled,
                 "unbounded": best_solution.unbounded,
+                "engine": solver.engine,
+                "presolve_pruned": solver.presolve_pruned - pruned_before,
             },
         )
         return outcome
+
+    def _enumerate_subsets(self) -> tuple[list[tuple[int, ...]], int, int]:
+        """The candidate subsets the scan will solve, plus scan bookkeeping.
+
+        Enumeration is cheap (tuple arithmetic only) and separated from
+        solving so the LP loop can stream through
+        :meth:`IncrementalLpSolver.solve_many` — lazy, so a
+        ``stop_at_first_feasible`` consumer stops paying immediately.
+        """
+        pending: list[tuple[int, ...]] = []
+        enumerated = 0
+        skipped_controlled = 0
+        for subset in combinations(self.candidates, self.victim_set_size):
+            if enumerated >= self.max_combinations:
+                break
+            enumerated += 1
+            if any(j in self.context.controlled_links for j in subset):
+                skipped_controlled += 1
+                continue
+            pending.append(subset)
+        return pending, enumerated, skipped_controlled
+
+    def _analytic_scan(
+        self,
+        pending: list[tuple[int, ...]],
+        enumerated: int,
+        skipped_controlled: int,
+    ) -> AttackOutcome | None:
+        """Existence pre-pass: first candidate with a Theorem-1 witness.
+
+        Only consulted for ``stop_at_first_feasible`` searches — the
+        witness certifies feasibility with a *minimal* forged shift, not
+        maximal damage.  Returns None when no candidate admits the fast
+        path; the caller falls back to the LP scan.
+        """
+        for subset in pending:
+            bands = build_chosen_victim_bands(
+                self.context, subset, self.mode, confined=self.confined
+            )
+            try:
+                bands.validate()
+            except ValidationError:
+                continue
+            witness = analytic_witness(
+                self.context, bands, subset, stealthy=self.stealthy
+            )
+            if witness is not None and witness.manipulation is not None:
+                return AttackOutcome.from_manipulation(
+                    self.strategy_name,
+                    self.context,
+                    witness.manipulation,
+                    subset,
+                    witness.status,
+                    extras={
+                        "mode": self.mode,
+                        "stealthy": self.stealthy,
+                        "search_trace": [
+                            {
+                                "victims": subset,
+                                "feasible": True,
+                                "damage": witness.damage,
+                            }
+                        ],
+                        "candidates_tried": 0,
+                        "subsets_examined": enumerated,
+                        "skipped_controlled": skipped_controlled,
+                        "unbounded": witness.unbounded,
+                        "analytic": True,
+                    },
+                )
+        return None
 
     def damage_by_victim(self) -> dict[int, float]:
         """Damage achievable per single victim link (nan when infeasible).
 
         Convenience for Fig. 5-style analysis: which scapegoat is most
-        profitable, and by how much.  Reuses the shared incremental solver,
-        so the scan costs one LP solve per candidate.
+        profitable, and by how much.  Reuses the shared incremental solver
+        through :meth:`IncrementalLpSolver.solve_many`, so the scan costs
+        one (warm-started) LP solve per candidate — fewer when the
+        presolve pruner rejects a candidate outright.
         """
         solver = self._candidate_solver()
         result: dict[int, float] = {}
-        for j in self.candidates:
-            solution = solver.solve(self._victim_overrides((j,)))
+        solutions = solver.solve_many(
+            self._victim_overrides((j,)) for j in self.candidates
+        )
+        for j, solution in zip(self.candidates, solutions):
             result[j] = solution.damage if solution.feasible else float("nan")
         return result

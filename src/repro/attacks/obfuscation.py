@@ -21,7 +21,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.attacks.base import AttackContext, AttackOutcome
-from repro.attacks.lp import BandConstraints, solve_manipulation_lp
+from repro.attacks.lp import BandConstraints, IncrementalLpSolver
 from repro.exceptions import AttackError, ValidationError
 
 __all__ = ["ObfuscationAttack", "build_obfuscation_bands"]
@@ -81,6 +81,16 @@ class ObfuscationAttack:
     candidate_links:
         Restrict the victim candidates (default: upward-manipulable,
         non-controlled links).
+    engine:
+        LP engine for the greedy scan (see
+        :func:`repro.attacks.lp_engine.resolve_engine_name`).  The scan
+        shares one :class:`~repro.attacks.lp.IncrementalLpSolver` whose
+        base block carries the controlled links' uncertain bands; each
+        trial splices in only the candidate victims' rows, and
+        ``engine="highs"`` additionally warm-starts across trials.
+    presolve:
+        Enable the Constraint-1 presolve pruner on trial candidates
+        (default True).
     """
 
     strategy_name = "obfuscation"
@@ -95,6 +105,8 @@ class ObfuscationAttack:
         mode: str = "paper",
         stealthy: bool = False,
         confined: bool = False,
+        engine: str | None = None,
+        presolve: bool = True,
     ) -> None:
         if mode not in ("paper", "exclusive"):
             raise ValidationError(f"mode must be 'paper' or 'exclusive', got {mode!r}")
@@ -110,6 +122,9 @@ class ObfuscationAttack:
         self.max_victims = max_victims
         self.stealthy = stealthy
         self.confined = confined
+        self.engine = engine
+        self.presolve = bool(presolve)
+        self._solver: IncrementalLpSolver | None = None
         if candidate_links is None:
             mask = context.manipulable_link_mask()
             candidates = [
@@ -136,25 +151,48 @@ class ObfuscationAttack:
             strength = {j: 0.0 for j in candidates}
         self.candidates = tuple(sorted(candidates, key=lambda j: -strength[j]))
 
+    def _trial_solver(self) -> IncrementalLpSolver:
+        """Shared incremental solver for the greedy growth.
+
+        The base block is the obfuscation bands for an *empty* victim set
+        (controlled links uncertain, plus the exclusive/confined rows);
+        each trial overrides exactly its victims' bands to the uncertain
+        band — byte-for-byte the bands a from-scratch
+        :func:`build_obfuscation_bands` would produce for that set.
+        """
+        if self._solver is None:
+            base_bands = build_obfuscation_bands(
+                self.context,
+                self.context.controlled_links,
+                mode=self.mode,
+                confined=self.confined,
+            )
+            self._solver = IncrementalLpSolver(
+                None,
+                self.context.baseline_estimate,
+                self.context.support,
+                self.context.num_paths,
+                base_bands,
+                cap=self.context.cap,
+                sub_operator=self.context.support_operator,
+                consistency_columns=(
+                    self.context.residual_projector_support() if self.stealthy else None
+                ),
+                engine=self.engine,
+                presolve=self.presolve,
+            )
+        return self._solver
+
+    def _victim_overrides(
+        self, victims: tuple[int, ...]
+    ) -> dict[int, tuple[float, float]]:
+        """Per-victim uncertain-band override (eq. 10 with the margin)."""
+        lower = self.context.thresholds.lower + self.context.margin
+        upper = self.context.thresholds.upper - self.context.margin
+        return {j: (lower, upper) for j in victims}
+
     def _solve(self, victims: tuple[int, ...]):
-        bands = build_obfuscation_bands(
-            self.context,
-            set(victims) | set(self.context.controlled_links),
-            mode=self.mode,
-            confined=self.confined,
-        )
-        return solve_manipulation_lp(
-            None,
-            self.context.baseline_estimate,
-            self.context.support,
-            self.context.num_paths,
-            bands,
-            cap=self.context.cap,
-            sub_operator=self.context.support_operator,
-            consistency_columns=(
-                self.context.residual_projector_support() if self.stealthy else None
-            ),
-        )
+        return self._trial_solver().solve(self._victim_overrides(victims))
 
     def run(self) -> AttackOutcome:
         """Grow the victim set greedily; succeed at ``min_victims`` or more."""

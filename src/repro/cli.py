@@ -126,11 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "target",
-        choices=["fig1", "fig5", "sweep", "backends", "all"],
+        choices=["fig1", "fig5", "lp", "sweep", "backends", "all"],
         nargs="?",
         default="all",
         help=(
             "fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison, "
+            "lp = cold vs incremental vs warm-started LP engine, "
             "sweep = cold-vs-cached grid execution, "
             "backends = dense-vs-sparse kernel crossover"
         ),
@@ -579,6 +580,7 @@ def _cmd_bench(args) -> int:
         backends_benchmark,
         fig1_pipeline_benchmark,
         fig5_assembly_benchmark,
+        lp_benchmark,
         sweep_cache_benchmark,
         write_bench_json,
     )
@@ -587,6 +589,8 @@ def _cmd_bench(args) -> int:
         benchmarks = {"fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat)}
     elif args.target == "fig5":
         benchmarks = {"fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat)}
+    elif args.target == "lp":
+        benchmarks = {"lp": lp_benchmark(repeat=args.repeat)}
     elif args.target == "sweep":
         benchmarks = {"sweep_cache": sweep_cache_benchmark(repeat=args.repeat)}
     elif args.target == "backends":
@@ -595,6 +599,7 @@ def _cmd_bench(args) -> int:
         benchmarks = {
             "fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat),
             "fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat),
+            "lp": lp_benchmark(repeat=args.repeat),
             "sweep_cache": sweep_cache_benchmark(repeat=args.repeat),
             "backends": backends_benchmark(repeat=args.repeat),
         }

@@ -50,6 +50,7 @@ __all__ = [
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
+    "lp_benchmark",
     "sweep_cache_benchmark",
     "write_bench_json",
 ]
@@ -214,6 +215,135 @@ def fig5_assembly_benchmark(*, repeat: int = 5, inner_loops: int = 50) -> dict:
             "damage": float(outcome.damage),
             **recorder.snapshot(),
         },
+    }
+
+
+def lp_benchmark(*, repeat: int = 5, inner_loops: int = 10) -> dict:
+    """Cold vs. incremental vs. warm-started LP engine on the Fig. 5 scan.
+
+    Three implementations of the same full candidate-victim max-damage
+    scan (every LP identical in constraints and optimum):
+
+    - **cold** — the pre-engine path: per candidate, from-scratch band
+      construction, constraint assembly and one cold
+      :func:`scipy.optimize.linprog` call;
+    - **incremental** — :class:`~repro.attacks.lp.IncrementalLpSolver`
+      on the scipy engine: shared base block, per-candidate row splicing,
+      still one cold ``linprog`` per candidate;
+    - **warm** — the same solver on the best available engine
+      (``resolve_engine_name("auto")``): one persistent HiGHS model,
+      per-candidate row-bound edits, warm-started basis.  Falls back to
+      the incremental scipy path when no HiGHS bindings exist (the
+      recorded ``engine`` says which ran).
+
+    ``speedup["fig5_max_damage"]`` is cold / warm — the acceptance
+    headline for the persistent engine (target >= 5x with bindings).
+    Damage parity across all three phases is checked on a full pass and
+    the worst absolute gap recorded (``max_damage_gap``).
+    """
+    import math
+
+    from repro.attacks.chosen_victim import build_chosen_victim_bands
+    from repro.attacks.lp import IncrementalLpSolver, solve_manipulation_lp
+    from repro.attacks.lp_engine import resolve_engine_name
+    from repro.attacks.max_damage import MaxDamageAttack
+    from repro.scenarios.simple_network import paper_fig1_scenario
+
+    start = time.perf_counter()
+    scenario = paper_fig1_scenario()
+    context = scenario.attack_context(["B", "C"])
+    candidates = MaxDamageAttack(context).candidates
+    abnormal_bound = context.thresholds.upper + context.margin
+    engine = resolve_engine_name("auto")
+
+    def overrides_iter():
+        return ({j: (abnormal_bound, math.inf)} for j in candidates)
+
+    def cold_scan() -> list[float]:
+        damages = []
+        for j in candidates:
+            bands = build_chosen_victim_bands(context, (j,), "paper")
+            solution = solve_manipulation_lp(
+                None,
+                context.baseline_estimate,
+                context.support,
+                context.num_paths,
+                bands,
+                cap=context.cap,
+                sub_operator=context.support_operator,
+            )
+            damages.append(solution.damage if solution.feasible else float("nan"))
+        return damages
+
+    def make_solver(engine_name: str) -> IncrementalLpSolver:
+        return IncrementalLpSolver(
+            None,
+            context.baseline_estimate,
+            context.support,
+            context.num_paths,
+            build_chosen_victim_bands(context, (), "paper"),
+            cap=context.cap,
+            sub_operator=context.support_operator,
+            engine=engine_name,
+        )
+
+    incremental_solver = make_solver("scipy")
+    warm_solver = make_solver(engine)
+
+    def scan(solver: IncrementalLpSolver) -> list[float]:
+        return [
+            solution.damage if solution.feasible else float("nan")
+            for solution in solver.solve_many(overrides_iter())
+        ]
+
+    # One full pass per phase up front: damage parity + warm model build
+    # (so the timed warm loop measures steady-state re-solves).
+    cold_damages = np.asarray(cold_scan())
+    incremental_damages = np.asarray(scan(incremental_solver))
+    warm_damages = np.asarray(scan(warm_solver))
+    max_damage_gap = float(
+        max(
+            np.nanmax(np.abs(cold_damages - incremental_damages), initial=0.0),
+            np.nanmax(np.abs(cold_damages - warm_damages), initial=0.0),
+        )
+    )
+
+    cold_s = _best_of(lambda: [cold_scan() for _ in range(inner_loops)], repeat)
+    incremental_s = _best_of(
+        lambda: [scan(incremental_solver) for _ in range(inner_loops)], repeat
+    )
+    recorder = PerfRecorder()
+    with recording(recorder):
+        warm_s = _best_of(
+            lambda: [scan(warm_solver) for _ in range(inner_loops)], repeat
+        )
+
+    return {
+        "bench": "lp_engine",
+        "repeat": repeat,
+        "inner_loops": inner_loops,
+        "candidates": len(candidates),
+        "engine": engine,
+        "wall_s": time.perf_counter() - start,
+        "phases": {
+            "cold_s": cold_s,
+            "incremental_s": incremental_s,
+            "warm_s": warm_s,
+        },
+        "speedup": {
+            "fig5_max_damage": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "incremental_over_cold": (
+                cold_s / incremental_s if incremental_s > 0 else float("inf")
+            ),
+            "warm_over_incremental": (
+                incremental_s / warm_s if warm_s > 0 else float("inf")
+            ),
+        },
+        "max_damage_gap": max_damage_gap,
+        "presolve_pruned": int(
+            incremental_solver.presolve_pruned + warm_solver.presolve_pruned
+        ),
+        "warm_phase": recorder.snapshot(),
     }
 
 
@@ -435,6 +565,7 @@ def full_perf_benchmark(*, repeat: int = 3) -> dict:
     return {
         "fig1_pipeline": fig1_pipeline_benchmark(repeat=repeat),
         "fig5_max_damage": fig5_assembly_benchmark(repeat=repeat),
+        "lp": lp_benchmark(repeat=repeat),
         "sweep_cache": sweep_cache_benchmark(repeat=repeat),
         "backends": backends_benchmark(repeat=repeat),
     }

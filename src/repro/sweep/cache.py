@@ -31,6 +31,7 @@ import numpy as np
 from repro.attacks.base import AttackContext
 from repro.attacks.chosen_victim import build_chosen_victim_bands
 from repro.attacks.lp import IncrementalLpSolver
+from repro.attacks.lp_engine import resolve_engine_name
 from repro.detection.auditor import TomographyAuditor
 from repro.obs import core as obs
 from repro.obs.manifest import matrix_digest
@@ -89,6 +90,7 @@ class FactorizationCache:
         mode: str = "paper",
         confined: bool = False,
         stealthy: bool = False,
+        engine: str | None = None,
     ) -> IncrementalLpSolver:
         """The shared incremental LP solver for victim-candidate scans.
 
@@ -96,8 +98,12 @@ class FactorizationCache:
         context (controlled links normal, plus exclusive/confined rows) —
         exactly what :class:`~repro.attacks.max_damage.MaxDamageAttack`
         assembles internally, so it can be handed to its
-        ``shared_solver`` parameter directly.
+        ``shared_solver`` parameter directly.  ``engine`` selects the LP
+        engine (resolved immediately so the cache key reflects the actual
+        engine, not the request); a warm-started ``"highs"`` solver keeps
+        its basis across every grid point that shares it.
         """
+        engine_name = resolve_engine_name(engine)
         key = (
             context.system.digest,
             tuple(sorted(context.controlled_links)),
@@ -107,6 +113,7 @@ class FactorizationCache:
             context.cap,
             context.margin,
             (context.thresholds.lower, context.thresholds.upper),
+            engine_name,
         )
         solver = self._solvers.get(key)
         if solver is None:
@@ -122,6 +129,7 @@ class FactorizationCache:
                 consistency_columns=(
                     context.residual_projector_support() if stealthy else None
                 ),
+                engine=engine_name,
             )
             self._solvers[key] = solver
             self._count("solver", False, digest=key[0])

@@ -70,6 +70,26 @@ _LSMR_TOL = 1e-13
 _REFINE_STEPS = 2
 
 
+def _memoised_columns(memo, kind, cols, build):
+    """Column-slice memo shared by both backends.
+
+    LP base blocks, warm-started engine models and spliced override rows
+    all consume the same ``Q[:, support]`` / ``C[:, support]`` blocks;
+    one sweep grid point may ask for them several times (solver cache
+    key miss, per-strategy contexts on a shared kernel).  On the sparse
+    backend each build is a batched matrix-free solve, so repeats are
+    worth remembering.  Keys are the requested column tuple — distinct
+    support sets coexist — and the cached block is returned as-is; the
+    LP layer never mutates these blocks.
+    """
+    key = (kind, tuple(int(c) for c in np.asarray(cols, dtype=int)))
+    block = memo.get(key)
+    if block is None:
+        block = build(np.asarray(cols, dtype=int))
+        memo[key] = block
+    return block
+
+
 def resolve_backend_name(
     requested: str | None,
     *,
@@ -116,6 +136,7 @@ class DenseBackend:
 
     def __init__(self, owner) -> None:
         self._owner = owner
+        self._column_memo: dict[tuple, np.ndarray] = {}
 
     @cached_property
     def factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
@@ -171,10 +192,17 @@ class DenseBackend:
         return self.column_space_projector @ ys - ys
 
     def estimator_columns(self, cols: np.ndarray) -> np.ndarray:
-        return self.estimator[:, cols]
+        return _memoised_columns(
+            self._column_memo, "estimator", cols, lambda c: self.estimator[:, c]
+        )
 
     def residual_projector_columns(self, cols: np.ndarray) -> np.ndarray:
-        return self.residual_projector[:, cols]
+        return _memoised_columns(
+            self._column_memo,
+            "residual",
+            cols,
+            lambda c: self.residual_projector[:, c],
+        )
 
 
 class SparseBackend:
@@ -192,6 +220,7 @@ class SparseBackend:
 
     def __init__(self, owner) -> None:
         self._owner = owner
+        self._column_memo: dict[tuple, np.ndarray] = {}
 
     # -- storage ----------------------------------------------------------
 
@@ -394,9 +423,15 @@ class SparseBackend:
 
         ``R⁺[:, j] = R⁺ e_j``, so the requested columns are one
         :meth:`estimate_many` over the corresponding identity columns —
-        the full dense pseudo-inverse is never formed.
+        the full dense pseudo-inverse is never formed.  Memoised per
+        column set: repeat requests (shared solvers, warm engines) reuse
+        the solved block.
         """
-        cols = np.asarray(cols, dtype=int)
+        return _memoised_columns(
+            self._column_memo, "estimator", cols, self._estimator_columns_uncached
+        )
+
+    def _estimator_columns_uncached(self, cols: np.ndarray) -> np.ndarray:
         m = self._owner.num_paths
         if cols.size == 0:
             return np.zeros((self._owner.num_links, 0))
@@ -406,7 +441,11 @@ class SparseBackend:
 
     def residual_projector_columns(self, cols: np.ndarray) -> np.ndarray:
         """Selected columns of ``I - R R⁺`` without the dense projector."""
-        cols = np.asarray(cols, dtype=int)
+        return _memoised_columns(
+            self._column_memo, "residual", cols, self._residual_columns_uncached
+        )
+
+    def _residual_columns_uncached(self, cols: np.ndarray) -> np.ndarray:
         m = self._owner.num_paths
         if cols.size == 0:
             return np.zeros((m, 0))

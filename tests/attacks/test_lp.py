@@ -165,7 +165,8 @@ class TestIncrementalLpSolver:
         _, operator, x = fig1_system
         support = list(range(0, 23, 2))
         solver = IncrementalLpSolver(
-            operator, x, support, 23, self._base_bands(x), cap=2000.0
+            operator, x, support, 23, self._base_bands(x), cap=2000.0,
+            engine="scipy",
         )
         for j in (5, 8, 9):
             scratch = self._base_bands(x)
@@ -184,7 +185,8 @@ class TestIncrementalLpSolver:
         _, operator, x = fig1_system
         support = list(range(23))
         solver = IncrementalLpSolver(
-            operator, x, support, 23, self._base_bands(x), cap=2000.0
+            operator, x, support, 23, self._base_bands(x), cap=2000.0,
+            engine="scipy",
         )
         scratch = BandConstraints.unbounded(10)
         for j in range(5):
