@@ -43,7 +43,8 @@ def main() -> None:
     context = scenario.attack_context(["B", "C"])
     attack = ChosenVictimAttack(context, victim_links=[9], mode="exclusive")
     outcome = attack.run()
-    assert outcome.feasible
+    if not outcome.feasible:
+        raise RuntimeError(f"chosen-victim attack infeasible: {outcome.status}")
     print(
         f"\nchosen-victim attack: damage ||m||_1 = {outcome.damage:.0f} ms, "
         f"mean path delay {outcome.mean_path_measurement:.1f} ms "
@@ -73,7 +74,8 @@ def main() -> None:
     stealthy = ChosenVictimAttack(
         context, victim_links=[0], stealthy=True, confined=True
     ).run()
-    assert stealthy.feasible
+    if not stealthy.feasible:
+        raise RuntimeError(f"stealthy attack infeasible: {stealthy.status}")
     stealth_report = auditor.audit(stealthy.observed_measurements)
     print(
         f"auditor on a stealthy perfect-cut attack framing link 1: "

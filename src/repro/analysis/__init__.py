@@ -23,6 +23,14 @@ lazily; the contracts module is tiny and imported by the core packages.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+    from pathlib import Path
+
+    from repro.analysis.lint import Violation
+
 from repro.analysis.contracts import (
     ContractViolation,
     contract,
@@ -41,7 +49,9 @@ __all__ = [
 ]
 
 
-def run_lint(paths, *, select=None):
+def run_lint(
+    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+) -> list[Violation]:
     """Lint ``paths`` and return the list of violations (lazy import)."""
     from repro.analysis.lint import lint_paths
 

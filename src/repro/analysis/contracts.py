@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import functools
 import inspect
-import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
+from typing import Any
 
 import numpy as np
 
+from repro import config
 from repro.exceptions import ContractViolation
 
 __all__ = [
@@ -39,12 +40,7 @@ __all__ = [
     "enable_contracts",
 ]
 
-_enabled: bool = os.environ.get("REPRO_CONTRACTS", "").strip().lower() in (
-    "1",
-    "true",
-    "yes",
-    "on",
-)
+_enabled: bool = config.get_bool("REPRO_CONTRACTS")
 
 
 def contracts_enabled() -> bool:
@@ -65,7 +61,7 @@ def disable_contracts() -> None:
 
 
 @contextmanager
-def contracts_active(enabled: bool = True):
+def contracts_active(enabled: bool = True) -> Iterator[None]:
     """Temporarily force contracts on (or off) within a ``with`` block."""
     global _enabled
     previous = _enabled
@@ -164,9 +160,9 @@ def check_band_bounds(thresholds: object, name: str = "thresholds") -> None:
 
 
 def contract(
-    *call_checks: Callable[[dict], None],
+    *call_checks: Callable[[dict[str, Any]], None],
     **param_checks: Callable[[object, str], None],
-) -> Callable:
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Attach contract checks to a function or method.
 
     ``param_checks`` maps parameter names to ``checker(value, name)``
@@ -180,11 +176,11 @@ def contract(
     :class:`ContractViolation` annotated with the entry-point name.
     """
 
-    def decorate(fn: Callable) -> Callable:
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         signature = inspect.signature(fn)
 
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             if _enabled:
                 bound = signature.bind(*args, **kwargs)
                 bound.apply_defaults()

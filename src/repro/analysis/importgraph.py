@@ -1,0 +1,275 @@
+"""Import-graph rules: architecture layering (RP006) and dead code (RP010).
+
+The layer contract lives in ``analysis/layers.toml`` next to this module:
+an ordered list of layers, each naming dotted module prefixes under the
+root package.  RP006 checks every **module-scope** import edge against
+the contract — an import from a higher layer is a violation, as is a
+package module assigned to no layer.  Function-local (lazy) imports are
+exempt by design: they carry no import-time coupling, and the CLI and
+routing diagnostics use them precisely to break would-be cycles.
+
+RP010 flags public top-level definitions in the package that no other
+analyzed file references — by name load, attribute access, from-import,
+or ``__all__`` export.  It is opt-in (``repro analyze --select RP010``)
+because reference analysis is necessarily name-based: a symbol kept for
+external consumers looks identical to a dead one, so findings are review
+prompts rather than hard failures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.lint.registry import ProjectRule, Violation, register_rule
+from repro.analysis.project import ModuleFacts, ProjectModel
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_LAYERS_PATH",
+    "DeadCodeRule",
+    "LayerContract",
+    "LayerContractRule",
+    "load_layer_contract",
+]
+
+#: The contract shipped with the repository.
+DEFAULT_LAYERS_PATH = Path(__file__).resolve().parent / "layers.toml"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer: its position, name, and dotted module prefixes."""
+
+    index: int
+    name: str
+    prefixes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """The ordered layer stack for one root package."""
+
+    root: str
+    layers: tuple[Layer, ...]
+
+    def layer_of(self, sub_module: str) -> Layer | None:
+        """The layer owning ``sub_module`` (longest prefix wins)."""
+        best: Layer | None = None
+        best_length = -1
+        for layer in self.layers:
+            for prefix in layer.prefixes:
+                if prefix == ".":
+                    if sub_module == "" and best_length < 0:
+                        best, best_length = layer, 0
+                    continue
+                if sub_module == prefix or sub_module.startswith(prefix + "."):
+                    if len(prefix) > best_length:
+                        best, best_length = layer, len(prefix)
+        return best
+
+
+def _parse_minimal_toml(text: str) -> dict[str, object]:
+    """Parse the layers.toml subset on interpreters without ``tomllib``.
+
+    Handles exactly what the contract file uses: top-level string keys,
+    ``[[layers]]`` array-of-tables headers, and single-line string
+    arrays.  Anything else raises so a malformed contract fails loudly.
+    """
+    data: dict[str, object] = {}
+    tables: list[dict[str, object]] = []
+    current: dict[str, object] | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[layers]]":
+            current = {}
+            tables.append(current)
+            data["layers"] = tables
+            continue
+        if "=" not in line:
+            raise ValidationError(f"unparseable layers.toml line: {raw!r}")
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        parsed: object
+        if value.startswith("[") and value.endswith("]"):
+            items = [item.strip() for item in value[1:-1].split(",") if item.strip()]
+            parsed = [item.strip("\"'") for item in items]
+        elif value.startswith('"') and value.endswith('"'):
+            parsed = value[1:-1]
+        else:
+            raise ValidationError(f"unparseable layers.toml value: {raw!r}")
+        (current if current is not None else data)[key] = parsed
+    return data
+
+
+def load_layer_contract(path: str | Path | None = None) -> LayerContract:
+    """Load and validate a layer contract (default: the shipped one)."""
+    contract_path = Path(path) if path is not None else DEFAULT_LAYERS_PATH
+    try:
+        text = contract_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"cannot read layer contract {contract_path}: {exc}") from exc
+    try:
+        import tomllib
+
+        data = tomllib.loads(text)
+    except ModuleNotFoundError:  # Python 3.10
+        data = _parse_minimal_toml(text)
+    except Exception as exc:
+        raise ValidationError(f"invalid layer contract {contract_path}: {exc}") from exc
+    root = data.get("root")
+    raw_layers = data.get("layers")
+    if not isinstance(root, str) or not isinstance(raw_layers, list) or not raw_layers:
+        raise ValidationError(
+            f"layer contract {contract_path} needs a root string and [[layers]]"
+        )
+    layers: list[Layer] = []
+    seen_prefixes: set[str] = set()
+    for index, entry in enumerate(raw_layers):
+        name = entry.get("name")
+        prefixes = entry.get("modules")
+        if not isinstance(name, str) or not isinstance(prefixes, list) or not prefixes:
+            raise ValidationError(
+                f"layer contract {contract_path}: layer {index} needs name and modules"
+            )
+        for prefix in prefixes:
+            if prefix in seen_prefixes:
+                raise ValidationError(
+                    f"layer contract {contract_path}: prefix {prefix!r} assigned twice"
+                )
+            seen_prefixes.add(prefix)
+        layers.append(Layer(index=index, name=name, prefixes=tuple(prefixes)))
+    return LayerContract(root=root, layers=tuple(layers))
+
+
+def _module_scope_targets(facts: ModuleFacts, root: str) -> Iterator[tuple[str, int]]:
+    """Dotted in-package import targets bound at module scope."""
+    prefix = root + "."
+    for imp in facts.imports:
+        if imp["scope"] != "module":
+            continue
+        module = imp["module"]
+        if not (module == root or module.startswith(prefix)):
+            continue
+        # ``from pkg import name`` may target the submodule pkg.name.
+        if imp["kind"] == "from":
+            yield f"{module}.{imp['name']}", imp["lineno"]
+        else:
+            yield module, imp["lineno"]
+
+
+@register_rule
+class LayerContractRule(ProjectRule):
+    """RP006 — module-scope imports must respect the layer contract."""
+
+    rule_id = "RP006"
+    summary = (
+        "module-scope imports must flow downward through the layer contract "
+        "(analysis/layers.toml); unassigned package modules are violations"
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        contract = load_layer_contract(project.layers_path)
+        root = contract.root
+        for facts in project.package_files():
+            sub = facts.sub_module(root)
+            if sub is None:
+                continue
+            importer_layer = contract.layer_of(sub)
+            if importer_layer is None:
+                yield self.project_violation(
+                    facts.path,
+                    1,
+                    f"module {facts.module} is not assigned to any layer in "
+                    "layers.toml — add it to the contract",
+                )
+                continue
+            for target, lineno in _module_scope_targets(facts, root):
+                target_sub = self._target_sub_module(project, root, target)
+                if target_sub is None:
+                    continue
+                target_layer = contract.layer_of(target_sub)
+                if target_layer is None:
+                    # Reported once at the defining module, not per import.
+                    continue
+                if target_layer.index > importer_layer.index:
+                    yield self.project_violation(
+                        facts.path,
+                        lineno,
+                        f"layer {importer_layer.name!r} module {facts.module} "
+                        f"imports {root}.{target_sub} from higher layer "
+                        f"{target_layer.name!r} at module scope "
+                        "(use a function-local import or invert the dependency)",
+                    )
+
+    @staticmethod
+    def _target_sub_module(
+        project: ProjectModel, root: str, target: str
+    ) -> str | None:
+        """Resolve a dotted import target to a known module's sub-path.
+
+        ``from repro.attacks import lp`` targets ``repro.attacks.lp`` when
+        that module exists, otherwise the name is an attribute of
+        ``repro.attacks`` and the edge binds the shorter module.
+        """
+        candidate = target
+        while candidate and candidate != root:
+            if candidate in project.by_module:
+                facts = project.by_module[candidate]
+                return facts.sub_module(root)
+            candidate = candidate.rpartition(".")[0]
+        if candidate == root and candidate in project.by_module:
+            return project.by_module[candidate].sub_module(root)
+        return None
+
+
+@register_rule
+class DeadCodeRule(ProjectRule):
+    """RP010 — public top-level symbols nothing else references."""
+
+    rule_id = "RP010"
+    summary = (
+        "public module-level function/class referenced by no other analyzed "
+        "file (opt-in: repro analyze --select RP010)"
+    )
+
+    #: Opt-in rules are skipped unless explicitly selected.
+    default_enabled = False
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        root = project.root_package
+        refs_elsewhere: dict[str, set[str]] = {}
+        for facts in project.files:
+            key = facts.rel_path
+            names = set(facts.name_refs)
+            names.update(facts.all_exports)
+            for name in names:
+                refs_elsewhere.setdefault(name, set()).add(key)
+        for facts in project.package_files():
+            if facts.rel_path.endswith("__init__.py"):
+                # Facade modules re-export; their symbols are the API.
+                continue
+            exported = set(facts.all_exports)
+            for definition in facts.public_defs:
+                name = definition["name"]
+                if definition.get("decorated"):
+                    # Decorators consume the object (registration patterns,
+                    # fixtures, dispatch tables) — not dead by name analysis.
+                    continue
+                users = refs_elsewhere.get(name, set()) - {facts.rel_path}
+                if users:
+                    continue
+                if name in exported:
+                    hint = "exported in __all__ but never referenced elsewhere"
+                else:
+                    hint = "referenced by no other analyzed file"
+                yield self.project_violation(
+                    facts.path,
+                    definition["lineno"],
+                    f"public {definition['kind']} {name!r} looks dead: {hint} "
+                    "(delete it, underscore it, or keep it via noqa with a reason)",
+                )

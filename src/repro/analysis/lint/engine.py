@@ -6,32 +6,68 @@ every selected rule, and filters findings through per-line
 ``# repro: noqa`` / ``# repro: noqa RP001,RP002`` suppressions.  Parse
 failures surface as ``RP000`` findings so a syntactically broken file
 fails the lint run instead of being skipped silently.
+
+Two entry points share this machinery:
+
+- :func:`lint_paths` — the per-file rules only, one module at a time.
+- :func:`analyze_paths` — the whole-program analyzer: per-file facts are
+  extracted once (through the SHA-256 content cache), the per-file rules
+  run on cache misses, and the project rules (RP006+) run over the
+  assembled :class:`~repro.analysis.project.ProjectModel`.  Results fold
+  into an :class:`AnalysisReport` carrying severities, baseline
+  suppression, and cache statistics.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
+import hashlib
 import json
 import re
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.analysis.lint.registry import (
     LintRule,
     ModuleSource,
+    ProjectRule,
     Violation,
     all_rules,
     resolve_selection,
 )
 from repro.exceptions import ValidationError
 
+if TYPE_CHECKING:  # resolved lazily at runtime to keep lint importable alone
+    from repro.analysis.project import ModuleFacts
+
 __all__ = [
+    "AnalysisReport",
+    "DEFAULT_CACHE_DIR",
+    "PROFILES",
+    "analyze_paths",
     "collect_python_files",
+    "format_analysis",
     "format_violations",
     "lint_file",
     "lint_paths",
+    "load_baseline",
     "noqa_rules_for_line",
+    "write_baseline",
 ]
+
+#: Default location of the content-hash facts cache.
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+#: Severity profiles: rules demoted to advisory per audience.  Library
+#: code answers for every rule; test/benchmark/example code may multiply
+#: bare literals and seed ad-hoc RNGs without failing the run.
+PROFILES: dict[str, frozenset[str]] = {
+    "src": frozenset(),
+    "tests": frozenset({"RP002", "RP003"}),
+}
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*))?",
@@ -130,24 +166,50 @@ def lint_file(
     return found
 
 
+def _apply_profile(violations: list[Violation], profile: str) -> list[Violation]:
+    """Demote the profile's advisory rules; unknown profiles are errors."""
+    if profile not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        raise ValidationError(f"unknown lint profile {profile!r} (known: {known})")
+    advisory = PROFILES[profile]
+    if not advisory:
+        return violations
+    return [
+        dataclasses.replace(v, severity="advisory") if v.rule in advisory else v
+        for v in violations
+    ]
+
+
 def lint_paths(
-    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    profile: str = "src",
 ) -> list[Violation]:
     """Lint files/directories; returns all violations sorted by location.
 
     ``select`` limits the run to the given rule ids (``None`` = all
     registered rules); unknown ids raise
-    :class:`~repro.exceptions.ValidationError`.
+    :class:`~repro.exceptions.ValidationError`.  ``profile`` picks the
+    severity profile (``tests`` demotes RP002/RP003 to advisory).
     """
     path_list = [Path(p) for p in paths]
-    rules = resolve_selection(select)
+    resolved = resolve_selection(select)
+    if select is not None:
+        project_ids = [r.rule_id for r in resolved if isinstance(r, ProjectRule)]
+        if project_ids:
+            raise ValidationError(
+                f"rule(s) {', '.join(project_ids)} need the whole-program "
+                "analyzer: use `repro analyze`, not `repro lint`"
+            )
+    rules = [r for r in resolved if not isinstance(r, ProjectRule)]
     roots = [p if p.is_dir() else p.parent for p in path_list]
     violations: list[Violation] = []
     for file_path in collect_python_files(path_list):
         rel = _relative_to_root(file_path, roots)
         violations.extend(lint_file(file_path, rules, rel_path=rel))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return violations
+    return _apply_profile(violations, profile)
 
 
 def format_violations(
@@ -171,3 +233,290 @@ def format_violations(
         }
         return json.dumps(payload, indent=2, sort_keys=True)
     raise ValidationError(f"unknown lint output format {fmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# The whole-program analyzer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one :func:`analyze_paths` run.
+
+    ``violations`` holds the *active* findings (baseline-suppressed ones
+    are counted, not listed); ``expired`` lists baseline entries that no
+    current finding matches — stale acceptances to prune, reported but
+    never fatal.
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    expired: list[dict[str, Any]] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    root_package: str = "repro"
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for v in self.violations if v.severity == "error")
+
+    @property
+    def advisory_count(self) -> int:
+        return sum(1 for v in self.violations if v.severity != "error")
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean (advisories allowed), 1 when any error-severity finding."""
+        return 1 if self.error_count else 0
+
+
+def load_baseline(path: str | Path) -> dict[str, dict[str, Any]]:
+    """Accepted findings keyed by fingerprint.
+
+    The file is JSON: ``{"version": 1, "findings": [{"fingerprint": ...,
+    "rule": ..., "path": ..., "message": ...}]}``.  A missing or
+    malformed baseline is a usage error — silently analyzing without the
+    acceptances would flip the run's meaning.
+    """
+    baseline_path = Path(path)
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValidationError(f"cannot read baseline {baseline_path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"baseline {baseline_path} is not JSON: {exc}") from exc
+    findings = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(findings, list):
+        raise ValidationError(
+            f"baseline {baseline_path} must be an object with a findings list"
+        )
+    accepted: dict[str, dict[str, Any]] = {}
+    for entry in findings:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValidationError(
+                f"baseline {baseline_path}: every finding needs a fingerprint"
+            )
+        accepted[str(entry["fingerprint"])] = entry
+    return accepted
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> None:
+    """Accept the report's current findings as the new baseline."""
+    entries = [
+        {
+            "fingerprint": v.fingerprint(),
+            "rule": v.rule,
+            "path": v.path,
+            "message": v.message,
+        }
+        for v in sorted(report.violations, key=lambda v: (v.rule, v.path, v.message))
+    ]
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _detect_root_package(facts_list: list[ModuleFacts]) -> str:
+    """The dominant top-level package among the analyzed modules."""
+    counts: dict[str, int] = {}
+    for facts in facts_list:
+        if facts.module:
+            top = facts.module.split(".")[0]
+            counts[top] = counts.get(top, 0) + 1
+    if not counts:
+        return "repro"
+    return max(sorted(counts), key=lambda name: counts[name])
+
+
+def _violations_from_facts(facts: ModuleFacts, rule_ids: set[str]) -> list[Violation]:
+    """Reconstruct the cached per-file findings, noqa-filtered."""
+    found: list[Violation] = []
+    if facts.parse_error is not None:
+        found.append(
+            Violation(
+                rule="RP000",
+                path=facts.path,
+                line=facts.parse_error["lineno"],
+                col=facts.parse_error["col"],
+                message=f"syntax error: {facts.parse_error['message']}",
+            )
+        )
+        return found
+    for rule_id, entries in facts.violations.items():
+        if rule_id not in rule_ids:
+            continue
+        for entry in entries:
+            violation = Violation(
+                rule=entry["rule"],
+                path=entry["path"],
+                line=entry["line"],
+                col=entry["col"],
+                message=entry["message"],
+            )
+            if not _suppressed_by_noqa(violation, facts.noqa):
+                found.append(violation)
+    return found
+
+
+def _suppressed_by_noqa(
+    violation: Violation, noqa: dict[int, list[str] | None]
+) -> bool:
+    spec = noqa.get(violation.line)
+    if spec is None and violation.line not in noqa:
+        return False
+    return not spec or violation.rule in spec
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    profile: str = "src",
+    use_cache: bool = True,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    layers_path: str | Path | None = None,
+    root_package: str | None = None,
+    baseline: str | Path | None = None,
+) -> AnalysisReport:
+    """Run the whole-program analyzer over ``paths``.
+
+    Per-file facts (and per-file rule findings) round-trip through the
+    content-hash cache; the project rules re-run every time over the
+    assembled model — they are cheap once extraction is amortised.
+    """
+    from repro.analysis.project import AnalysisCache, ProjectModel, extract_facts
+
+    path_list = [Path(p) for p in paths]
+    rules = resolve_selection(select)
+    file_rule_instances = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rule_instances = [r for r in rules if isinstance(r, ProjectRule)]
+    file_rule_ids = {r.rule_id for r in file_rule_instances}
+    signature = ",".join(sorted(file_rule_ids))
+    cache = (
+        AnalysisCache(cache_dir, rules_signature=signature) if use_cache else None
+    )
+    roots = [p if p.is_dir() else p.parent for p in path_list]
+
+    facts_list: list[ModuleFacts] = []
+    for file_path in collect_python_files(path_list):
+        rel = _relative_to_root(file_path, roots)
+        source = file_path.read_text(encoding="utf-8")
+        facts = None
+        if cache is not None:
+            sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            facts = cache.load(rel, sha)
+        if facts is None:
+            tree = None
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError:
+                pass  # extract_facts records the parse error itself
+            facts = extract_facts(file_path, rel_path=rel, source=source, tree=tree)
+            if tree is not None and file_rule_instances:
+                module = ModuleSource(
+                    path=file_path,
+                    rel_path=rel,
+                    source=source,
+                    tree=tree,
+                    lines=source.splitlines(),
+                )
+                for rule in file_rule_instances:
+                    found = list(rule.check(module))
+                    if found:
+                        facts.violations[rule.rule_id] = [
+                            v.as_dict() for v in found
+                        ]
+            if cache is not None:
+                cache.store(facts)
+        facts_list.append(facts)
+
+    violations: list[Violation] = []
+    facts_by_path: dict[str, ModuleFacts] = {}
+    for facts in facts_list:
+        facts_by_path[facts.path] = facts
+        violations.extend(_violations_from_facts(facts, file_rule_ids))
+
+    detected_root = root_package or _detect_root_package(facts_list)
+    project = ProjectModel(
+        files=facts_list,
+        root_package=detected_root,
+        layers_path=Path(layers_path) if layers_path is not None else None,
+    )
+    for rule in project_rule_instances:
+        for violation in rule.check_project(project):
+            owner = facts_by_path.get(violation.path)
+            if owner is not None and _suppressed_by_noqa(violation, owner.noqa):
+                continue
+            violations.append(violation)
+
+    violations = _apply_profile(violations, profile)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    report = AnalysisReport(
+        files=len(facts_list),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+        root_package=detected_root,
+        rules=sorted(r.rule_id for r in rules),
+    )
+    if baseline is not None:
+        accepted = load_baseline(baseline)
+        matched: set[str] = set()
+        active: list[Violation] = []
+        for violation in violations:
+            fingerprint = violation.fingerprint()
+            if fingerprint in accepted:
+                matched.add(fingerprint)
+            else:
+                active.append(violation)
+        report.suppressed = len(violations) - len(active)
+        report.violations = active
+        report.expired = [
+            accepted[fp] for fp in sorted(set(accepted) - matched)
+        ]
+    else:
+        report.violations = violations
+    return report
+
+
+def format_analysis(report: AnalysisReport, *, fmt: str = "text") -> str:
+    """Render an analysis report as ``text`` or deterministic ``json``.
+
+    The JSON payload deliberately excludes cache statistics so that a
+    cold and a warm run of the same tree produce byte-identical output.
+    """
+    if fmt == "json":
+        payload = {
+            "root_package": report.root_package,
+            "files": report.files,
+            "rules": report.rules,
+            "violations": [v.as_dict() for v in report.violations],
+            "errors": report.error_count,
+            "advisories": report.advisory_count,
+            "baseline_suppressed": report.suppressed,
+            "baseline_expired": sorted(
+                str(entry.get("fingerprint")) for entry in report.expired
+            ),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if fmt != "text":
+        raise ValidationError(f"unknown analyze output format {fmt!r}")
+    lines = [v.render() for v in report.violations]
+    for entry in report.expired:
+        lines.append(
+            "baseline entry no longer matches any finding "
+            f"(prune it): {entry.get('rule')} {entry.get('path')} "
+            f"[{entry.get('fingerprint')}]"
+        )
+    summary = (
+        f"repro analyze: {report.files} file(s), "
+        f"{report.error_count} error(s), {report.advisory_count} advisory"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} baseline-suppressed"
+    if report.cache_hits or report.cache_misses:
+        summary += f" [cache {report.cache_hits} hit / {report.cache_misses} miss]"
+    lines.append(summary)
+    return "\n".join(lines)

@@ -13,15 +13,21 @@ import ast
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # runtime import would cycle through the facts extractor
+    from repro.analysis.project import ProjectModel
 
 __all__ = [
     "LintRule",
     "ModuleSource",
+    "ProjectRule",
     "Violation",
     "all_rules",
+    "file_rules",
+    "project_rules",
     "register_rule",
     "resolve_selection",
 ]
@@ -33,7 +39,9 @@ class Violation:
 
     ``rule`` is the ``RPxxx`` identifier, ``line``/``col`` are 1-based /
     0-based respectively (the ``path:line:col:`` convention used by every
-    mainstream linter, so editors can jump to the site).
+    mainstream linter, so editors can jump to the site).  ``severity`` is
+    ``"error"`` (fails the run) or ``"advisory"`` (reported, exit 0) —
+    relaxed rule profiles demote selected rules to advisory.
     """
 
     rule: str
@@ -41,12 +49,14 @@ class Violation:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
         """The canonical one-line text form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{tag} {self.message}"
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-friendly record (the ``--format json`` row)."""
         return {
             "rule": self.rule,
@@ -54,7 +64,20 @@ class Violation:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by baseline files.
+
+        Deliberately excludes ``line``/``col`` so reformatting a file does
+        not expire its accepted findings; rule + path + message is stable
+        until the finding itself changes.
+        """
+        import hashlib
+
+        key = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -97,6 +120,8 @@ class LintRule:
 
     rule_id: ClassVar[str] = "RP000"
     summary: ClassVar[str] = ""
+    #: Opt-in rules set this False: they run only under explicit --select.
+    default_enabled: ClassVar[bool] = True
 
     def check(self, module: ModuleSource) -> Iterator[Violation]:
         """Yield violations found in ``module``."""
@@ -113,6 +138,34 @@ class LintRule:
         )
 
 
+class ProjectRule(LintRule):
+    """Base class for whole-program analysis rules (RP006+).
+
+    Project rules see the entire parsed tree at once — the
+    :class:`~repro.analysis.project.ProjectModel` of extracted per-module
+    facts — instead of one module, so they can check cross-module
+    invariants (import layering, config-registry coverage, worker
+    reachability, obs schema agreement).  They implement
+    :meth:`check_project`; the per-module :meth:`check` is a no-op.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Project rules have no per-module findings."""
+        return iter(())
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        """Yield violations found across ``project``."""
+        raise NotImplementedError
+
+    def project_violation(
+        self, path: str, line: int, message: str, *, col: int = 0
+    ) -> Violation:
+        """Build a violation anchored at an explicit location."""
+        return Violation(
+            rule=self.rule_id, path=path, line=line, col=col, message=message
+        )
+
+
 _REGISTRY: dict[str, type[LintRule]] = {}
 
 
@@ -126,9 +179,31 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
 
 def all_rules() -> dict[str, type[LintRule]]:
     """The registered rules, keyed by id (import triggers registration)."""
+    import repro.analysis.concurrency  # noqa: F401  (registration side effect)
+    import repro.analysis.configscan  # noqa: F401  (registration side effect)
+    import repro.analysis.importgraph  # noqa: F401  (registration side effect)
     import repro.analysis.lint.rules  # noqa: F401  (registration side effect)
+    import repro.analysis.obschema  # noqa: F401  (registration side effect)
 
     return dict(sorted(_REGISTRY.items()))
+
+
+def file_rules() -> dict[str, type[LintRule]]:
+    """The registered per-file rules only."""
+    return {
+        rule_id: cls
+        for rule_id, cls in all_rules().items()
+        if not issubclass(cls, ProjectRule)
+    }
+
+
+def project_rules() -> dict[str, type[ProjectRule]]:
+    """The registered whole-program rules only."""
+    return {
+        rule_id: cls
+        for rule_id, cls in all_rules().items()
+        if issubclass(cls, ProjectRule)
+    }
 
 
 def resolve_selection(select: Iterable[str] | None = None) -> list[LintRule]:
@@ -139,7 +214,7 @@ def resolve_selection(select: Iterable[str] | None = None) -> list[LintRule]:
     """
     registry = all_rules()
     if select is None:
-        return [cls() for cls in registry.values()]
+        return [cls() for cls in registry.values() if cls.default_enabled]
     chosen: list[LintRule] = []
     for rule_id in select:
         normalized = rule_id.strip().upper()

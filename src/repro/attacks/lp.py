@@ -49,7 +49,6 @@ aggregation (max-damage scans, reporting tables) stays finite.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
@@ -57,6 +56,7 @@ import numpy as np
 import scipy.sparse
 from scipy.optimize import linprog
 
+from repro import config
 from repro.attacks.lp_engine import resolve_engine_name
 from repro.exceptions import AttackError, ValidationError
 from repro.obs import core as obs
@@ -105,7 +105,7 @@ def resolve_unbounded_cap(explicit: float | None = None) -> float:
     if explicit is not None:
         value, source = explicit, "resolve_cap argument"
     else:
-        raw = os.environ.get(RESOLVE_CAP_ENV_VAR, "").strip()
+        raw = (config.raw(RESOLVE_CAP_ENV_VAR) or "").strip()
         if not raw:
             return _UNBOUNDED_RESOLVE_CAP
         try:

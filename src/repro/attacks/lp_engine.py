@@ -35,13 +35,13 @@ solution types: it consumes arrays and returns a raw
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from collections.abc import Mapping
 
 import numpy as np
 import scipy.sparse
 
+from repro import config
 from repro.exceptions import ValidationError
 from repro.obs import core as obs
 from repro.perf import instrumentation as perf
@@ -119,7 +119,7 @@ def highs_bindings(*, refresh: bool = False) -> "HighsBindings | None":
     pybind module scipy >= 1.15 vendors for its own ``linprog`` backend.
     ``refresh=True`` re-probes (tests use it to simulate absence).
     """
-    global _BINDINGS
+    global _BINDINGS  # repro: worker-state-ok (idempotent per-process probe memo)
     if refresh or _BINDINGS is None:
         found = _probe_bindings()
         _BINDINGS = found if found is not None else False
@@ -139,7 +139,7 @@ def resolve_engine_name(requested: str | None = None) -> str:
         name = str(requested).strip().lower()
         source = "engine argument"
     else:
-        env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+        env = (config.raw(ENGINE_ENV_VAR) or "").strip().lower()
         if not env:
             return "scipy"
         name = env

@@ -18,8 +18,12 @@ without writing any code:
   the naive baseline, and the loss-domain variant) into a directory;
 - ``bench`` — run the performance timing harness (instrumented pipeline
   and seed-vs-optimized comparison) and write ``BENCH_*.json``;
-- ``lint`` — run the repo's invariant-enforcing static analysis
-  (rules RP001-RP005) over source trees;
+- ``lint`` — run the per-file repo lint rules (RP001-RP005) over source
+  trees;
+- ``analyze`` — run the whole-program analyzer (per-file rules plus the
+  cross-module passes RP006-RP010: layer contract, config registry,
+  worker-state discipline, obs schema, dead code) with a content-hash
+  result cache and baseline-file support;
 - ``obs`` — inspect structured observability logs (``obs summarize``).
 
 All output is plain text on stdout; exit status 0 on success, 1 on
@@ -210,6 +214,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+    lint.add_argument(
+        "--profile",
+        choices=["src", "tests"],
+        default="src",
+        help="severity profile (tests demotes RP002/RP003 to advisory)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the whole-program analyzer (RP001-RP010) with caching",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is deterministic across cache states)",
+    )
+    analyze.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (e.g. RP006,RP008); default: "
+        "all except opt-in rules (RP010)",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    analyze.add_argument(
+        "--profile",
+        choices=["src", "tests"],
+        default="src",
+        help="severity profile (tests demotes RP002/RP003 to advisory)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of accepted findings (suppressed, not fatal)",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="accept the current findings: write them as a baseline and exit 0",
+    )
+    analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash facts cache",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        default=None,
+        help="facts cache directory (default: .repro-analysis-cache)",
+    )
+    analyze.add_argument(
+        "--layers",
+        default=None,
+        help="layer contract TOML (default: the contract shipped in "
+        "repro/analysis/layers.toml)",
+    )
+    analyze.add_argument(
+        "--obs-catalog",
+        default=None,
+        metavar="PATH",
+        help="also render the obs event catalog markdown to PATH "
+        "('-' for stdout)",
     )
 
     return parser
@@ -690,24 +769,97 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _print_rule_listing() -> int:
+    from repro.analysis.lint import all_rules
+    from repro.analysis.lint.registry import ProjectRule
+
+    for rule_id, rule_cls in all_rules().items():
+        tags = []
+        if issubclass(rule_cls, ProjectRule):
+            tags.append("whole-program")
+        if not rule_cls.default_enabled:
+            tags.append("opt-in")
+        suffix = f" [{', '.join(tags)}]" if tags else ""
+        print(f"{rule_id}  {rule_cls.summary}{suffix}")
+    return 0
+
+
+def _parse_select(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code for code in raw.split(",") if code.strip()]
+
+
 def _cmd_lint(args) -> int:
-    from repro.analysis.lint import all_rules, format_violations, lint_paths
+    from repro.analysis.lint import format_violations, lint_paths
     from repro.exceptions import ValidationError
 
     if args.list_rules:
-        for rule_id, rule_cls in all_rules().items():
-            print(f"{rule_id}  {rule_cls.summary}")
-        return 0
-    select = None
-    if args.select is not None:
-        select = [code for code in args.select.split(",") if code.strip()]
+        return _print_rule_listing()
+    select = _parse_select(args.select)
     try:
-        violations = lint_paths(args.paths, select=select)
+        violations = lint_paths(args.paths, select=select, profile=args.profile)
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_violations(violations, fmt=args.fmt, select=select))
-    return 1 if violations else 0
+    return 1 if any(v.severity == "error" for v in violations) else 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.lint.engine import (
+        DEFAULT_CACHE_DIR,
+        analyze_paths,
+        format_analysis,
+        write_baseline,
+    )
+    from repro.exceptions import ValidationError
+
+    if args.list_rules:
+        return _print_rule_listing()
+    try:
+        report = analyze_paths(
+            args.paths,
+            select=_parse_select(args.select),
+            profile=args.profile,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            layers_path=args.layers,
+            baseline=args.baseline,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_catalog is not None:
+        from pathlib import Path
+
+        from repro.analysis.lint.engine import collect_python_files
+        from repro.analysis.obschema import render_obs_catalog
+        from repro.analysis.project import ProjectModel, extract_facts
+
+        roots = [Path(p) for p in args.paths]
+        files = [
+            extract_facts(path, rel_path=path.as_posix())
+            for path in collect_python_files(roots)
+        ]
+        catalog = render_obs_catalog(
+            ProjectModel(files=files, root_package=report.root_package)
+        )
+        if args.obs_catalog == "-":
+            print(catalog)
+        else:
+            Path(args.obs_catalog).write_text(catalog, encoding="utf-8")
+            print(f"wrote obs catalog to {args.obs_catalog}", file=sys.stderr)
+    if args.write_baseline is not None:
+        write_baseline(report, args.write_baseline)
+        print(
+            f"accepted {len(report.violations)} finding(s) into "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    print(format_analysis(report, fmt=args.fmt))
+    return report.exit_code
 
 
 def _dispatch(args) -> int:
@@ -733,6 +885,8 @@ def _dispatch(args) -> int:
         return _cmd_obs(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     raise RuntimeError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -25,10 +25,11 @@ Non-finite floats in user-supplied fields are encoded as the strings
 ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` so every line stays strict
 JSON (``allow_nan=False`` is enforced on write).
 
-Like :mod:`repro.perf.instrumentation`, this module is stdlib-only and
-imports nothing from the rest of ``repro`` so that any layer can report
-into it without cycles.  When no log is active every module-level hook
-is a single global load plus a ``None`` check.
+Like :mod:`repro.perf.instrumentation`, this module is stdlib-only apart
+from the leaf-level :mod:`repro.config` knob registry, and imports
+nothing else from ``repro`` so that any layer can report into it without
+cycles.  When no log is active every module-level hook is a single
+global load plus a ``None`` check.
 """
 
 from __future__ import annotations
@@ -40,6 +41,8 @@ import time
 from collections import Counter
 from contextlib import contextmanager, nullcontext
 from pathlib import Path
+
+from repro import config
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -60,9 +63,6 @@ __all__ = [
 
 #: Schema version stamped into every run-log header.
 SCHEMA_VERSION = 1
-
-#: Truthy values accepted for ``REPRO_OBS``.
-_TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 
 def sanitize(value: object) -> object:
@@ -259,7 +259,7 @@ def detach_inherited_log() -> None:
     closing the shared descriptor, and the worker runs with the log
     disabled.  No-op in the process that created the log.
     """
-    global _ACTIVE
+    global _ACTIVE  # repro: worker-state-ok (dropping the inherited log IS the job)
     if _ACTIVE is not None and _ACTIVE._pid != os.getpid():
         _ACTIVE = None
 
@@ -310,7 +310,7 @@ def enabled(path: str | Path, *, run_id: str | None = None):
 
 def env_enabled() -> bool:
     """True when ``REPRO_OBS`` requests observability."""
-    return os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+    return config.get_bool("REPRO_OBS")
 
 
 def default_run_path() -> Path:
@@ -320,10 +320,10 @@ def default_run_path() -> Path:
     ``run-YYYYmmdd-HHMMSS-<pid>.jsonl`` under ``REPRO_OBS_DIR`` (default
     ``obs_runs/``).
     """
-    explicit = os.environ.get("REPRO_OBS_PATH", "").strip()
+    explicit = config.get_str("REPRO_OBS_PATH")
     if explicit:
         return Path(explicit)
-    directory = Path(os.environ.get("REPRO_OBS_DIR", "").strip() or "obs_runs")
+    directory = Path(config.get_str("REPRO_OBS_DIR"))
     stamp = time.strftime("%Y%m%d-%H%M%S")
     return directory / f"run-{stamp}-{os.getpid()}.jsonl"
 

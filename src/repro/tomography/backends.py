@@ -29,7 +29,6 @@ regime where the dense SVD dominates end-to-end sweep time.
 
 from __future__ import annotations
 
-import os
 from functools import cached_property
 
 import numpy as np
@@ -37,6 +36,7 @@ import scipy.linalg
 import scipy.sparse
 from scipy.sparse.linalg import lsmr
 
+from repro import config
 from repro.exceptions import ValidationError
 from repro.perf import instrumentation as perf
 from repro.utils.linalg import compact_svd, pinv_from_svd
@@ -107,7 +107,7 @@ def resolve_backend_name(
     """
     choice = requested
     if choice is None:
-        choice = os.environ.get(BACKEND_ENV_VAR) or "auto"
+        choice = config.raw(BACKEND_ENV_VAR) or "auto"
     if choice not in _BACKEND_NAMES:
         raise ValidationError(
             f"unknown backend {choice!r}; choose from {_BACKEND_NAMES}"

@@ -1,0 +1,810 @@
+"""Whole-program analyzer: fixture trees per pass, baseline round-trips,
+cache behaviour (correctness and the >=5x warm-run speedup), and the
+deterministic JSON report."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.lint.engine import (
+    AnalysisReport,
+    analyze_paths,
+    format_analysis,
+    load_baseline,
+    write_baseline,
+)
+from repro.cli import main
+from repro.exceptions import ValidationError
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def _analyze(tree: Path, select: list[str], **kwargs) -> AnalysisReport:
+    kwargs.setdefault("use_cache", False)
+    kwargs.setdefault("root_package", "pkg")
+    return analyze_paths([tree], select=select, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# RP006 — architecture layering
+# ---------------------------------------------------------------------------
+
+LAYERS_TOML = """\
+root = "pkg"
+
+[[layers]]
+name = "core"
+modules = [".", "core"]
+
+[[layers]]
+name = "app"
+modules = ["app"]
+"""
+
+
+class TestLayerContract:
+    def _tree(self, tmp_path, core_source: str) -> tuple[Path, Path]:
+        layers = tmp_path / "layers.toml"
+        layers.write_text(LAYERS_TOML)
+        tree = _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/core.py": core_source,
+                "pkg/app.py": """
+                    from pkg.core import helper
+
+                    def run():
+                        return helper()
+                    """,
+            },
+        )
+        return tree, layers
+
+    def test_upward_module_scope_import_is_violation(self, tmp_path):
+        tree, layers = self._tree(
+            tmp_path,
+            """
+            import pkg.app
+
+            def helper():
+                return 1
+            """,
+        )
+        report = _analyze(tree, ["RP006"], layers_path=layers)
+        assert [v.rule for v in report.violations] == ["RP006"]
+        message = report.violations[0].message
+        assert "higher layer" in message and "pkg.app" in message
+        assert report.violations[0].path.endswith("core.py")
+        assert report.exit_code == 1
+
+    def test_lazy_upward_import_is_exempt(self, tmp_path):
+        tree, layers = self._tree(
+            tmp_path,
+            """
+            def helper():
+                return 1
+
+            def diagnostics():
+                import pkg.app as app
+                return app
+            """,
+        )
+        report = _analyze(tree, ["RP006"], layers_path=layers)
+        assert report.violations == []
+        assert report.exit_code == 0
+
+    def test_unassigned_module_is_violation(self, tmp_path):
+        tree, layers = self._tree(tmp_path, "def helper():\n    return 1\n")
+        _write_tree(tree, {"pkg/extra.py": "x = 1\n"})
+        report = _analyze(tree, ["RP006"], layers_path=layers)
+        assert [v.rule for v in report.violations] == ["RP006"]
+        assert "not assigned to any layer" in report.violations[0].message
+        assert report.violations[0].path.endswith("extra.py")
+
+    def test_malformed_contract_is_usage_error(self, tmp_path):
+        tree, _ = self._tree(tmp_path, "def helper():\n    return 1\n")
+        broken = tmp_path / "broken.toml"
+        broken.write_text('root = "pkg"\n')  # no [[layers]]
+        with pytest.raises(ValidationError):
+            _analyze(tree, ["RP006"], layers_path=broken)
+
+
+# ---------------------------------------------------------------------------
+# RP007 — config/env registry round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestConfigRegistry:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        return _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/config.py": """
+                    class Knob:
+                        def __init__(self, name, kind="str"):
+                            self.name = name
+                            self.kind = kind
+
+                    REGISTRY = {
+                        k.name: k
+                        for k in (
+                            Knob(name="REPRO_GOOD"),
+                            Knob(name="REPRO_DEAD"),
+                        )
+                    }
+
+                    def raw(name):
+                        return REGISTRY[name]
+                    """,
+                "pkg/names.py": 'IMPORTED_NAME = "REPRO_GOOD"\n',
+                "pkg/use.py": """
+                    import os
+
+                    from pkg import config
+                    from pkg.names import IMPORTED_NAME
+
+                    LOCAL_NAME = "REPRO_GOOD"
+
+                    def read_literal():
+                        return config.raw("REPRO_GOOD")
+
+                    def read_local_constant():
+                        return config.get_bool(LOCAL_NAME)
+
+                    def read_imported_constant():
+                        return config.get_str(IMPORTED_NAME)
+
+                    def read_undeclared():
+                        return config.get_float("REPRO_NOPE")
+
+                    def read_dynamic(name):
+                        return config.raw(name)
+
+                    def bypass():
+                        return os.environ.get("REPRO_SNEAKY")
+                    """,
+            },
+        )
+
+    def test_all_four_disciplines(self, tree):
+        report = _analyze(tree, ["RP007"])
+        messages = sorted(v.message for v in report.violations)
+        assert len(messages) == 4
+        assert any("bypasses" in m and "REPRO_SNEAKY" in m for m in messages)
+        assert any("'REPRO_NOPE'" in m and "does not declare" in m for m in messages)
+        assert any("dynamic knob" in m for m in messages)
+        assert any("'REPRO_DEAD'" in m and "no accessor site" in m for m in messages)
+
+    def test_constant_resolution_does_not_false_positive(self, tree):
+        report = _analyze(tree, ["RP007"])
+        # The literal, local-constant, and cross-module-constant reads all
+        # resolve to REPRO_GOOD: declared, so never flagged.
+        assert not any("'REPRO_GOOD'" in v.message for v in report.violations)
+
+    def test_dead_entry_points_at_declaration(self, tree):
+        report = _analyze(tree, ["RP007"])
+        dead = [v for v in report.violations if "no accessor site" in v.message]
+        assert len(dead) == 1
+        assert dead[0].path.endswith("config.py")
+
+    def test_tree_without_registry_is_silent(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "bare",
+            {
+                "pkg/__init__.py": "",
+                "pkg/use.py": "import os\n\nX = os.environ.get('HOME')\n",
+            },
+        )
+        assert _analyze(tree, ["RP007"]).violations == []
+
+
+# ---------------------------------------------------------------------------
+# RP008 — worker-state discipline
+# ---------------------------------------------------------------------------
+
+RACY_WORKERS = """
+    from functools import partial
+
+    from pkg.pool import run_trials
+
+    TOTALS = {}
+    COUNTS = []
+    LIMIT = 3
+
+    def bad_worker(i):
+        TOTALS[i] = i
+        return i
+
+    def helper_write():
+        global LIMIT
+        LIMIT = 5
+
+    def chained_worker(i):
+        helper_write()
+        return i
+
+    def ok_worker(i):
+        local = []
+        local.append(i)
+        return len(local)
+
+    def deliberate_worker(i):
+        TOTALS[i] = i  # repro: worker-state-ok (test fixture)
+        return i
+
+    def mutator(items):
+        items.append(1)
+        return items
+
+    def scaled_worker(factor, i):
+        COUNTS.append(i * factor)
+        return i
+
+    def run_all():
+        run_trials(2, bad_worker, workers=2)
+        run_trials(2, chained_worker)
+        run_trials(2, ok_worker)
+        run_trials(2, deliberate_worker)
+        run_trials(2, mutator)
+        run_trials(2, lambda i: i, workers=2)
+
+    def run_partial():
+        fn = partial(scaled_worker, 2)
+        return run_trials(2, fn)
+
+    def run_nested():
+        def inner(i):
+            return i
+        return run_trials(2, inner, workers=2)
+    """
+
+
+class TestWorkerState:
+    @pytest.fixture()
+    def report(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/pool.py": """
+                    def run_trials(n, trial, workers=None):
+                        return [trial(i) for i in range(n)]
+                    """,
+                "pkg/work.py": RACY_WORKERS,
+            },
+        )
+        return _analyze(tree, ["RP008"])
+
+    def test_module_state_write_in_worker(self, report):
+        assert any(
+            "bad_worker" in v.message and "'TOTALS'" in v.message
+            for v in report.violations
+        )
+
+    def test_global_decl_reachable_through_call_graph(self, report):
+        assert any(
+            "helper_write" in v.message and "'LIMIT'" in v.message
+            for v in report.violations
+        )
+
+    def test_argument_mutation_in_root_worker(self, report):
+        assert any(
+            "mutator" in v.message and "'items'" in v.message
+            for v in report.violations
+        )
+
+    def test_lambda_and_nested_def_with_workers(self, report):
+        assert any("lambda" in v.message for v in report.violations)
+        assert any(
+            "closure-local function 'inner'" in v.message for v in report.violations
+        )
+
+    def test_partial_bound_worker_is_resolved(self, report):
+        assert any(
+            "scaled_worker" in v.message and "'COUNTS'" in v.message
+            for v in report.violations
+        )
+
+    def test_allowlist_marker_silences(self, report):
+        assert not any("deliberate_worker" in v.message for v in report.violations)
+
+    def test_clean_worker_not_flagged(self, report):
+        assert not any("ok_worker" in v.message for v in report.violations)
+        # Exactly the six seeded defects, nothing else.
+        assert len(report.violations) == 6
+
+
+# ---------------------------------------------------------------------------
+# RP009 — obs-schema drift
+# ---------------------------------------------------------------------------
+
+
+class TestObsSchema:
+    @pytest.fixture()
+    def report(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/obs/__init__.py": "",
+                "pkg/obs/core.py": """
+                    def emit_event(name):
+                        return {"kind": "event", "name": name}
+
+                    def emit_footer(total):
+                        return {"kind": "footer", "total": total}
+
+                    def emit_orphan():
+                        return {"kind": "orphan", "x": 1}
+                    """,
+                "pkg/obs/summary.py": """
+                    def summarize_events(records):
+                        footer = None
+                        out = {}
+                        for record in records:
+                            kind = record.get("kind")
+                            if kind == "event":
+                                out[record.get("name")] = record.get("t")
+                                record.get("missing_field")
+                            if kind == "footer":
+                                footer = record
+                            if kind == "ghost":
+                                out["ghost"] = record.get("id")
+                        out["total"] = (footer or {}).get("total")
+                        return out
+                    """,
+            },
+        )
+        return _analyze(tree, ["RP009"])
+
+    def test_consumed_kind_never_emitted(self, report):
+        assert any(
+            "'ghost'" in v.message and "never emits" in v.message
+            for v in report.violations
+        )
+
+    def test_field_missing_at_emit_site(self, report):
+        flagged = [v for v in report.violations if "missing_field" in v.message]
+        assert len(flagged) == 1
+        assert flagged[0].path.endswith("core.py")
+
+    def test_emitted_kind_never_summarised(self, report):
+        assert any(
+            "'orphan'" in v.message and "schema drift" in v.message
+            for v in report.violations
+        )
+
+    def test_envelope_fields_and_matching_reads_are_clean(self, report):
+        # record.get("t") (envelope), record.get("name"), and the
+        # (footer or {}).get("total") idiom must not be flagged.
+        assert not any("'t'" in v.message for v in report.violations)
+        assert not any("'name'" in v.message for v in report.violations)
+        assert not any("total" in v.message for v in report.violations)
+        assert len(report.violations) == 3
+
+
+# ---------------------------------------------------------------------------
+# RP010 — dead code (opt-in)
+# ---------------------------------------------------------------------------
+
+
+class TestDeadCode:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        return _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "from pkg.app import call\n",
+                "pkg/lib.py": """
+                    __all__ = ["used_fn", "dead_fn"]
+
+                    def _register(obj):
+                        return obj
+
+                    def used_fn():
+                        return 1
+
+                    def dead_fn():
+                        return 2
+
+                    def _private_helper():
+                        return 3
+
+                    @_register
+                    class RegisteredThing:
+                        pass
+
+                    class Base:
+                        pass
+                    """,
+                "pkg/app.py": """
+                    from pkg.lib import Base, used_fn
+
+                    class Child(Base):
+                        pass
+
+                    def call():
+                        return used_fn()
+                    """,
+            },
+        )
+
+    def test_only_genuinely_unreferenced_symbols_flagged(self, tree):
+        report = _analyze(tree, ["RP010"])
+        flagged = {v.message.split("'")[1] for v in report.violations}
+        # dead_fn: nothing references it.  Child: public, unreferenced.
+        assert flagged == {"dead_fn", "Child"}
+
+    def test_decorated_private_and_based_symbols_survive(self, tree):
+        report = _analyze(tree, ["RP010"])
+        flagged = " ".join(v.message for v in report.violations)
+        assert "RegisteredThing" not in flagged  # decorated = registered
+        assert "_private_helper" not in flagged  # private
+        assert "'Base'" not in flagged  # used as a base class elsewhere
+        assert "used_fn" not in flagged
+
+    def test_rp010_is_opt_in(self, tree):
+        report = _analyze(tree, select=None)
+        assert not any(v.rule == "RP010" for v in report.violations)
+
+    def test_rp010_needs_analyze_not_lint(self, tree):
+        with pytest.raises(ValidationError, match="repro analyze"):
+            lint_paths([tree], select=["RP010"])
+
+
+# ---------------------------------------------------------------------------
+# Baseline accept / expire
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def _violating_tree(self, tmp_path):
+        layers = tmp_path / "layers.toml"
+        layers.write_text(LAYERS_TOML)
+        tree = _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/core.py": "import pkg.app\n",
+                "pkg/app.py": "",
+            },
+        )
+        return tree, layers
+
+    def test_accepted_findings_are_suppressed(self, tmp_path):
+        tree, layers = self._violating_tree(tmp_path)
+        report = _analyze(tree, ["RP006"], layers_path=layers)
+        assert report.exit_code == 1
+        baseline = tmp_path / "baseline.json"
+        write_baseline(report, baseline)
+        assert len(load_baseline(baseline)) == len(report.violations)
+
+        accepted = _analyze(tree, ["RP006"], layers_path=layers, baseline=baseline)
+        assert accepted.violations == []
+        assert accepted.suppressed == len(report.violations)
+        assert accepted.expired == []
+        assert accepted.exit_code == 0
+
+    def test_fixed_finding_expires_but_never_fails(self, tmp_path):
+        tree, layers = self._violating_tree(tmp_path)
+        report = _analyze(tree, ["RP006"], layers_path=layers)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(report, baseline)
+
+        (tree / "pkg" / "core.py").write_text("")  # fix the violation
+        after = _analyze(tree, ["RP006"], layers_path=layers, baseline=baseline)
+        assert after.violations == []
+        assert after.suppressed == 0
+        assert len(after.expired) == 1
+        assert after.exit_code == 0
+        assert "prune" in format_analysis(after)
+
+    def test_missing_or_malformed_baseline_is_usage_error(self, tmp_path):
+        tree, layers = self._violating_tree(tmp_path)
+        with pytest.raises(ValidationError):
+            _analyze(
+                tree, ["RP006"], layers_path=layers, baseline=tmp_path / "absent.json"
+            )
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError):
+            _analyze(tree, ["RP006"], layers_path=layers, baseline=bad)
+
+
+# ---------------------------------------------------------------------------
+# Cache: correctness, speedup, and deterministic JSON
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_warm_run_hits_for_every_file_and_agrees(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "import numpy as np\n\ndef f(m):\n    return np.linalg.pinv(m)\n",
+                "pkg/b.py": "def g():\n    return 1\n",
+            },
+        )
+        cache = tmp_path / "cache"
+        cold = analyze_paths([tree], use_cache=True, cache_dir=cache)
+        warm = analyze_paths([tree], use_cache=True, cache_dir=cache)
+        assert cold.cache_misses == cold.files
+        assert warm.cache_hits == warm.files == cold.files
+        assert warm.cache_misses == 0
+        assert [v.as_dict() for v in warm.violations] == [
+            v.as_dict() for v in cold.violations
+        ]
+
+    def test_edited_file_misses_only_itself(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree",
+            {"pkg/__init__.py": "", "pkg/a.py": "x = 1\n", "pkg/b.py": "y = 2\n"},
+        )
+        cache = tmp_path / "cache"
+        analyze_paths([tree], use_cache=True, cache_dir=cache)
+        (tree / "pkg" / "a.py").write_text("x = 3\n")
+        edited = analyze_paths([tree], use_cache=True, cache_dir=cache)
+        assert edited.cache_misses == 1
+        assert edited.cache_hits == 2
+
+    def test_warm_run_is_at_least_5x_faster_on_the_repo_tree(self, tmp_path):
+        """The acceptance perf smoke: a cached re-run of ``repro analyze``
+        over this repository's own src tree beats the cold run >=5x."""
+        cache = tmp_path / "cache"
+        t0 = time.perf_counter()  # repro: noqa RP003 (timing the cache)
+        cold = analyze_paths([REPO_SRC], use_cache=True, cache_dir=cache)
+        t1 = time.perf_counter()  # repro: noqa RP003 (timing the cache)
+        warm = analyze_paths([REPO_SRC], use_cache=True, cache_dir=cache)
+        t2 = time.perf_counter()  # repro: noqa RP003 (timing the cache)
+        assert cold.cache_misses == cold.files > 0
+        assert warm.cache_hits == warm.files
+        cold_s, warm_s = t1 - t0, t2 - t1
+        assert cold_s >= 5 * warm_s, (
+            f"warm analyze not >=5x faster: cold {cold_s:.3f}s, warm {warm_s:.3f}s"
+        )
+
+    def test_json_report_is_identical_across_cache_states(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree",
+            {"pkg/__init__.py": "", "pkg/a.py": "def f():\n    assert True\n"},
+        )
+        cache = tmp_path / "cache"
+        cold = analyze_paths([tree], use_cache=True, cache_dir=cache)
+        warm = analyze_paths([tree], use_cache=True, cache_dir=cache)
+        assert format_analysis(cold, fmt="json") == format_analysis(warm, fmt="json")
+
+    def test_unwritable_cache_degrades_to_analysis(self, tmp_path):
+        tree = _write_tree(
+            tmp_path / "tree", {"pkg/__init__.py": "", "pkg/a.py": "x = 1\n"}
+        )
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should be")
+        report = analyze_paths([tree], use_cache=True, cache_dir=blocked)
+        assert report.files == 2
+        assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# Extraction helpers used by the passes
+# ---------------------------------------------------------------------------
+
+
+class TestExtractionHelpers:
+    def test_module_name_of_walks_init_chains(self, tmp_path):
+        from repro.analysis.project import module_name_of
+
+        tree = _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "",
+                "loose.py": "",
+            },
+        )
+        assert module_name_of(tree / "pkg" / "sub" / "mod.py") == "pkg.sub.mod"
+        assert module_name_of(tree / "pkg" / "__init__.py") == "pkg"
+        # A file outside any package chain is a top-level module.
+        assert module_name_of(tree / "loose.py") == "loose"
+
+    def test_load_layer_contract_orders_and_validates(self, tmp_path):
+        from repro.analysis.importgraph import load_layer_contract
+
+        path = tmp_path / "layers.toml"
+        path.write_text(LAYERS_TOML)
+        contract = load_layer_contract(path)
+        assert contract.root == "pkg"
+        assert [layer.name for layer in contract.layers] == ["core", "app"]
+        assert contract.layer_of("core").name == "core"
+        assert contract.layer_of("app.deep.sub").name == "app"
+        assert contract.layer_of("").name == "core"  # "." = the root package
+        assert contract.layer_of("unmapped") is None
+
+    def test_load_layer_contract_rejects_duplicate_prefix(self, tmp_path):
+        from repro.analysis.importgraph import load_layer_contract
+
+        path = tmp_path / "dup.toml"
+        path.write_text(
+            'root = "pkg"\n\n[[layers]]\nname = "a"\nmodules = ["x"]\n'
+            '\n[[layers]]\nname = "b"\nmodules = ["x"]\n'
+        )
+        with pytest.raises(ValidationError, match="assigned twice"):
+            load_layer_contract(path)
+
+    def test_declared_knobs_parses_the_real_registry(self):
+        from repro.analysis.configscan import declared_knobs
+        from repro.analysis.project import extract_facts
+
+        config_path = REPO_SRC / "repro" / "config.py"
+        facts = extract_facts(config_path, rel_path="repro/config.py")
+        knobs = declared_knobs(facts)
+        assert "REPRO_OBS" in knobs and "REPRO_BACKEND" in knobs
+        assert all(line > 0 for line in knobs.values())
+
+    def test_obs_extraction_matches_the_real_event_log(self):
+        from repro.analysis.obschema import extract_consumed, extract_emitted
+
+        emitted = extract_emitted(REPO_SRC / "repro" / "obs" / "core.py")
+        assert {"event", "counter", "gauge", "span_start", "span_end"} <= set(emitted)
+        assert emitted["event"].open_ended  # event(**fields) merges kwargs
+        consumed, dispatched = extract_consumed(
+            REPO_SRC / "repro" / "obs" / "summary.py"
+        )
+        consumed_kinds = {read.kind for read in consumed}
+        # Everything the summariser touches is a kind the log emits.
+        assert consumed_kinds <= set(emitted) | {"header", "footer"}
+        assert "span_end" in dispatched
+
+
+# ---------------------------------------------------------------------------
+# Severity profiles
+# ---------------------------------------------------------------------------
+
+
+class TestProfiles:
+    @pytest.fixture()
+    def seeded_tree(self, tmp_path):
+        return _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": "import numpy as np\n\n"
+                "def draw():\n    np.random.seed(7)\n    return 1\n",
+            },
+        )
+
+    def test_tests_profile_demotes_to_advisory(self, seeded_tree):
+        strict = _analyze(seeded_tree, ["RP002"], profile="src")
+        relaxed = _analyze(seeded_tree, ["RP002"], profile="tests")
+        assert strict.error_count == 1 and strict.exit_code == 1
+        assert relaxed.error_count == 0 and relaxed.advisory_count == 1
+        assert relaxed.exit_code == 0
+
+    def test_unknown_profile_rejected(self, seeded_tree):
+        with pytest.raises(ValidationError):
+            _analyze(seeded_tree, ["RP002"], profile="nope")
+
+
+# ---------------------------------------------------------------------------
+# CLI surface + the repo-wide acceptance self-checks
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeCli:
+    @pytest.fixture()
+    def violating_tree(self, tmp_path):
+        return _write_tree(
+            tmp_path / "tree",
+            {
+                "pkg/__init__.py": "",
+                "pkg/bad.py": "import numpy as np\n\n"
+                "def estimate(matrix):\n    return np.linalg.pinv(matrix)\n",
+            },
+        )
+
+    def test_findings_exit_one_json_parses(self, violating_tree, capsys):
+        assert (
+            main(["analyze", str(violating_tree), "--no-cache", "--format", "json"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["violations"][0]["rule"] == "RP001"
+        assert set(payload) >= {"files", "root_package", "rules", "violations"}
+
+    def test_write_then_use_baseline(self, violating_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(violating_tree),
+                    "--no-cache",
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["analyze", str(violating_tree), "--no-cache", "--baseline", str(baseline)]
+            )
+            == 0
+        )
+        assert "baseline-suppressed" in capsys.readouterr().out
+
+    def test_list_rules_shows_whole_program_and_opt_in_tags(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RP006", "RP007", "RP008", "RP009", "RP010"):
+            assert rule_id in out
+        assert "[whole-program]" in out
+        assert "[whole-program, opt-in]" in out
+
+    def test_bad_layer_contract_is_usage_error(self, violating_tree, tmp_path, capsys):
+        broken = tmp_path / "broken.toml"
+        broken.write_text("???\n")
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(violating_tree),
+                    "--no-cache",
+                    "--layers",
+                    str(broken),
+                    "--select",
+                    "RP006",
+                ]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_catalog_renders_repo_schema(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(REPO_SRC),
+                    "--no-cache",
+                    "--select",
+                    "RP009",
+                    "--obs-catalog",
+                    "-",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "## Record kinds" in out
+        for kind in ("event", "counter", "gauge", "span_start", "span_end"):
+            assert f"`{kind}`" in out
+        assert "## Instrumentation sites" in out
+
+    def test_repo_source_tree_analyzes_clean(self, capsys):
+        """The acceptance self-check: the full analyzer (all default rules,
+        RP001-RP009) exits 0 on this repository's source tree."""
+        assert REPO_SRC.is_dir()
+        assert main(["analyze", str(REPO_SRC), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out

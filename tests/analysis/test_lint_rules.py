@@ -117,7 +117,13 @@ def test_rule_silent_on_clean_snippet(tmp_path, rule_id):
 
 
 def test_all_rules_registered():
-    assert sorted(all_rules()) == sorted(RULE_FIXTURES)
+    from repro.analysis.lint.registry import file_rules, project_rules
+
+    assert sorted(file_rules()) == sorted(RULE_FIXTURES)
+    # The whole-program rules register alongside (exercised in
+    # tests/analysis/test_analyze.py).
+    assert {"RP006", "RP007", "RP008", "RP009", "RP010"} <= set(project_rules())
+    assert set(all_rules()) == set(file_rules()) | set(project_rules())
 
 
 class TestPathExemptions:

@@ -2,9 +2,29 @@
 
 import pytest
 
-from repro.attacks.obfuscation import ObfuscationAttack
+import numpy as np
+
+from repro.attacks.obfuscation import ObfuscationAttack, build_obfuscation_bands
 from repro.exceptions import ValidationError
 from repro.metrics.states import LinkState
+
+
+class TestBuildObfuscationBands:
+    def test_paper_mode_pins_only_the_obfuscated_set(self, fig1_context):
+        bands = build_obfuscation_bands(fig1_context, [3, 5])
+        lower = fig1_context.thresholds.lower + fig1_context.margin
+        upper = fig1_context.thresholds.upper - fig1_context.margin
+        for j in (3, 5):
+            assert bands.lower[j] == lower
+            assert bands.upper[j] == upper
+        others = [j for j in range(fig1_context.num_links) if j not in (3, 5)]
+        assert np.all(np.isinf(bands.upper[others]))
+
+    def test_exclusive_mode_bounds_every_other_link_normal(self, fig1_context):
+        bands = build_obfuscation_bands(fig1_context, [3], mode="exclusive")
+        normal = fig1_context.thresholds.lower - fig1_context.margin
+        others = [j for j in range(fig1_context.num_links) if j != 3]
+        assert np.all(bands.upper[others] <= normal)
 
 
 class TestObfuscation:

@@ -88,7 +88,7 @@ class TestRankGuard:
             for i in range(matrix.shape[0])
             if i not in set(result.excluded_paths)
         ]
-        assert np.linalg.matrix_rank(matrix[kept]) == matrix.shape[1]
+        assert np.linalg.matrix_rank(matrix[kept]) == matrix.shape[1]  # repro: noqa RP001 (reference check)
 
     def test_square_system_cannot_trim(self):
         matrix = np.eye(4)

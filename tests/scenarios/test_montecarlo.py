@@ -8,6 +8,7 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.scenarios.montecarlo import (
     binned_rate,
+    check_picklable,
     run_batched_trials,
     run_trials,
     success_rate,
@@ -21,6 +22,20 @@ def _stochastic_trial(rng):
     if value < 0.2:
         return None
     return {"value": value, "bonus": bonus, "success": value > 0.6}
+
+
+class TestCheckPicklable:
+    def test_module_level_function_passes(self):
+        check_picklable(_stochastic_trial)
+
+    def test_closure_rejected_with_guidance(self):
+        bound = 3
+
+        def closure_trial(rng):
+            return {"value": bound}
+
+        with pytest.raises(ValidationError, match="module-level function"):
+            check_picklable(closure_trial, "trial function")
 
 
 class TestRunTrials:

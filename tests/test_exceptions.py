@@ -17,6 +17,11 @@ class TestHierarchy:
     def test_validation_error_is_value_error(self):
         assert issubclass(exceptions.ValidationError, ValueError)
 
+    def test_routing_error_is_the_routing_family_base(self):
+        """``except RoutingError`` must catch every routing failure mode."""
+        for name in ("InvalidPathError", "NoPathError", "IdentifiabilityError"):
+            assert issubclass(getattr(exceptions, name), exceptions.RoutingError)
+
     def test_node_not_found_is_key_error(self):
         assert issubclass(exceptions.NodeNotFoundError, KeyError)
         err = exceptions.NodeNotFoundError("x")

@@ -39,16 +39,16 @@ class TestLinearSystemParity:
 
     def test_estimator_matches_numpy_pinv(self, matrix):
         system = LinearSystem(matrix)
-        assert np.allclose(system.estimator, np.linalg.pinv(matrix), atol=1e-12)
+        assert np.allclose(system.estimator, np.linalg.pinv(matrix), atol=1e-12)  # repro: noqa RP001 (reference)
 
     def test_column_space_projector_matches_pinv_product(self, matrix):
         system = LinearSystem(matrix)
-        reference = matrix @ np.linalg.pinv(matrix)
+        reference = matrix @ np.linalg.pinv(matrix)  # repro: noqa RP001 (reference)
         assert np.allclose(system.column_space_projector, reference, atol=1e-12)
 
     def test_residual_projector_matches_identity_minus_product(self, matrix):
         system = LinearSystem(matrix)
-        reference = np.eye(matrix.shape[0]) - matrix @ np.linalg.pinv(matrix)
+        reference = np.eye(matrix.shape[0]) - matrix @ np.linalg.pinv(matrix)  # repro: noqa RP001 (reference)
         assert np.allclose(system.residual_projector, reference, atol=1e-12)
 
     def test_nullspace_spans_kernel(self, matrix):
@@ -60,7 +60,7 @@ class TestLinearSystemParity:
         assert np.allclose(basis.T @ basis, np.eye(basis.shape[1]), atol=1e-12)
 
     def test_rank_matches_numpy(self, matrix):
-        assert LinearSystem(matrix).rank == np.linalg.matrix_rank(matrix)
+        assert LinearSystem(matrix).rank == np.linalg.matrix_rank(matrix)  # repro: noqa RP001 (reference)
 
 
 class TestLinearSystem:
