@@ -24,6 +24,11 @@ MIN_COMBINED_SPEEDUP = 1.5
 # fig5 scan (measured ~9-20x with HiGHS bindings); 3x absorbs CI noise.
 MIN_LP_WARM_SPEEDUP = 3.0
 
+# Sweep-cache acceptance floor: cached-vs-cold on the bench grid must hold
+# >= 2x (measured ~3-4x; the shared per-matrix work — SVD, LP base block,
+# auditor, canonical hash — is the majority of a cold point there).
+MIN_SWEEP_CACHE_SPEEDUP = 2.0
+
 
 def test_perf_smoke_writes_bench_json(results_dir, record):
     benchmarks = full_perf_benchmark(repeat=3)
@@ -84,9 +89,23 @@ def test_perf_smoke_writes_bench_json(results_dir, record):
         assert lp["speedup"]["fig5_max_damage"] >= MIN_LP_WARM_SPEEDUP
 
     sweep = envelope["benchmarks"]["sweep_cache"]
-    assert sweep["points"] == 9
-    assert sweep["speedup"]["sweep"] > 0.0
+    record(
+        "BENCH_sweep_summary",
+        "sweep cache: cached-vs-cold x{sweep:.2f}, "
+        "cross-process factorize x{store_factorize:.2f}".format(**sweep["speedup"]),
+    )
+    assert sweep["points"] >= 4
+    assert sweep["speedup"]["sweep"] >= MIN_SWEEP_CACHE_SPEEDUP
     assert sweep["cache_stats"]["system_hit"] > 0
+    # The cache must hash each distinct matrix exactly once per process.
+    assert sweep["cache_stats"]["digest_compute"] == 1
+    # Cross-process phase: the child warm-started from the disk store
+    # (real import, not a recompute), and every phase agreed bit-for-bit.
+    assert sweep["store_phase"]["warm_store_stats"]["hit"] >= 1
+    assert sweep["store_phase"]["warm_cache_stats"]["store_import"] >= 1
+    assert sweep["store_phase"]["seed_write_stats"]["write"] >= 1
+    assert sweep["speedup"]["store_factorize"] > 1.0
+    assert sweep["identical"] == {"cached_vs_cold": True, "store_vs_cold": True}
 
     backends = envelope["benchmarks"]["backends"]
     isp = backends["isp_scale"]

@@ -391,53 +391,141 @@ def fig1_pipeline_benchmark(*, repeat: int = 1) -> dict:
     }
 
 
-def sweep_cache_benchmark(*, repeat: int = 3) -> dict:
-    """Cold vs. cached execution of a small sweep grid.
+#: Grid the sweep-cache bench runs: a Waxman-50 topology (dense backend,
+#: the SVD is real work) with the two cheapest strategies, so the shared
+#: per-matrix work — matrix build, canonical hash, SVD, LP base block,
+#: auditor — dominates per-point attack cost and the cache's effect is
+#: visible rather than buried under LP time.
+_SWEEP_BENCH_SPEC = {
+    "format": "repro-sweep",
+    "version": 1,
+    "name": "bench-cache",
+    "seed": 2017,
+    "strategies": ["chosen-victim", "naive"],
+    "topologies": [{"kind": "waxman", "num_nodes": 50}],
+    "attacker_counts": [1, 2, 3],
+}
 
-    Runs a 9-point grid (3 strategies x 3 attacker counts on the Fig. 1
-    topology) two ways: cold — every grid point builds its own
-    :class:`~repro.sweep.cache.FactorizationCache` (so each point
-    re-factorises the routing matrix and re-assembles its LP base block)
-    — and warm — all points share one cache, the way
-    :func:`~repro.sweep.runner.run_sweep` shards them.  Both paths
-    produce bit-identical records (property-tested in
-    ``tests/sweep/test_properties.py``); the speedup is the point of the
-    cache.
+
+def _sweep_store_process(spec_dict: dict, store_root: str | None) -> dict:
+    """One simulated sweep process, run in a real child process.
+
+    Builds everything from scratch — scenarios, a fresh
+    :class:`~repro.sweep.cache.FactorizationCache`, a fresh
+    :class:`~repro.sweep.store.FactorizationStore` handle over
+    ``store_root`` (``None`` = no store) — and reports the factorization
+    stage (digest + SVD, or digest + store import) separately from the
+    grid-point loop.  The factorization stage is exactly what the disk
+    store can warm-start across processes; scenario construction is
+    matrix-independent and paid identically on both sides.
     """
     from repro.sweep.cache import FactorizationCache
-    from repro.sweep.runner import run_grid_point
+    from repro.sweep.runner import build_scenarios, run_grid_point
+    from repro.sweep.spec import SweepSpec
+    from repro.sweep.store import FactorizationStore
+
+    spec = SweepSpec.from_dict(spec_dict)
+    points = spec.expand()
+    scenarios = build_scenarios(spec, points)
+    store = FactorizationStore(store_root) if store_root else None
+    cache = FactorizationCache(store=store)
+    start = time.perf_counter()
+    for scenario in scenarios.values():
+        # export_factors() forces the dense factorisation, so the timing
+        # covers the SVD on the cold side and the import on the warm side.
+        cache.scenario_system_for(scenario).export_factors()
+    factorize_s = time.perf_counter() - start
+    start = time.perf_counter()
+    records = [
+        run_grid_point(spec, point, cache=cache, scenarios=scenarios)
+        for point in points
+    ]
+    return {
+        "factorize_s": factorize_s,
+        "points_s": time.perf_counter() - start,
+        "records": records,
+        "cache_stats": dict(cache.stats),
+        "store_stats": dict(store.stats) if store is not None else {},
+    }
+
+
+def sweep_cache_benchmark(*, repeat: int = 3) -> dict:
+    """Cold vs. cached vs. cross-process execution of a sweep grid.
+
+    Three phases over the same six-point grid (:data:`_SWEEP_BENCH_SPEC`):
+
+    - **cold** — every grid point builds its own
+      :class:`~repro.sweep.cache.FactorizationCache`, so each point
+      re-builds the routing matrix, re-hashes it, re-runs the SVD and
+      re-assembles its LP base block (the pre-cache behaviour);
+    - **cached** — all points share one cache, the way
+      :func:`~repro.sweep.runner.run_sweep` shards them; a hit is a dict
+      get;
+    - **cross-process** — a second OS process warm-starts from a
+      :class:`~repro.sweep.store.FactorizationStore` this process seeded:
+      its factorization stage imports the dense SVD factors from disk
+      instead of recomputing them (a control child without a store runs
+      the same grid cold for comparison).
+
+    All three phases produce bit-identical records (also property-tested
+    in ``tests/sweep/test_properties.py``); the recorded ``identical``
+    flags re-check it on the measured runs.  ``speedup.sweep`` is the
+    cached-vs-cold headline, ``speedup.store_factorize`` the
+    cross-process factorization warm-start.
+    """
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sweep.cache import FactorizationCache
+    from repro.sweep.runner import build_scenarios, run_grid_point
     from repro.sweep.spec import SweepSpec
 
-    spec = SweepSpec.from_dict(
-        {
-            "format": "repro-sweep",
-            "version": 1,
-            "name": "bench-cache",
-            "seed": 2017,
-            "strategies": ["chosen-victim", "max-damage", "obfuscation"],
-            "topologies": [{"kind": "fig1"}],
-            "attacker_counts": [1, 2, 3],
-        }
-    )
+    spec = SweepSpec.from_dict(_SWEEP_BENCH_SPEC)
     points = spec.expand()
     start = time.perf_counter()
-    scenarios: dict = {}
+    scenarios = build_scenarios(spec, points)
 
-    def cold() -> None:
-        for point in points:
+    def cold() -> list[dict]:
+        return [
             run_grid_point(
-                spec, point, cache=FactorizationCache(), scenarios=scenarios
+                spec, point, cache=FactorizationCache(store=None), scenarios=scenarios
             )
+            for point in points
+        ]
 
-    warm_cache = FactorizationCache()
+    warm_cache = FactorizationCache(store=None)
 
-    def warm() -> None:
-        for point in points:
+    def warm() -> list[dict]:
+        return [
             run_grid_point(spec, point, cache=warm_cache, scenarios=scenarios)
+            for point in points
+        ]
 
-    warm()  # populate both the cache and the scenario memo before timing
+    warm()  # populate the shared cache before timing
     cold_s = _best_of(cold, repeat)
     warm_s = _best_of(warm, repeat)
+    cold_records = cold()
+    warm_records = warm()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_root:
+        seeding = _sweep_store_process(_SWEEP_BENCH_SPEC, store_root)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            child_cold = pool.submit(
+                _sweep_store_process, _SWEEP_BENCH_SPEC, None
+            ).result()
+            child_warm = pool.submit(
+                _sweep_store_process, _SWEEP_BENCH_SPEC, store_root
+            ).result()
+
+    store_phase = {
+        "seed_write_stats": seeding["store_stats"],
+        "cold_factorize_s": child_cold["factorize_s"],
+        "warm_factorize_s": child_warm["factorize_s"],
+        "cold_points_s": child_cold["points_s"],
+        "warm_points_s": child_warm["points_s"],
+        "warm_cache_stats": child_warm["cache_stats"],
+        "warm_store_stats": child_warm["store_stats"],
+    }
     return {
         "bench": "sweep_cache",
         "repeat": repeat,
@@ -445,8 +533,21 @@ def sweep_cache_benchmark(*, repeat: int = 3) -> dict:
         "wall_s": time.perf_counter() - start,
         "cold_s": cold_s,
         "cached_s": warm_s,
-        "speedup": {"sweep": cold_s / warm_s if warm_s > 0 else float("inf")},
+        "speedup": {
+            "sweep": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "store_factorize": (
+                child_cold["factorize_s"] / child_warm["factorize_s"]
+                if child_warm["factorize_s"] > 0
+                else float("inf")
+            ),
+        },
+        "identical": {
+            "cached_vs_cold": warm_records == cold_records,
+            "store_vs_cold": child_warm["records"] == cold_records
+            and child_cold["records"] == cold_records,
+        },
         "cache_stats": dict(warm_cache.stats),
+        "store_phase": store_phase,
     }
 
 

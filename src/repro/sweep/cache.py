@@ -15,11 +15,22 @@ by the canonical :func:`repro.obs.manifest.matrix_digest` of ``R``:
 - one :class:`~repro.detection.auditor.TomographyAuditor` per (matrix,
   alpha), sharing the system's factors with the detector.
 
-The cache is process-local by design: worker processes each hold their
-own (the sweep runner shards grid points so points sharing a topology
-land in the same worker), and nothing here is thread-safe.  Hits and
-misses are counted on the instance and reported as ``sweep_cache`` obs
-events when a run log is active.
+A cache *hit* is a dict get, nothing more: the routing matrix of a
+scenario is built once, its digest is hashed once, and both are memoised
+per scenario object — repeat lookups re-pay neither the O(paths x links)
+matrix assembly nor the O(m·n) canonical hashing (the ``digest_compute``
+stat counts exactly how many hashes happened, which white-box tests pin).
+
+The in-memory layers are process-local by design: worker processes each
+hold their own (the sweep runner shards grid points so points sharing a
+topology land in the same worker), and nothing here is thread-safe.
+Underneath, an optional :class:`~repro.sweep.store.FactorizationStore`
+(``store=`` argument, or the ``REPRO_CACHE_DIR`` environment knob)
+shares the *factorizations* across processes: a fresh worker or a
+repeated CLI invocation imports the dense SVD factors from disk instead
+of recomputing them, and first-time factorizations are spilled back.
+Hits and misses are counted on the instance and reported as
+``sweep_cache`` obs events when a run log is active.
 """
 
 from __future__ import annotations
@@ -36,9 +47,13 @@ from repro.detection.auditor import TomographyAuditor
 from repro.obs import core as obs
 from repro.obs.manifest import matrix_digest
 from repro.scenarios.scenario import Scenario
+from repro.sweep.store import FactorizationStore, default_store
 from repro.tomography.linear_system import LinearSystem
 
 __all__ = ["FactorizationCache"]
+
+#: Sentinel distinguishing "no store" from "resolve from the environment".
+_FROM_ENV = object()
 
 
 class FactorizationCache:
@@ -46,14 +61,26 @@ class FactorizationCache:
 
     All lookups are by value-digest of the routing matrix, never by object
     identity, so two scenarios that happen to produce equal matrices share
-    one kernel.
+    one kernel.  ``store`` wires in a cross-process
+    :class:`~repro.sweep.store.FactorizationStore`; by default it resolves
+    from the ``REPRO_CACHE_DIR`` environment knob (unset = in-memory
+    only), and ``store=None`` disables it explicitly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: FactorizationStore | None | object = _FROM_ENV) -> None:
         self._systems: dict[str, LinearSystem] = {}
         self._solvers: dict[tuple, IncrementalLpSolver] = {}
         self._auditors: dict[tuple, TomographyAuditor] = {}
+        # Per-scenario memo of (scenario, routing matrix, system): keyed by
+        # object identity, holding a strong reference so an id() can never
+        # be recycled under us.  The cache's lifetime is one worker shard,
+        # so pinning the scenarios it served is the intended footprint.
+        self._scenario_systems: dict[int, tuple[Scenario, np.ndarray, LinearSystem]] = {}
+        self.store: FactorizationStore | None = (
+            default_store() if store is _FROM_ENV else store  # type: ignore[assignment]
+        )
         self.stats: Counter[str] = Counter()
+        self._store_failed: set[str] = set()
 
     def _count(self, kind: str, hit: bool, **fields: object) -> None:
         self.stats[f"{kind}_{'hit' if hit else 'miss'}"] += 1
@@ -61,18 +88,77 @@ class FactorizationCache:
             obs.event("sweep_cache", kind=kind, hit=hit, **fields)
 
     # ------------------------------------------------------------------
+    # the digest layer (hash each distinct matrix exactly once)
+    # ------------------------------------------------------------------
+    def _digest(self, routing_matrix: np.ndarray) -> str:
+        """Canonical digest of ``routing_matrix``, counted for white-box tests."""
+        self.stats["digest_compute"] += 1
+        return matrix_digest(routing_matrix)
+
+    def _new_system(self, routing_matrix: np.ndarray, digest: str) -> LinearSystem:
+        """Build the shared kernel for a cache miss, store-assisted.
+
+        The already-computed digest is seeded into the system (its
+        ``digest`` cached property never re-hashes), the cross-process
+        store is consulted for warm factors, and a first-time dense
+        factorisation is spilled back.  Store corruption degrades to a
+        plain compute — the sweep must not die because a cache blob was
+        truncated — but the entry is refused, never clobbered, and the
+        failure is remembered so one bad blob costs one warning.
+        """
+        from repro.exceptions import StoreCorruptError
+
+        system = LinearSystem(routing_matrix)
+        system.__dict__["digest"] = digest  # pre-seed the cached_property
+        if self.store is None or digest in self._store_failed:
+            return system
+        shape = (system.num_paths, system.num_links)
+        try:
+            payload = self.store.load(digest, shape=shape)
+        except StoreCorruptError as exc:
+            self._store_failed.add(digest)
+            self.stats["store_corrupt"] += 1
+            if obs.is_enabled():
+                obs.event("sweep_store_corrupt", digest=digest, error=str(exc))
+            return system
+        if payload is not None and system.import_factors(payload):
+            self.stats["store_import"] += 1
+            return system
+        factors = system.export_factors()
+        if factors is not None:
+            self.store.save(digest, factors, shape=shape)
+        return system
+
+    # ------------------------------------------------------------------
     # the three cache layers
     # ------------------------------------------------------------------
     def system_for(self, routing_matrix: np.ndarray) -> LinearSystem:
         """The shared :class:`LinearSystem` for this routing matrix."""
-        key = matrix_digest(routing_matrix)
+        key = self._digest(routing_matrix)
         system = self._systems.get(key)
         if system is None:
-            system = LinearSystem(routing_matrix)
+            system = self._new_system(routing_matrix, key)
             self._systems[key] = system
             self._count("system", False, digest=key)
         else:
             self._count("system", True, digest=key)
+        return system
+
+    def scenario_system_for(self, scenario: Scenario) -> LinearSystem:
+        """The shared kernel for a scenario, without per-call rework.
+
+        The first lookup builds the routing matrix and hashes it; every
+        later lookup for the same scenario object is a dict get.  Distinct
+        scenario objects over equal matrices still converge onto one
+        kernel (the digest-keyed layer underneath deduplicates them).
+        """
+        memo = self._scenario_systems.get(id(scenario))
+        if memo is not None and memo[0] is scenario:
+            self._count("system", True, digest=memo[2].digest)
+            return memo[2]
+        routing_matrix = scenario.path_set.routing_matrix()
+        system = self.system_for(routing_matrix)
+        self._scenario_systems[id(scenario)] = (scenario, routing_matrix, system)
         return system
 
     def context_for(
@@ -80,7 +166,7 @@ class FactorizationCache:
     ) -> AttackContext:
         """An attack context whose kernel comes from the shared cache."""
         return scenario.attack_context(
-            attackers, system=self.system_for(scenario.path_set.routing_matrix())
+            attackers, system=self.scenario_system_for(scenario)
         )
 
     def solver_for(
@@ -139,7 +225,7 @@ class FactorizationCache:
 
     def auditor_for(self, scenario: Scenario, *, alpha: float = 200.0) -> TomographyAuditor:
         """The shared auditor for this scenario's routing matrix."""
-        system = self.system_for(scenario.path_set.routing_matrix())
+        system = self.scenario_system_for(scenario)
         key = (
             system.digest,
             float(alpha),

@@ -42,7 +42,7 @@ from repro.scenarios.scenario import Scenario
 from repro.sweep.cache import FactorizationCache
 from repro.sweep.spec import GridPoint, SweepSpec, build_topology
 
-__all__ = ["read_checkpoint", "run_grid_point", "run_sweep"]
+__all__ = ["build_scenarios", "read_checkpoint", "run_grid_point", "run_sweep"]
 
 
 # ----------------------------------------------------------------------
@@ -79,6 +79,24 @@ def _build_scenario(spec: SweepSpec, topology_index: int) -> Scenario:
         name=entry["label"],
         **kwargs,
     )
+
+
+def build_scenarios(
+    spec: SweepSpec, points: list[GridPoint] | None = None
+) -> dict[int, Scenario]:
+    """Pre-built scenarios for ``points`` (default: the whole grid).
+
+    Returns the per-topology-index dict :func:`run_grid_point` accepts as
+    its ``scenarios`` memo.  Scenario construction is matrix-independent
+    and often dominates cold wall time; building up front lets harnesses
+    (the perf bench, white-box tests) time the factorization work on its
+    own.
+    """
+    points = spec.expand() if points is None else points
+    return {
+        index: _build_scenario(spec, index)
+        for index in sorted({p.topology_index for p in points})
+    }
 
 
 def _sample_attackers(scenario: Scenario, rng: np.random.Generator, count: int) -> list:
@@ -183,7 +201,10 @@ def run_grid_point(
                 outcome = ObfuscationAttack(
                     context,
                     min_victims=attack["min_victims"],
-                    max_victims=attack["min_victims"],
+                    # The knob is optional-by-absence: specs that do not
+                    # set it keep the historical pinned window (and their
+                    # point digests), specs that do get a real range.
+                    max_victims=attack.get("max_victims", attack["min_victims"]),
                     mode=mode,
                     stealthy=stealthy,
                     confined=confined,
@@ -243,40 +264,45 @@ def _outcome_fields(outcome) -> dict:
 # ----------------------------------------------------------------------
 # sharding
 # ----------------------------------------------------------------------
-def _run_point_chunk(spec: SweepSpec, indices: list[int]) -> list[dict]:
+def _run_point_chunk(spec: SweepSpec, chunk: list[GridPoint]) -> list[dict]:
     """Worker body: run one chunk of grid points with a chunk-local cache.
 
     Module-level (and the spec plain data) so the process pool can pickle
     it; each chunk holds all points of at most one topology, so the
     chunk-local cache gives one factorisation per distinct routing matrix
-    in parallel runs too.
+    in parallel runs too.  The chunk ships the :class:`GridPoint` payloads
+    themselves — workers never re-expand the grid, so a sweep of ``c``
+    chunks costs one expansion total instead of ``c`` (each of which was
+    O(points) digest hashing).  When ``REPRO_CACHE_DIR`` names a
+    cross-process store, the chunk-local cache warm-starts factorizations
+    from it, so even chunks split off the same topology (or a whole
+    re-invocation of the sweep) share one SVD.
     """
     obs.detach_inherited_log()
-    points = spec.expand()
     cache = FactorizationCache()
     scenarios: dict[int, Scenario] = {}
     return [
-        run_grid_point(spec, points[i], cache=cache, scenarios=scenarios)
-        for i in indices
+        run_grid_point(spec, point, cache=cache, scenarios=scenarios)
+        for point in chunk
     ]
 
 
-def _chunk_indices(
+def _chunk_points(
     points: list[GridPoint], chunk_size: int | None
-) -> list[list[int]]:
-    """Group point indices by topology (one cache domain per chunk).
+) -> list[list[GridPoint]]:
+    """Group grid points by topology (one cache domain per chunk).
 
     ``chunk_size`` optionally splits large topology groups further for
     load balancing; grouping never crosses a topology boundary, so each
     chunk's worker factorises at most one routing matrix.
     """
-    groups: list[list[int]] = []
+    groups: list[list[GridPoint]] = []
     current_topology: int | None = None
     for point in points:
         if point.topology_index != current_topology:
             groups.append([])
             current_topology = point.topology_index
-        groups[-1].append(point.index)
+        groups[-1].append(point)
     if chunk_size is None or chunk_size < 1:
         return groups
     return [
@@ -382,7 +408,7 @@ def run_sweep(
     if max_points is not None and len(todo) > max_points:
         todo = todo[:max_points]
         budget_hit = True
-    chunks = _chunk_indices(todo, chunk_size)
+    chunks = _chunk_points(todo, chunk_size)
     if obs.is_enabled():
         obs.event(
             "sweep_start",

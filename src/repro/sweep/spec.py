@@ -87,8 +87,12 @@ _SCENARIO_KEYS = (
     "thresholds",
 )
 
-#: Attack-level knobs a spec's ``attack`` block may set.
-_ATTACK_KEYS = ("mode", "confined", "stealthy", "min_victims", "alpha")
+#: Attack-level knobs a spec's ``attack`` block may set.  ``max_victims``
+#: has no default entry on purpose: absent, the obfuscation strategy pins
+#: ``max_victims == min_victims`` (the historical behaviour), and keeping
+#: it out of the effective config keeps every existing point digest — and
+#: therefore resume keys and golden fixtures — unchanged.
+_ATTACK_KEYS = ("mode", "confined", "stealthy", "min_victims", "max_victims", "alpha")
 
 _ATTACK_DEFAULTS = {
     "mode": "paper",
@@ -249,6 +253,14 @@ class SweepSpec:
             isinstance(attack["min_victims"], int) and attack["min_victims"] >= 1,
             f"attack min_victims must be an integer >= 1, got {attack['min_victims']!r}",
         )
+        if "max_victims" in attack:
+            _require(
+                isinstance(attack["max_victims"], int)
+                and not isinstance(attack["max_victims"], bool)
+                and attack["max_victims"] >= attack["min_victims"],
+                f"attack max_victims must be an integer >= min_victims "
+                f"({attack['min_victims']}), got {attack['max_victims']!r}",
+            )
 
         return cls(
             name=name,

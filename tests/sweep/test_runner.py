@@ -5,8 +5,8 @@ import json
 import pytest
 
 from repro.exceptions import SerializationError
-from repro.sweep import SweepSpec, aggregate_rows, load_results, run_sweep
-from repro.sweep.runner import read_checkpoint
+from repro.sweep import SweepSpec, aggregate_rows, load_results, run_grid_point, run_sweep
+from repro.sweep.runner import _chunk_points, read_checkpoint
 
 
 def small_doc(**overrides) -> dict:
@@ -90,6 +90,76 @@ class TestRunSweep:
         (record,) = summary["points"]
         assert record["feasible"] is False
         assert record["damage"] == 0.0
+
+
+class TestChunkPayloads:
+    """Workers receive grid-point payloads — nobody re-expands the spec."""
+
+    def test_chunks_never_cross_topology(self):
+        spec = SweepSpec.from_dict(
+            small_doc(
+                topologies=[{"kind": "fig1"}, {"kind": "grid", "rows": 3, "cols": 3}]
+            )
+        )
+        points = spec.expand()
+        for chunk in _chunk_points(points, None):
+            assert len({p.topology_index for p in chunk}) == 1
+        # splitting preserves order and loses nothing
+        split = _chunk_points(points, 1)
+        assert [p.index for chunk in split for p in chunk] == [p.index for p in points]
+
+    def test_spec_expanded_exactly_once_per_run(self, spec, tmp_path, monkeypatch):
+        calls = []
+        original = SweepSpec.expand
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(SweepSpec, "expand", counting)
+        run_sweep(spec, results_path=tmp_path / "r.jsonl", workers=1)
+        # the driver expands once to enumerate the grid; chunk execution
+        # works off the shipped GridPoint payloads and never re-expands
+        assert len(calls) == 1
+
+    def test_parallel_checkpoint_byte_identical_to_serial(self, spec, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        run_sweep(spec, results_path=serial, workers=1)
+        run_sweep(spec, results_path=parallel, workers=2, chunk_size=1)
+        assert parallel.read_bytes() == serial.read_bytes()
+
+
+class TestMaxVictims:
+    def _seen_kwargs(self, monkeypatch, attack_overrides):
+        import repro.attacks.obfuscation as obfuscation_module
+
+        seen = {}
+        real = obfuscation_module.ObfuscationAttack
+
+        class Recording(real):
+            def __init__(self, context, **kwargs):
+                seen.update(kwargs)
+                super().__init__(context, **kwargs)
+
+        monkeypatch.setattr(obfuscation_module, "ObfuscationAttack", Recording)
+        doc = small_doc(strategies=["obfuscation"], attacker_counts=[2])
+        if attack_overrides:
+            doc["attack"] = attack_overrides
+        spec = SweepSpec.from_dict(doc)
+        for point in spec.expand():
+            run_grid_point(spec, point)
+        return seen
+
+    def test_window_pinned_to_min_when_absent(self, monkeypatch):
+        seen = self._seen_kwargs(monkeypatch, None)
+        assert seen["min_victims"] == seen["max_victims"] == 2
+
+    def test_spec_range_passed_through(self, monkeypatch):
+        seen = self._seen_kwargs(
+            monkeypatch, {"min_victims": 1, "max_victims": 3}
+        )
+        assert seen["min_victims"] == 1 and seen["max_victims"] == 3
 
 
 class TestCheckpointIntegrity:

@@ -100,6 +100,30 @@ class TestParsing:
             "min_victims": 2,
             "alpha": 200.0,
         }
+        # max_victims is optional-by-absence: no default entry, so specs
+        # that never set it keep their historical point digests
+        assert "max_victims" not in spec.attack
+
+    def test_max_victims_validated_against_min(self):
+        spec = SweepSpec.from_dict(
+            minimal_doc(attack={"min_victims": 2, "max_victims": 4})
+        )
+        assert spec.attack["max_victims"] == 4
+        with pytest.raises(ValidationError, match="max_victims"):
+            SweepSpec.from_dict(minimal_doc(attack={"min_victims": 3, "max_victims": 2}))
+        with pytest.raises(ValidationError, match="max_victims"):
+            SweepSpec.from_dict(minimal_doc(attack={"max_victims": "4"}))
+        with pytest.raises(ValidationError, match="max_victims"):
+            SweepSpec.from_dict(minimal_doc(attack={"min_victims": 1, "max_victims": True}))
+
+    def test_max_victims_changes_digests_only_when_set(self):
+        base = SweepSpec.from_dict(minimal_doc()).expand()
+        ranged = SweepSpec.from_dict(
+            minimal_doc(attack={"min_victims": 2, "max_victims": 3})
+        ).expand()
+        assert [p.digest for p in base] != [p.digest for p in ranged]
+        again = SweepSpec.from_dict(minimal_doc()).expand()
+        assert [p.digest for p in base] == [p.digest for p in again]
 
     def test_infinity_sentinel_round_trips(self):
         spec = SweepSpec.from_dict(minimal_doc(scenario={"cap": "Infinity"}))

@@ -17,6 +17,7 @@ KNOWN_KNOBS = {
     "REPRO_BACKEND",
     "REPRO_LP_ENGINE",
     "REPRO_LP_RESOLVE_CAP",
+    "REPRO_CACHE_DIR",
 }
 
 
