@@ -25,6 +25,7 @@ from repro.exceptions import AttackConstraintError, ValidationError
 from repro.metrics.states import StateThresholds
 from repro.routing.paths import PathSet
 from repro.tomography.diagnosis import DiagnosisReport, diagnose
+from repro.tomography.estimator_zoo import resolve_estimator
 from repro.tomography.linear_system import LinearSystem
 from repro.topology.graph import NodeId
 from repro.utils.validation import check_finite_vector
@@ -58,6 +59,15 @@ class AttackContext:
         context sharing a topology so the SVD runs once per distinct
         routing matrix; the matrix must be value-equal to the path set's
         own, or a :class:`ValidationError` is raised.
+    estimator:
+        The *defender's* inversion family — a zoo name, a built
+        :class:`~repro.tomography.estimator_zoo.Estimator`, or None for
+        the ``REPRO_ESTIMATOR`` knob (default ``ls``).  Only
+        :meth:`predicted_estimate` (what the operator will conclude)
+        routes through it; attack *planning* stays on the linear
+        least-squares operator — Constraint 2's bands are linear in the
+        manipulation only under eq. (2), which is exactly the knowledge
+        the paper's attacker exploits.
     """
 
     def __init__(
@@ -70,6 +80,7 @@ class AttackContext:
         cap: float | None = 2000.0,
         margin: float = 1.0,
         system: LinearSystem | None = None,
+        estimator=None,
     ) -> None:
         self.path_set = path_set
         self.topology = path_set.topology
@@ -103,6 +114,18 @@ class AttackContext:
             self.system = system
         else:
             self.system = LinearSystem(self.routing_matrix)
+        if estimator is None or isinstance(estimator, str):
+            self.estimator = resolve_estimator(estimator, system=self.system)
+        else:
+            est_system = getattr(estimator, "system", None)
+            if est_system is None or not np.array_equal(
+                est_system.matrix, self.routing_matrix
+            ):
+                raise ValidationError(
+                    "injected estimator is not built over this path set's "
+                    "routing matrix"
+                )
+            self.estimator = estimator
         self._honest_measurements: np.ndarray | None = None
         self._baseline_estimate: np.ndarray | None = None
         self._support_operator: np.ndarray | None = None
@@ -191,10 +214,14 @@ class AttackContext:
     def predicted_estimate(self, manipulation: np.ndarray) -> np.ndarray:
         """What tomography will estimate under the manipulation.
 
-        ``x_hat = Q y' = Q R x* + Q m`` — equals ``x* + Q m`` when ``R``
-        has full column rank.
+        Routed through the context's defender estimator.  Under the
+        default least squares this is ``x_hat = Q y' = Q R x* + Q m`` —
+        equals ``x* + Q m`` when ``R`` has full column rank.  Under a
+        non-LS defender this is the honest answer to "did the planned
+        attack actually land": the plan was optimised against eq. (2),
+        the outcome is judged by what the operator really runs.
         """
-        return self.system.estimate(self.observed_measurements(manipulation))
+        return self.estimator.estimate(self.observed_measurements(manipulation))
 
     def residual_projector(self) -> np.ndarray:
         """The matrix ``I - R R⁺`` whose kernel is the detector's blind set.

@@ -110,6 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stealthy", action="store_true")
     run.add_argument("--confined", action="store_true")
     run.add_argument("--alpha", type=float, default=200.0)
+    run.add_argument(
+        "--estimator",
+        default=None,
+        help=(
+            "defender-side inversion family (ls, bayes-map, ridge, nnls, l1; "
+            "default: the REPRO_ESTIMATOR knob, i.e. least squares)"
+        ),
+    )
 
     experiment = sub.add_parser("experiment", help="run a Monte-Carlo experiment")
     experiment.add_argument("figure", choices=["fig7", "fig8", "fig9"])
@@ -130,14 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "target",
-        choices=["fig1", "fig5", "lp", "sweep", "backends", "all"],
+        choices=["fig1", "fig5", "lp", "sweep", "backends", "estimators", "all"],
         nargs="?",
         default="all",
         help=(
             "fig1 = instrumented pipeline, fig5 = seed-vs-optimized comparison, "
             "lp = cold vs incremental vs warm-started LP engine, "
             "sweep = cold-vs-cached grid execution, "
-            "backends = dense-vs-sparse kernel crossover"
+            "backends = dense-vs-sparse kernel crossover, "
+            "estimators = per-family estimate latency across the zoo"
         ),
     )
     bench.add_argument(
@@ -430,7 +439,9 @@ def _plan_attack(strategy: str, context, victims, *, stealthy: bool, confined: b
     return NaiveDelayAttack(context).run()
 
 
-def _report_attack(outcome, context, scenario, *, strategy, attackers, alpha) -> int:
+def _report_attack(
+    outcome, context, scenario, *, strategy, attackers, alpha, estimator=None
+) -> int:
     """Print the operator's view plus the detector's verdict (shared tail)."""
     from repro.detection import TomographyAuditor
     from repro.reporting import format_link_series
@@ -451,11 +462,14 @@ def _report_attack(outcome, context, scenario, *, strategy, attackers, alpha) ->
             controlled_links=sorted(context.controlled_links),
         )
     )
-    report = TomographyAuditor(scenario.path_set, alpha=alpha).audit(
-        outcome.observed_measurements
-    )
+    # The auditor shares the context's kernel and estimator, so the CLI's
+    # verdict matches what the sweep engine would record for this point.
+    report = TomographyAuditor(
+        scenario.path_set, alpha=alpha, system=context.system, estimator=estimator
+    ).audit(outcome.observed_measurements)
+    label = f"alpha={alpha}" if estimator is None else f"alpha={alpha}, {estimator}"
     print(
-        f"consistency detector (alpha={alpha}): "
+        f"consistency detector ({label}): "
         f"{'DETECTED' if not report.trustworthy else 'not detected'} "
         f"(residual {report.detection.residual_l1:.2f} ms)"
     )
@@ -508,7 +522,7 @@ def _cmd_run(args) -> int:
             print("error: no non-monitor node available as attacker", file=sys.stderr)
             return 1
     try:
-        context = scenario.attack_context(attackers)
+        context = scenario.attack_context(attackers, estimator=args.estimator)
         victims = args.victims
         if args.strategy in ("chosen-victim", "frame-and-blur") and not victims:
             controlled = set(context.controlled_links)
@@ -547,6 +561,7 @@ def _cmd_run(args) -> int:
         strategy=args.strategy,
         attackers=attackers,
         alpha=args.alpha,
+        estimator=args.estimator,
     )
 
 
@@ -657,8 +672,10 @@ def _cmd_bench(args) -> int:
 
     from repro.perf.bench import (
         backends_benchmark,
+        estimators_benchmark,
         fig1_pipeline_benchmark,
         fig5_assembly_benchmark,
+        full_perf_benchmark,
         lp_benchmark,
         sweep_cache_benchmark,
         write_bench_json,
@@ -674,14 +691,10 @@ def _cmd_bench(args) -> int:
         benchmarks = {"sweep_cache": sweep_cache_benchmark(repeat=args.repeat)}
     elif args.target == "backends":
         benchmarks = {"backends": backends_benchmark(repeat=args.repeat)}
+    elif args.target == "estimators":
+        benchmarks = {"estimators": estimators_benchmark(repeat=args.repeat)}
     else:
-        benchmarks = {
-            "fig1_pipeline": fig1_pipeline_benchmark(repeat=args.repeat),
-            "fig5_max_damage": fig5_assembly_benchmark(repeat=args.repeat),
-            "lp": lp_benchmark(repeat=args.repeat),
-            "sweep_cache": sweep_cache_benchmark(repeat=args.repeat),
-            "backends": backends_benchmark(repeat=args.repeat),
-        }
+        benchmarks = full_perf_benchmark(repeat=args.repeat)
 
     default_name = "BENCH_perf.json" if args.target == "all" else f"BENCH_{args.target}.json"
     out = Path(args.out) if args.out else Path("benchmarks") / "results" / default_name

@@ -98,6 +98,16 @@ REGISTRY: dict[str, Knob] = {
             doc="tomography kernel backend (auto = size/density heuristic)",
         ),
         Knob(
+            name="REPRO_ESTIMATOR",
+            kind="choice",
+            default="ls",
+            choices=("ls", "bayes-map", "l1", "ridge", "nnls"),
+            doc=(
+                "defender-side inversion estimator "
+                "(ls = the paper's least squares, stays bit-identical)"
+            ),
+        ),
+        Knob(
             name="REPRO_LP_ENGINE",
             kind="choice",
             default="scipy",

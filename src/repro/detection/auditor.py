@@ -70,6 +70,11 @@ class TomographyAuditor:
         :class:`~repro.tomography.linear_system.LinearSystem` over the
         path set's routing matrix, forwarded to the detector so audits
         share the sweep engine's per-topology factorisation.
+    estimator:
+        Inversion family the audited operator runs — a zoo name, a
+        built estimator, or None for the ``REPRO_ESTIMATOR`` knob
+        (default ``ls``).  Forwarded to the detector; the diagnosis is
+        computed from the same estimate the detector thresholds.
     """
 
     def __init__(
@@ -79,11 +84,12 @@ class TomographyAuditor:
         thresholds: StateThresholds | None = None,
         alpha: float = 200.0,
         system=None,
+        estimator=None,
     ) -> None:
         self.path_set = path_set
         self.thresholds = thresholds if thresholds is not None else StateThresholds()
         self.detector = ConsistencyDetector(
-            path_set.routing_matrix(), alpha=alpha, system=system
+            path_set.routing_matrix(), alpha=alpha, system=system, estimator=estimator
         )
 
     def audit(self, observed: np.ndarray) -> AuditReport:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.contracts import check_routing_matrix, contract
 from repro.exceptions import DetectionError
+from repro.tomography.estimator_zoo import resolve_estimator
 from repro.tomography.linear_system import LinearSystem, measurement_residual
 
 __all__ = ["DetectionResult", "ConsistencyDetector"]
@@ -51,6 +52,14 @@ class ConsistencyDetector:
         Detection threshold on the ``L_1`` residual (paper experiments:
         200 ms).  Must be non-negative; zero implements the idealised
         noiseless test of eq. (23).
+    estimator:
+        Which inversion the defender runs before thresholding: a zoo
+        name (``"ls"`` / ``"bayes-map"`` / ...), an already-built
+        :class:`~repro.tomography.estimator_zoo.Estimator` over the same
+        system, or None to resolve the ``REPRO_ESTIMATOR`` knob.  The
+        default (``ls``) reproduces eq. (23) bit-identically; biased
+        families need :func:`~repro.tomography.estimator_zoo.calibrated_alpha`
+        to keep ``alpha`` meaning "manipulation evidence".
 
     Note the structural blind spots (Theorem 3): if ``R`` is square and
     invertible the residual is *identically zero* whatever the attacker
@@ -65,6 +74,7 @@ class ConsistencyDetector:
         alpha: float = 200.0,
         *,
         system: LinearSystem | None = None,
+        estimator=None,
     ) -> None:
         matrix = np.asarray(routing_matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
@@ -85,6 +95,15 @@ class ConsistencyDetector:
         else:
             self._system = LinearSystem(matrix)
         self.alpha = float(alpha)
+        if estimator is None or isinstance(estimator, str):
+            self.estimator = resolve_estimator(estimator, system=self._system)
+        else:
+            est_system = getattr(estimator, "system", None)
+            if est_system is None or not np.array_equal(est_system.matrix, matrix):
+                raise DetectionError(
+                    "injected estimator is not built over this routing matrix"
+                )
+            self.estimator = estimator
         # Residuals vanish identically iff rows span no redundancy: every
         # y' is consistent with some x.  That is rank == num_paths (which
         # includes the square invertible case of Theorem 3).
@@ -109,7 +128,7 @@ class ConsistencyDetector:
             )
         if not np.all(np.isfinite(y)):
             raise DetectionError("observed measurements must be finite")
-        estimate = self._system.estimate(y)
+        estimate = self.estimator.estimate(y)
         residual = measurement_residual(self._matrix, estimate, y)
         residual_l1 = float(np.abs(residual).sum())
         return DetectionResult(
@@ -136,7 +155,7 @@ class ConsistencyDetector:
             )
         if not np.all(np.isfinite(block)):
             raise DetectionError("observed measurements must be finite")
-        estimates = self._system.estimate_many(block)
+        estimates = self.estimator.estimate_batch(block)
         residuals = self._matrix @ estimates - block
         residual_l1 = np.abs(residuals).sum(axis=0)
         return [

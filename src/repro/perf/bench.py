@@ -47,6 +47,7 @@ from repro.perf.instrumentation import PerfRecorder, recording, stage
 __all__ = [
     "append_trajectory",
     "backends_benchmark",
+    "estimators_benchmark",
     "fig1_pipeline_benchmark",
     "fig5_assembly_benchmark",
     "full_perf_benchmark",
@@ -661,6 +662,93 @@ def backends_benchmark(*, repeat: int = 3, seed: int = 2017) -> dict:
     }
 
 
+def estimators_benchmark(*, repeat: int = 3, inner_loops: int = 200, seed: int = 2017) -> dict:
+    """Per-family estimate latency across the estimator zoo.
+
+    Two systems — the paper's Fig. 1 matrix and a mid-size synthetic
+    path-incidence matrix — each factorised once and shared by every
+    family (the zoo's contract).  Per family, the single-vector
+    :meth:`~repro.tomography.estimator_zoo.Estimator.estimate` latency is
+    the best of ``repeat`` runs of ``inner_loops`` solves; batch latency
+    covers one ``estimate_batch`` over a 32-column block.  The iterative
+    families (``nnls``, ``l1``) run fewer inner loops — their per-solve
+    cost is orders above the closed-form families and the bench should
+    stay seconds, not minutes.
+
+    ``ls_vs_kernel`` is the acceptance headline: the zoo's ``ls`` member
+    over the raw :meth:`LinearSystem.estimate` it delegates to.  A ratio
+    near 1.0 certifies the pluggable layer adds only dispatch overhead to
+    the default path.
+    """
+    from repro.scenarios.simple_network import paper_fig1_scenario
+    from repro.tomography.estimator_zoo import estimator_names, resolve_estimator
+    from repro.tomography.linear_system import LinearSystem
+
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    scenario = paper_fig1_scenario()
+    fig1_matrix = scenario.path_set.routing_matrix()
+    synth_matrix = _path_incidence_matrix(120, 180, 6, seed)
+    systems = {
+        "fig1": (LinearSystem(fig1_matrix), fig1_matrix @ scenario.true_metrics),
+        "synthetic-120x180": (
+            LinearSystem(synth_matrix),
+            synth_matrix @ rng.uniform(1.0, 20.0, size=synth_matrix.shape[1]),
+        ),
+    }
+    batch_cols = 32
+    sections: dict = {}
+    ls_vs_kernel: dict = {}
+    for label, (system, observed) in systems.items():
+        block = np.tile(observed[:, None], (1, batch_cols))
+
+        def kernel() -> None:
+            for _ in range(inner_loops):
+                system.estimate(observed)
+
+        kernel_s = _best_of(kernel, repeat)
+        families: dict = {}
+        for name in estimator_names():
+            estimator = resolve_estimator(name, system=system)
+            loops = inner_loops if name in ("ls", "bayes-map", "ridge") else max(
+                1, inner_loops // 20
+            )
+
+            def single() -> None:
+                for _ in range(loops):
+                    estimator.estimate(observed)
+
+            if name == "l1":
+                # Build the persistent LP model off-clock so the timed
+                # loop measures warm re-solves, like the lp bench does.
+                estimator.estimate(observed)
+            single_s = _best_of(single, repeat)
+            batch_s = _best_of(lambda: estimator.estimate_batch(block), repeat)
+            families[name] = {
+                "estimate_s": single_s,
+                "inner_loops": loops,
+                "per_solve_us": 1e6 * single_s / loops,
+                "batch32_s": batch_s,
+            }
+        sections[label] = {
+            "paths": system.num_paths,
+            "links": system.num_links,
+            "kernel_estimate_s": kernel_s,
+            "estimators": families,
+        }
+        ls_vs_kernel[label] = (
+            families["ls"]["estimate_s"] / kernel_s if kernel_s > 0 else float("inf")
+        )
+    return {
+        "bench": "estimator_zoo",
+        "repeat": repeat,
+        "inner_loops": inner_loops,
+        "wall_s": time.perf_counter() - start,
+        "systems": sections,
+        "ls_vs_kernel": ls_vs_kernel,
+    }
+
+
 def full_perf_benchmark(*, repeat: int = 3) -> dict:
     """All benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
     return {
@@ -669,6 +757,7 @@ def full_perf_benchmark(*, repeat: int = 3) -> dict:
         "lp": lp_benchmark(repeat=repeat),
         "sweep_cache": sweep_cache_benchmark(repeat=repeat),
         "backends": backends_benchmark(repeat=repeat),
+        "estimators": estimators_benchmark(repeat=repeat),
     }
 
 

@@ -37,8 +37,14 @@ from repro.exceptions import AttackError, ValidationError
 from repro.obs import core as obs
 from repro.scenarios.montecarlo import run_batched_trials, run_trials, success_rate
 from repro.scenarios.scenario import Scenario
+from repro.tomography.estimator_zoo import calibrated_alpha, resolve_estimator
+from repro.tomography.linear_system import LinearSystem
 
-__all__ = ["detection_ratio_experiment", "false_alarm_experiment"]
+__all__ = [
+    "ablation_estimator_zoo",
+    "detection_ratio_experiment",
+    "false_alarm_experiment",
+]
 
 _STRATEGIES = ("chosen-victim", "max-damage", "obfuscation")
 _CUTS = ("perfect", "imperfect")
@@ -192,6 +198,195 @@ def detection_ratio_experiment(
         "attack_success_rate": success_rate(trials, "attack_success"),
         "trials": trials,
     }
+
+
+def ablation_estimator_zoo(
+    scenario: Scenario,
+    *,
+    estimators=("ls", "bayes-map", "l1"),
+    estimator_params: dict | None = None,
+    strategy: str = "chosen-victim",
+    cut: str = "perfect",
+    num_trials: int = 30,
+    base_alpha: float = 200.0,
+    attacker_sizes=(1, 2, 3),
+    roc_points: int = 9,
+    seed: object = 0,
+) -> dict:
+    """Does scapegoating survive a defender who does not run least squares?
+
+    The paper's attacks are planned against eq. (2); this ablation replays
+    the same planned manipulations against each estimator family in
+    ``estimators`` and records, per family: the attack-success rate, the
+    scapegoat-landing rate (all intended victims diagnosed abnormal under
+    *that* estimator), the detection ratio at a per-estimator calibrated
+    alpha (:func:`~repro.tomography.estimator_zoo.calibrated_alpha` —
+    ``base_alpha`` of head-room above the family's honest-round residual
+    bias), and an ROC table thresholding the residual over attacked versus
+    honest rounds.  Trials are re-seeded identically per family, so every
+    estimator judges the *same* attack sequence and rows are directly
+    comparable.
+
+    ``estimator_params`` optionally maps a family name to its constructor
+    parameters (e.g. ``{"bayes-map": {"prior_var": 100.0}}``).
+    """
+    if strategy not in _STRATEGIES:
+        raise ValidationError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+    if cut not in _CUTS:
+        raise ValidationError(f"cut must be one of {_CUTS}, got {cut!r}")
+    if not estimators:
+        raise ValidationError("estimators must name at least one family")
+    params_by_name = dict(estimator_params or {})
+    unknown = set(params_by_name) - set(estimators)
+    if unknown:
+        raise ValidationError(
+            f"estimator_params for families not being ablated: {sorted(unknown)}"
+        )
+    # One factorisation serves every family: each estimator is resolved
+    # over the same shared kernel (the RP001 discipline this ablation
+    # stress-tests).
+    system = LinearSystem(scenario.path_set.routing_matrix())
+    honest = scenario.honest_measurements()
+    rows = []
+    with obs.span(
+        "ablation_estimator_zoo",
+        strategy=strategy,
+        cut=cut,
+        estimators=list(estimators),
+        trials=num_trials,
+    ):
+        for name in estimators:
+            estimator = resolve_estimator(
+                name, system=system, **params_by_name.get(name, {})
+            )
+            alpha = calibrated_alpha(estimator, honest, base_alpha)
+            detector = ConsistencyDetector(
+                scenario.path_set.routing_matrix(),
+                alpha=alpha,
+                system=system,
+                estimator=estimator,
+            )
+            honest_residual = detector.check(honest).residual_l1
+
+            def trial(rng: np.random.Generator) -> dict | None:
+                nodes = scenario.topology.nodes()
+                size = int(rng.choice(list(attacker_sizes)))
+                picks = rng.choice(len(nodes), size=min(size, len(nodes)), replace=False)
+                attackers = [nodes[int(i)] for i in picks]
+                context = scenario.attack_context(
+                    attackers, system=system, estimator=estimator
+                )
+                perfect, imperfect = _victim_pools(
+                    scenario, attackers, set(context.controlled_links)
+                )
+                victims = perfect if cut == "perfect" else imperfect
+                if not victims:
+                    return None
+                outcome = _run_strategy(
+                    strategy, context, victims, rng, stealthy=True, confined=True
+                )
+                if not outcome.feasible:
+                    outcome = _run_strategy(
+                        strategy, context, victims, rng, stealthy=False, confined=True
+                    )
+                if not outcome.feasible:
+                    return {"attack_success": False, "detected": None, "landed": None}
+                if outcome.observed_measurements is None:
+                    raise AttackError("feasible outcome carries no observed measurements")
+                result = detector.check(outcome.observed_measurements)
+                landed = outcome.diagnosis is not None and set(
+                    outcome.victim_links
+                ) <= set(outcome.diagnosis.abnormal)
+                return {
+                    "attack_success": True,
+                    "detected": result.detected,
+                    "landed": bool(landed),
+                    "residual_l1": result.residual_l1,
+                    "damage": outcome.damage,
+                }
+
+            trials = run_trials(num_trials, trial, seed=seed)
+            successful = [t for t in trials if t["attack_success"]]
+            detected = [t for t in successful if t["detected"]]
+            landed = [t for t in successful if t["landed"]]
+            attacked_residuals = [t["residual_l1"] for t in successful]
+            roc = _roc_table(attacked_residuals, [honest_residual], roc_points)
+            if obs.is_enabled():
+                obs.event(
+                    "estimator_ablation_result",
+                    estimator=name,
+                    alpha=alpha,
+                    valid_trials=len(trials),
+                    successful_attacks=len(successful),
+                    detected=len(detected),
+                    landed=len(landed),
+                )
+            rows.append(
+                {
+                    "estimator": name,
+                    "params": dict(estimator.params()),
+                    "alpha": alpha,
+                    "honest_residual": honest_residual,
+                    "num_valid_trials": len(trials),
+                    "attack_success_rate": success_rate(trials, "attack_success"),
+                    "scapegoat_rate": (
+                        (len(landed) / len(successful)) if successful else float("nan")
+                    ),
+                    "detection_ratio": (
+                        (len(detected) / len(successful)) if successful else float("nan")
+                    ),
+                    "mean_damage": (
+                        float(np.mean([t["damage"] for t in successful]))
+                        if successful
+                        else 0.0
+                    ),
+                    "roc": roc,
+                }
+            )
+    return {
+        "scenario": scenario.describe(),
+        "strategy": strategy,
+        "cut": cut,
+        "base_alpha": base_alpha,
+        "num_trials": num_trials,
+        "estimators": rows,
+    }
+
+
+def _roc_table(
+    attacked: list[float], honest: list[float], roc_points: int
+) -> list[dict]:
+    """Residual-threshold ROC rows over attacked vs. honest rounds.
+
+    Thresholds are midpoints between consecutive distinct residuals (the
+    only places the operating point can change), bracketed by one
+    threshold below and one above everything, thinned to ``roc_points``.
+    """
+    values = sorted(set(attacked) | set(honest))
+    if not values:
+        return []
+    candidates = [values[0] - 1.0]
+    candidates += [(a + b) / 2.0 for a, b in zip(values, values[1:])]
+    candidates.append(values[-1] + 1.0)
+    if len(candidates) > roc_points:
+        idx = np.linspace(0, len(candidates) - 1, roc_points).round().astype(int)
+        candidates = [candidates[int(i)] for i in sorted(set(idx.tolist()))]
+    rows = []
+    for threshold in candidates:
+        tpr = (
+            sum(1 for r in attacked if r > threshold) / len(attacked)
+            if attacked
+            else float("nan")
+        )
+        fpr = sum(1 for r in honest if r > threshold) / len(honest)
+        rows.append(
+            {
+                "threshold": float(threshold),
+                "true_positive_rate": float(tpr),
+                "false_positive_rate": float(fpr),
+            }
+        )
+    return rows
 
 
 def false_alarm_experiment(

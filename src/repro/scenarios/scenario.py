@@ -148,14 +148,16 @@ class Scenario:
     # derived objects
     # ------------------------------------------------------------------
     def attack_context(
-        self, attacker_nodes: Iterable[NodeId], *, system=None
+        self, attacker_nodes: Iterable[NodeId], *, system=None, estimator=None
     ) -> AttackContext:
         """An :class:`AttackContext` for the given attacker set.
 
         ``system`` optionally injects a pre-factorised
         :class:`~repro.tomography.linear_system.LinearSystem` over this
         scenario's routing matrix (see the sweep engine's factorization
-        cache); omitted, the context factorises its own.
+        cache); omitted, the context factorises its own.  ``estimator``
+        selects the defender's inversion family (zoo name, built
+        estimator, or None = the ``REPRO_ESTIMATOR`` knob).
         """
         return AttackContext(
             self.path_set,
@@ -165,6 +167,7 @@ class Scenario:
             cap=self.cap,
             margin=self.margin,
             system=system,
+            estimator=estimator,
         )
 
     def engine(self, noise_model=None) -> AnalyticMeasurementEngine:
@@ -177,14 +180,22 @@ class Scenario:
             self.topology, self.true_metrics, agents=agents or {}, jitter=jitter
         )
 
-    def auditor(self, alpha: float = 200.0, *, system=None) -> TomographyAuditor:
+    def auditor(
+        self, alpha: float = 200.0, *, system=None, estimator=None
+    ) -> TomographyAuditor:
         """The operator's audited-tomography pipeline.
 
         ``system`` optionally shares a pre-factorised kernel with the
-        detector (same contract as :meth:`attack_context`).
+        detector (same contract as :meth:`attack_context`); ``estimator``
+        selects the inversion family the audit runs (zoo name, built
+        estimator, or None = the ``REPRO_ESTIMATOR`` knob).
         """
         return TomographyAuditor(
-            self.path_set, thresholds=self.thresholds, alpha=alpha, system=system
+            self.path_set,
+            thresholds=self.thresholds,
+            alpha=alpha,
+            system=system,
+            estimator=estimator,
         )
 
     def honest_measurements(self) -> np.ndarray:

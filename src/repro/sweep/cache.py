@@ -44,8 +44,10 @@ from repro.attacks.chosen_victim import build_chosen_victim_bands
 from repro.attacks.lp import IncrementalLpSolver
 from repro.attacks.lp_engine import resolve_engine_name
 from repro.detection.auditor import TomographyAuditor
+from repro.exceptions import ValidationError
 from repro.obs import core as obs
-from repro.obs.manifest import matrix_digest
+from repro.obs.manifest import config_digest, matrix_digest
+from repro.tomography.estimator_zoo import resolve_estimator
 from repro.scenarios.scenario import Scenario
 from repro.sweep.store import FactorizationStore, default_store
 from repro.tomography.linear_system import LinearSystem
@@ -71,6 +73,7 @@ class FactorizationCache:
         self._systems: dict[str, LinearSystem] = {}
         self._solvers: dict[tuple, IncrementalLpSolver] = {}
         self._auditors: dict[tuple, TomographyAuditor] = {}
+        self._estimators: dict[tuple, object] = {}
         # Per-scenario memo of (scenario, routing matrix, system): keyed by
         # object identity, holding a strong reference so an id() can never
         # be recycled under us.  The cache's lifetime is one worker shard,
@@ -162,12 +165,24 @@ class FactorizationCache:
         return system
 
     def context_for(
-        self, scenario: Scenario, attackers: tuple
+        self,
+        scenario: Scenario,
+        attackers: tuple,
+        *,
+        estimator: str | None = None,
+        estimator_params: dict | None = None,
     ) -> AttackContext:
-        """An attack context whose kernel comes from the shared cache."""
-        return scenario.attack_context(
-            attackers, system=self.scenario_system_for(scenario)
-        )
+        """An attack context whose kernel comes from the shared cache.
+
+        ``estimator``/``estimator_params`` select the defender's
+        inversion family for the context's outcome prediction (None =
+        the historical least squares via the ``REPRO_ESTIMATOR`` knob);
+        the family is built over the shared kernel, so no extra
+        factorisation happens either way.
+        """
+        system = self.scenario_system_for(scenario)
+        built = self._estimator_over(system, estimator, estimator_params)
+        return scenario.attack_context(attackers, system=system, estimator=built)
 
     def solver_for(
         self,
@@ -223,17 +238,66 @@ class FactorizationCache:
             self._count("solver", True, digest=key[0])
         return solver
 
-    def auditor_for(self, scenario: Scenario, *, alpha: float = 200.0) -> TomographyAuditor:
-        """The shared auditor for this scenario's routing matrix."""
+    def _estimator_over(
+        self,
+        system: LinearSystem,
+        estimator: str | None,
+        estimator_params: dict | None,
+    ):
+        """A shared estimator instance over a cached kernel (None = default).
+
+        Memoised by (kernel digest, name, params digest): the ``l1``
+        family keeps a warm-started LP model per instance, so every grid
+        point sharing a topology re-uses one model and its basis.
+        """
+        if estimator is None:
+            if estimator_params:
+                raise ValidationError(
+                    "estimator_params requires an explicit estimator name"
+                )
+            return None
+        key = (
+            system.digest,
+            estimator,
+            config_digest(dict(estimator_params or {})),
+        )
+        cached = self._estimators.get(key)
+        if cached is None:
+            cached = resolve_estimator(
+                estimator, system=system, **(estimator_params or {})
+            )
+            self._estimators[key] = cached
+            self._count("estimator", False, digest=key[0], estimator=estimator)
+        else:
+            self._count("estimator", True, digest=key[0], estimator=estimator)
+        return cached
+
+    def auditor_for(
+        self,
+        scenario: Scenario,
+        *,
+        alpha: float = 200.0,
+        estimator: str | None = None,
+        estimator_params: dict | None = None,
+    ) -> TomographyAuditor:
+        """The shared auditor for this scenario's routing matrix.
+
+        The cache key includes the estimator family and its parameter
+        digest: audits under different defenders never alias, and the
+        historical least-squares key is unchanged when ``estimator`` is
+        omitted.
+        """
         system = self.scenario_system_for(scenario)
+        built = self._estimator_over(system, estimator, estimator_params)
         key = (
             system.digest,
             float(alpha),
             (scenario.thresholds.lower, scenario.thresholds.upper),
+            None if built is None else (built.name, built.params_digest),
         )
         auditor = self._auditors.get(key)
         if auditor is None:
-            auditor = scenario.auditor(alpha, system=system)
+            auditor = scenario.auditor(alpha, system=system, estimator=built)
             self._auditors[key] = auditor
             self._count("auditor", False, digest=key[0])
         else:

@@ -149,6 +149,12 @@ def run_grid_point(
     attackers = _sample_attackers(scenario, rng, point.num_attackers)
     attack = spec.attack
     mode, confined, stealthy = attack["mode"], attack["confined"], attack["stealthy"]
+    # Optional-by-absence, like max_victims: specs that do not name an
+    # estimator keep the historical least-squares defender (and their
+    # point digests); specs that do judge outcomes and run detection
+    # under the named family.
+    estimator = attack.get("estimator")
+    estimator_params = attack.get("estimator_params")
 
     record = {
         "index": point.index,
@@ -167,7 +173,12 @@ def run_grid_point(
         num_attackers=point.num_attackers,
     ):
         try:
-            context = cache.context_for(scenario, tuple(attackers))
+            context = cache.context_for(
+                scenario,
+                tuple(attackers),
+                estimator=estimator,
+                estimator_params=estimator_params,
+            )
             outcome = None
             if point.strategy == "chosen-victim":
                 from repro.attacks.chosen_victim import ChosenVictimAttack
@@ -217,7 +228,12 @@ def run_grid_point(
             if outcome is not None:
                 record.update(_outcome_fields(outcome))
                 if outcome.feasible:
-                    auditor = cache.auditor_for(scenario, alpha=attack["alpha"])
+                    auditor = cache.auditor_for(
+                        scenario,
+                        alpha=attack["alpha"],
+                        estimator=estimator,
+                        estimator_params=estimator_params,
+                    )
                     report = auditor.audit(outcome.observed_measurements)
                     record["detected"] = bool(not report.trustworthy)
                     record["residual_l1"] = float(report.detection.residual_l1)

@@ -87,12 +87,23 @@ _SCENARIO_KEYS = (
     "thresholds",
 )
 
-#: Attack-level knobs a spec's ``attack`` block may set.  ``max_victims``
-#: has no default entry on purpose: absent, the obfuscation strategy pins
-#: ``max_victims == min_victims`` (the historical behaviour), and keeping
-#: it out of the effective config keeps every existing point digest — and
-#: therefore resume keys and golden fixtures — unchanged.
-_ATTACK_KEYS = ("mode", "confined", "stealthy", "min_victims", "max_victims", "alpha")
+#: Attack-level knobs a spec's ``attack`` block may set.  ``max_victims``,
+#: ``estimator`` and ``estimator_params`` have no default entry on
+#: purpose: absent, the obfuscation strategy pins ``max_victims ==
+#: min_victims`` and detection runs the paper's least squares (the
+#: historical behaviour), and keeping them out of the effective config
+#: keeps every existing point digest — and therefore resume keys and
+#: golden fixtures — unchanged.
+_ATTACK_KEYS = (
+    "mode",
+    "confined",
+    "stealthy",
+    "min_victims",
+    "max_victims",
+    "alpha",
+    "estimator",
+    "estimator_params",
+)
 
 _ATTACK_DEFAULTS = {
     "mode": "paper",
@@ -260,6 +271,26 @@ class SweepSpec:
                 and attack["max_victims"] >= attack["min_victims"],
                 f"attack max_victims must be an integer >= min_victims "
                 f"({attack['min_victims']}), got {attack['max_victims']!r}",
+            )
+        if "estimator" in attack:
+            from repro.tomography.estimator_zoo import estimator_names
+
+            _require(
+                attack["estimator"] in estimator_names(),
+                f"attack estimator must be one of {estimator_names()}, "
+                f"got {attack['estimator']!r}",
+            )
+        if "estimator_params" in attack:
+            _require(
+                "estimator" in attack,
+                "attack estimator_params requires an explicit estimator name",
+            )
+            params = attack["estimator_params"]
+            _require(
+                isinstance(params, dict)
+                and all(isinstance(k, str) for k in params),
+                f"attack estimator_params must be an object with string keys, "
+                f"got {params!r}",
             )
 
         return cls(
@@ -449,11 +480,13 @@ def build_topology(entry: dict, *, seed: int):
 
 
 def _encode_scalarish(value: object) -> object:
-    """Strict-JSON encoding of a scalar-or-small-list knob value."""
+    """Strict-JSON encoding of a scalar-or-small-container knob value."""
     if isinstance(value, float):
         return _encode_float(value)
     if isinstance(value, (list, tuple)):
         return [_encode_scalarish(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_scalarish(v) for k, v in sorted(value.items())}
     return value
 
 
@@ -463,4 +496,6 @@ def _decode_scalarish(value: object) -> object:
         return _decode_float(value)
     if isinstance(value, list):
         return [_decode_scalarish(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _decode_scalarish(v) for k, v in value.items()}
     return value

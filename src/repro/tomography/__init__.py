@@ -4,10 +4,19 @@
   estimator operator ``R⁺``;
 - :mod:`~repro.tomography.estimators` — the paper's least-squares estimator
   (eq. 2) plus non-negative and ridge-regularised variants;
+- :mod:`~repro.tomography.estimator_zoo` — the registry-dispatched estimator
+  families (``ls`` / ``bayes-map`` / ``ridge`` / ``nnls`` / ``l1``) behind
+  the ``REPRO_ESTIMATOR`` knob;
 - :mod:`~repro.tomography.diagnosis` — turn an estimate into the link-state
   report a network operator would act on.
 """
 
+from repro.tomography.estimator_zoo import (
+    Estimator,
+    calibrated_alpha,
+    estimator_names,
+    resolve_estimator,
+)
 from repro.tomography.estimators import (
     LeastSquaresEstimator,
     NonNegativeEstimator,
@@ -22,9 +31,13 @@ from repro.tomography.linear_system import (
 from repro.tomography.diagnosis import DiagnosisReport, diagnose
 
 __all__ = [
+    "Estimator",
     "LeastSquaresEstimator",
     "NonNegativeEstimator",
     "RidgeEstimator",
+    "calibrated_alpha",
+    "estimator_names",
+    "resolve_estimator",
     "LinearSystem",
     "estimator_operator",
     "measurement_residual",

@@ -179,6 +179,23 @@ class DenseBackend:
         """Multi-RHS estimate: one GEMM for a whole chunk of trials."""
         return self.estimator @ ys
 
+    def regularized_estimate_many(self, ys: np.ndarray, lam: float) -> np.ndarray:
+        """Tikhonov solve ``(R^T R + lam I)^{-1} R^T y`` off the shared SVD.
+
+        With ``R = U S V^T`` the regularized operator is
+        ``V diag(s / (s^2 + lam)) U^T`` — assembled from the one cached
+        factorisation, no second factorisation path (RP001).  Handles 1-D
+        vectors and (|P| x k) blocks alike; ``lam -> 0`` recovers the
+        pseudo-inverse (zero singular values contribute nothing either
+        way).
+        """
+        u, s, vt, _ = self.factors
+        k = s.shape[0]
+        coef = s / (s * s + float(lam))
+        uty = u.T @ np.asarray(ys, dtype=float)
+        scaled = coef * uty if uty.ndim == 1 else coef[:, None] * uty
+        return vt[:k].T @ scaled
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self._owner.matrix @ x
 
@@ -221,6 +238,7 @@ class SparseBackend:
     def __init__(self, owner) -> None:
         self._owner = owner
         self._column_memo: dict[tuple, np.ndarray] = {}
+        self._regularized_factors: dict[float, tuple] = {}
 
     # -- storage ----------------------------------------------------------
 
@@ -402,6 +420,51 @@ class SparseBackend:
         return np.stack(
             [self._solve_lsmr(block[:, j]) for j in range(block.shape[1])], axis=1
         )
+
+    def _regularized_cholesky(self, lam: float) -> tuple:
+        """Cholesky of the shifted small-side Gram ``G + lam I`` (memoised).
+
+        ``lam > 0`` makes the shifted Gram positive definite whatever the
+        rank of ``R``, so this factorisation always succeeds — no LSMR
+        fallback needed on the regularized path.  One estimator instance
+        solves many right-hand sides with a fixed ``lam``, hence the
+        per-``lam`` memo.
+        """
+        factor = self._regularized_factors.get(float(lam))
+        if factor is None:
+            perf.record_event("gram_cholesky")
+            shifted = self._gram + float(lam) * np.eye(self._gram.shape[0])
+            factor = scipy.linalg.cho_factor(shifted, check_finite=False)
+            self._regularized_factors[float(lam)] = factor
+        return factor
+
+    def regularized_estimate_many(self, ys: np.ndarray, lam: float) -> np.ndarray:
+        """Tikhonov solve via the small-side Gram, matrix-free either way.
+
+        Tall systems solve ``(R^T R + lam I) x = R^T y`` directly; wide
+        systems use the push-through identity
+        ``(R^T R + lam I)^{-1} R^T = R^T (R R^T + lam I)^{-1}`` so the
+        smaller Gram serves both orientations.  Iterative refinement
+        recovers direct-solve accuracy, matching the dense SVD path to
+        well below the library parity tolerance.
+        """
+        block = np.asarray(ys, dtype=float)
+        perf.record_event("sparse_solve")
+        factor = self._regularized_cholesky(lam)
+        shifted = self._gram + float(lam) * np.eye(self._gram.shape[0])
+        m, n = self.matrix.shape
+        if m >= n:
+            rhs = self.matrix_t @ block
+            x = scipy.linalg.cho_solve(factor, rhs, check_finite=False)
+            for _ in range(_REFINE_STEPS):
+                residual = rhs - shifted @ x
+                x = x + scipy.linalg.cho_solve(factor, residual, check_finite=False)
+            return x
+        z = scipy.linalg.cho_solve(factor, block, check_finite=False)
+        for _ in range(_REFINE_STEPS):
+            residual = block - shifted @ z
+            z = z + scipy.linalg.cho_solve(factor, residual, check_finite=False)
+        return self.matrix_t @ z
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.matrix @ x

@@ -7,18 +7,31 @@ regularisation (stabilises near-dependent path sets); the ablation benches
 measure whether they change scapegoating feasibility (they do not, for
 perfect cuts — the attack forges measurements that are *exactly* consistent
 with a legitimate metric vector).
+
+:class:`NonNegativeEstimator` and :class:`RidgeEstimator` are deprecated
+shims over the registry-dispatched families in
+:mod:`repro.tomography.estimator_zoo` (``"nnls"`` and ``"ridge"``) — they
+delegate every solve to the zoo member, so the two spellings can never
+drift numerically.  New code should call
+:func:`~repro.tomography.estimator_zoo.resolve_estimator` instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.optimize import nnls
 
 from repro.exceptions import SingularSystemError, TomographyError
 from repro.tomography.linear_system import LinearSystem
 from repro.utils.validation import check_finite_vector
 
 __all__ = ["LeastSquaresEstimator", "NonNegativeEstimator", "RidgeEstimator"]
+
+
+def _checked_matrix(routing_matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(routing_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
+    return matrix
 
 
 class LeastSquaresEstimator:
@@ -70,15 +83,15 @@ class LeastSquaresEstimator:
 class NonNegativeEstimator:
     """Non-negative least squares: ``min ||R x - y||_2`` s.t. ``x >= 0``.
 
-    Physically-constrained variant (delays are non-negative).  Solved with
-    the Lawson-Hanson active-set method from scipy.
+    .. deprecated:: delegates to the zoo family ``"nnls"``; use
+       ``resolve_estimator("nnls", routing_matrix=R)`` in new code.
     """
 
     def __init__(self, routing_matrix: np.ndarray) -> None:
-        matrix = np.asarray(routing_matrix, dtype=float)
-        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
-            raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
-        self._matrix = matrix
+        from repro.tomography.estimator_zoo import resolve_estimator
+
+        self._matrix = _checked_matrix(routing_matrix)
+        self._delegate = resolve_estimator("nnls", routing_matrix=self._matrix)
 
     @property
     def routing_matrix(self) -> np.ndarray:
@@ -88,8 +101,7 @@ class NonNegativeEstimator:
     def estimate(self, measurements: np.ndarray) -> np.ndarray:
         """Estimate non-negative link metrics from path measurements."""
         y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
-        solution, _ = nnls(self._matrix, y)
-        return solution
+        return self._delegate.estimate(y)
 
 
 class RidgeEstimator:
@@ -98,18 +110,21 @@ class RidgeEstimator:
     ``lam > 0`` always yields a well-posed system, at the cost of a small
     bias toward zero.  Useful as a robustness baseline when the path set is
     nearly rank-deficient.
+
+    .. deprecated:: delegates to the zoo family ``"ridge"``; use
+       ``resolve_estimator("ridge", routing_matrix=R, lam=lam)`` in new code.
     """
 
     def __init__(self, routing_matrix: np.ndarray, lam: float = 1e-6) -> None:
-        matrix = np.asarray(routing_matrix, dtype=float)
-        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
-            raise TomographyError(f"degenerate routing matrix shape {matrix.shape}")
+        from repro.tomography.estimator_zoo import resolve_estimator
+
+        self._matrix = _checked_matrix(routing_matrix)
         if lam <= 0:
             raise TomographyError(f"ridge parameter must be positive, got {lam}")
-        self._matrix = matrix
+        self._delegate = resolve_estimator(
+            "ridge", routing_matrix=self._matrix, lam=float(lam)
+        )
         self.lam = float(lam)
-        gram = matrix.T @ matrix + self.lam * np.eye(matrix.shape[1])
-        self._operator = np.linalg.solve(gram, matrix.T)
 
     @property
     def routing_matrix(self) -> np.ndarray:
@@ -119,4 +134,4 @@ class RidgeEstimator:
     def estimate(self, measurements: np.ndarray) -> np.ndarray:
         """Estimate link metrics with ridge regularisation."""
         y = check_finite_vector(measurements, "measurements", length=self._matrix.shape[0])
-        return self._operator @ y
+        return self._delegate.estimate(y)

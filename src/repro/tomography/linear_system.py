@@ -325,6 +325,35 @@ class LinearSystem:
             raise ValueError("measurement block must be finite")
         return self._factorized.estimate_many(block)
 
+    def regularized_estimate(self, observed: np.ndarray, lam: float) -> np.ndarray:
+        """Tikhonov estimate ``(R^T R + lam I)^{-1} R^T y`` (``lam > 0``).
+
+        The backend seam for ridge / Bayesian-MAP estimators: the dense
+        backend assembles the regularized operator from the shared SVD
+        factors, the sparse backend runs a Cholesky of the shifted
+        small-side Gram — neither opens a second factorisation path.
+        """
+        if not (lam > 0) or not np.isfinite(lam):
+            raise ValueError(f"regularization lam must be positive and finite, got {lam}")
+        y = check_finite_vector(observed, "observed", length=self.num_paths)
+        return self._factorized.regularized_estimate_many(y, float(lam))
+
+    def regularized_estimate_many(self, observed: np.ndarray, lam: float) -> np.ndarray:
+        """Column-wise regularized estimates of a block (|P| x k -> |L| x k)."""
+        block = np.asarray(observed, dtype=float)
+        if block.ndim == 1:
+            return self.regularized_estimate(block, lam)
+        if not (lam > 0) or not np.isfinite(lam):
+            raise ValueError(f"regularization lam must be positive and finite, got {lam}")
+        if block.ndim != 2 or block.shape[0] != self.num_paths:
+            raise ValueError(
+                f"expected a ({self.num_paths}, k) measurement block, "
+                f"got shape {block.shape}"
+            )
+        if not np.all(np.isfinite(block)):
+            raise ValueError("measurement block must be finite")
+        return self._factorized.regularized_estimate_many(block, float(lam))
+
     def predict(self, metrics: np.ndarray) -> np.ndarray:
         """Forward model ``y = R x`` (eq. 1)."""
         x = check_finite_vector(metrics, "metrics", length=self.num_links)

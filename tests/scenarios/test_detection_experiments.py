@@ -5,6 +5,7 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.measurement.noise import GaussianNoise
 from repro.scenarios.detection_experiments import (
+    ablation_estimator_zoo,
     detection_ratio_experiment,
     false_alarm_experiment,
 )
@@ -104,3 +105,75 @@ class TestFalseAlarms:
             seed=0,
         )
         assert result["false_alarm_rate"] == 0.0
+
+
+class TestEstimatorZooAblation:
+    def test_rows_cover_requested_families_with_comparable_trials(
+        self, fig1_scenario
+    ):
+        result = ablation_estimator_zoo(
+            fig1_scenario, num_trials=8, seed=3, attacker_sizes=(2,)
+        )
+        assert [row["estimator"] for row in result["estimators"]] == [
+            "ls",
+            "bayes-map",
+            "l1",
+        ]
+        trials = {row["num_valid_trials"] for row in result["estimators"]}
+        assert len(trials) == 1  # identical re-seeding: same attack sequence
+        for row in result["estimators"]:
+            assert row["attack_success_rate"] > 0.0
+            assert row["alpha"] >= result["base_alpha"]
+            assert 0.0 <= row["scapegoat_rate"] <= 1.0
+            assert 0.0 <= row["detection_ratio"] <= 1.0
+
+    def test_perfect_cut_stealth_holds_for_every_family(self, fig1_scenario):
+        """Theorem 3 is estimator-independent on consistent forgeries:
+        a perfect-cut stealthy attack leaves residuals under every
+        calibrated alpha, whatever the inversion family."""
+        result = ablation_estimator_zoo(
+            fig1_scenario, cut="perfect", num_trials=8, seed=3
+        )
+        for row in result["estimators"]:
+            assert row["detection_ratio"] == 0.0
+
+    def test_roc_rows_are_well_formed(self, fig1_scenario):
+        result = ablation_estimator_zoo(
+            fig1_scenario, estimators=("ls",), num_trials=8, seed=3, roc_points=5
+        )
+        roc = result["estimators"][0]["roc"]
+        assert 0 < len(roc) <= 5
+        thresholds = [row["threshold"] for row in roc]
+        assert thresholds == sorted(thresholds)
+        for row in roc:
+            assert 0.0 <= row["true_positive_rate"] <= 1.0
+            assert 0.0 <= row["false_positive_rate"] <= 1.0
+        # The bracketing thresholds pin the ROC endpoints.
+        assert roc[0]["true_positive_rate"] == 1.0
+        assert roc[0]["false_positive_rate"] == 1.0
+        assert roc[-1]["true_positive_rate"] == 0.0
+        assert roc[-1]["false_positive_rate"] == 0.0
+
+    def test_estimator_params_flow_into_the_named_family(self, fig1_scenario):
+        result = ablation_estimator_zoo(
+            fig1_scenario,
+            estimators=("bayes-map",),
+            estimator_params={"bayes-map": {"prior_var": 123.0}},
+            num_trials=4,
+            seed=3,
+        )
+        assert result["estimators"][0]["params"]["prior_var"] == 123.0
+
+    def test_validation(self, fig1_scenario):
+        with pytest.raises(ValidationError):
+            ablation_estimator_zoo(fig1_scenario, strategy="bogus")
+        with pytest.raises(ValidationError):
+            ablation_estimator_zoo(fig1_scenario, cut="bogus")
+        with pytest.raises(ValidationError):
+            ablation_estimator_zoo(fig1_scenario, estimators=())
+        with pytest.raises(ValidationError):
+            ablation_estimator_zoo(
+                fig1_scenario,
+                estimators=("ls",),
+                estimator_params={"l1": {}},
+            )

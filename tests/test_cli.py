@@ -137,6 +137,22 @@ class TestRun:
         assert main(["run", str(scenario_file), "--strategy", "naive"]) == 0
         assert "naive" in capsys.readouterr().out
 
+    def test_run_with_estimator_choice(self, scenario_file, capsys):
+        code = main(
+            ["run", str(scenario_file), "--strategy", "max-damage",
+             "--attackers", "B", "C", "--estimator", "bayes-map"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bayes-map" in out
+        assert "consistency detector" in out
+
+    def test_run_with_unknown_estimator(self, scenario_file, capsys):
+        assert main(
+            ["run", str(scenario_file), "--estimator", "kalman"]
+        ) == 1
+        assert "unknown estimator" in capsys.readouterr().err
+
     def test_missing_scenario_file(self, tmp_path, capsys):
         assert main(["run", str(tmp_path / "nope.json")]) == 1
         assert "error" in capsys.readouterr().err
@@ -195,6 +211,27 @@ class TestObs:
         bad.write_text("{not json\n")
         assert main(["obs", "summarize", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBenchEstimators:
+    def test_writes_per_family_latency(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "estimators", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "estimators" in out
+        doc = json.loads(
+            (tmp_path / "benchmarks" / "results" / "BENCH_estimators.json").read_text()
+        )
+        payload = doc["benchmarks"]["estimators"]
+        for label, system in payload["systems"].items():
+            assert set(system["estimators"]) == {
+                "bayes-map", "l1", "ls", "nnls", "ridge",
+            }, label
+            for family in system["estimators"].values():
+                assert family["per_solve_us"] > 0.0
+        # The zoo's default path must stay within noise of the raw kernel.
+        for label, ratio in payload["ls_vs_kernel"].items():
+            assert ratio < 2.0, (label, ratio)
 
 
 class TestBenchTrajectory:

@@ -15,6 +15,7 @@ KNOWN_KNOBS = {
     "REPRO_OBS_DIR",
     "REPRO_CONTRACTS",
     "REPRO_BACKEND",
+    "REPRO_ESTIMATOR",
     "REPRO_LP_ENGINE",
     "REPRO_LP_RESOLVE_CAP",
     "REPRO_CACHE_DIR",
