@@ -42,7 +42,11 @@ __all__ = [
 ]
 
 #: The only modules allowed to call numpy's factorisation routines.
-_KERNEL_MODULES = ("tomography/linear_system.py", "utils/linalg.py")
+_KERNEL_MODULES = (
+    "tomography/linear_system.py",
+    "utils/linalg.py",
+    "utils/updates.py",
+)
 _FACTORIZATIONS = frozenset({"svd", "pinv", "lstsq", "qr", "matrix_rank"})
 
 #: Legacy ``numpy.random`` module-level functions (global RandomState).

@@ -759,6 +759,51 @@ class IncrementalLpSolver:
             )
         return self._persistent
 
+    def rebase(self, true_metrics: np.ndarray, base_bands: BandConstraints) -> None:
+        """Move the solver onto new baseline metrics and band bounds.
+
+        A churn epoch that leaves the attacker's support columns intact
+        (the manipulable paths did not change — only the baseline
+        estimate and hence the band rows moved) does not need a new
+        solver: the sub-operator, the consistency block and the presolve
+        capacities are all functions of ``Q[:, support]`` alone.  Only
+        the assembled band rows and the persistent model's row bounds
+        depend on ``x_true``/``bands``, so those are re-derived in place
+        — the warm-started HiGHS model (and its simplex basis) survives
+        via ``changeRowBounds`` instead of being rebuilt from scratch.
+        """
+        x_true = check_finite_vector(true_metrics, "true_metrics")
+        if x_true.shape[0] != self.num_links:
+            raise ValidationError(
+                f"rebase true_metrics length ({x_true.shape[0]}) must match "
+                f"the solver's link count ({self.num_links})"
+            )
+        base_bands.validate()
+        lower = np.array(base_bands.lower, dtype=float)
+        upper = np.array(base_bands.upper, dtype=float)
+        if lower.shape != (self.num_links,) or upper.shape != (self.num_links,):
+            raise ValidationError(
+                "rebase bands must have one bound per link "
+                f"({self.num_links}), got {lower.shape} / {upper.shape}"
+            )
+        perf.record_event("lp_rebase")
+        self._x_true = x_true
+        self._base_lower = lower
+        self._base_upper = upper
+        with perf.stage("lp_assembly"):
+            self._base_a, self._base_b, self._base_keys = _assemble_band_rows(
+                self._sub_operator, lower, upper, x_true
+            )
+            self._base_row_nnz = (
+                np.count_nonzero(self._base_a, axis=1)
+                if self._base_a.shape[0]
+                else np.zeros(0, dtype=int)
+            )
+            self._base_nnz = int(self._base_row_nnz.sum())
+            self._base_a_opt = _maybe_sparse(self._base_a, self._base_nnz)
+        if self._persistent is not None:
+            self._persistent.update_base_bounds(lower - x_true, upper - x_true)
+
     def _solve_warm(
         self, overrides: Mapping[int, tuple[float, float]]
     ) -> LpSolution:

@@ -292,12 +292,45 @@ class PersistentLpSolver:
         self._model.setOptionValue("output_flag", False)
         self._model.setOptionValue("threads", 1)
         self._model.passModel(lp)
+        perf.record_event("lp_model_build")
         self.solves = 0
 
     @property
     def engine_source(self) -> str:
         """Which provider backs the model (``highspy``/``scipy-vendored``)."""
         return self._hb.source
+
+    def update_base_bounds(self, row_lower: np.ndarray, row_upper: np.ndarray) -> int:
+        """Rebase the per-link band rows in place; returns rows changed.
+
+        A churn epoch that only moves the baseline estimate (and hence
+        the shifted band bounds) does not change the model's structure:
+        the same variables, the same coefficient matrix, the same
+        equality block.  Editing just the changed band rows via
+        ``changeRowBounds`` keeps the model — and its simplex basis —
+        alive, instead of paying a full rebuild.  Bounds follow the
+        constructor's convention (``±inf`` where the band is open).
+        """
+        lower = np.asarray(row_lower, dtype=float)
+        upper = np.asarray(row_upper, dtype=float)
+        if lower.shape != (self.num_links,) or upper.shape != (self.num_links,):
+            raise ValidationError(
+                "row bounds must have one entry per link "
+                f"({self.num_links}), got {lower.shape} / {upper.shape}"
+            )
+        inf = self._hb.infinity
+        new_lower = np.where(np.isfinite(lower), lower, -inf)
+        new_upper = np.where(np.isfinite(upper), upper, inf)
+        changed = np.flatnonzero(
+            (new_lower != self._base_lower) | (new_upper != self._base_upper)
+        )
+        for j in changed:
+            self._model.changeRowBounds(
+                int(j), float(new_lower[j]), float(new_upper[j])
+            )
+        self._base_lower = new_lower
+        self._base_upper = new_upper
+        return int(changed.size)
 
     def solve(
         self, row_overrides: Mapping[int, tuple[float, float]] | None = None

@@ -138,7 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "target",
-        choices=["fig1", "fig5", "lp", "sweep", "backends", "estimators", "all"],
+        choices=[
+            "fig1",
+            "fig5",
+            "lp",
+            "sweep",
+            "backends",
+            "estimators",
+            "online",
+            "all",
+        ],
         nargs="?",
         default="all",
         help=(
@@ -146,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
             "lp = cold vs incremental vs warm-started LP engine, "
             "sweep = cold-vs-cached grid execution, "
             "backends = dense-vs-sparse kernel crossover, "
-            "estimators = per-family estimate latency across the zoo"
+            "estimators = per-family estimate latency across the zoo, "
+            "online = per-epoch churn (incremental evolve vs full refactorize)"
         ),
     )
     bench.add_argument(
@@ -677,6 +687,7 @@ def _cmd_bench(args) -> int:
         fig5_assembly_benchmark,
         full_perf_benchmark,
         lp_benchmark,
+        online_benchmark,
         sweep_cache_benchmark,
         write_bench_json,
     )
@@ -693,6 +704,8 @@ def _cmd_bench(args) -> int:
         benchmarks = {"backends": backends_benchmark(repeat=args.repeat)}
     elif args.target == "estimators":
         benchmarks = {"estimators": estimators_benchmark(repeat=args.repeat)}
+    elif args.target == "online":
+        benchmarks = {"online": online_benchmark(repeat=args.repeat)}
     else:
         benchmarks = full_perf_benchmark(repeat=args.repeat)
 

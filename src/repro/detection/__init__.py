@@ -13,10 +13,14 @@ Theorem 3 fixes the blind spots: perfect cuts and square routing matrices.
   inconsistency (an extension beyond the paper: the witness rows are
   exactly the attacker-free victim paths, narrowing the search);
 - :class:`~repro.detection.auditor.TomographyAuditor` — estimate +
-  diagnose + detect in one operator-facing call.
+  diagnose + detect in one operator-facing call;
+- :class:`~repro.detection.online.OnlineConsistencyDetector` — the same
+  residual test over an *evolving* system: per-epoch path churn patches
+  the shared factorization instead of rebuilding detector state.
 """
 
 from repro.detection.consistency import ConsistencyDetector, DetectionResult
+from repro.detection.online import OnlineConsistencyDetector
 from repro.detection.robust import RobustEstimate, TrimmedLeastSquares
 from repro.detection.localization import suspicious_paths, witness_report
 from repro.detection.auditor import AuditReport, TomographyAuditor
@@ -24,6 +28,7 @@ from repro.detection.auditor import AuditReport, TomographyAuditor
 __all__ = [
     "ConsistencyDetector",
     "DetectionResult",
+    "OnlineConsistencyDetector",
     "RobustEstimate",
     "TrimmedLeastSquares",
     "suspicious_paths",

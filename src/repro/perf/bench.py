@@ -574,6 +574,43 @@ def _time_factorize_estimate(matrix, backend: str, observed: np.ndarray, repeat:
     return _best_of(run, repeat)
 
 
+def _isp_path_set(seed: int, target_paths: int, *, dedupe: bool = False):
+    """Shortest paths between sampled monitor pairs on the large ISP topology.
+
+    Pairs are sampled (the quadratic all-pairs enumeration is exactly what
+    the pair_budget knob exists to avoid) until the path count clears
+    ``target_paths``.  ``dedupe`` skips value-duplicate paths — the online
+    bench needs a full-row-rank matrix for the Gram-Cholesky regime, and a
+    pair sampled twice would add an identical row.
+    """
+    from repro.routing.ksp import k_shortest_paths
+    from repro.routing.paths import MeasurementPath, PathSet
+    from repro.exceptions import NoPathError
+    from repro.topology.generators.isp import large_isp_topology
+
+    rng = np.random.default_rng(seed)
+    topology = large_isp_topology(seed=seed)
+    nodes = topology.nodes()
+    path_set = PathSet(topology)
+    seen: set = set()
+    attempts = 0
+    while path_set.num_paths < target_paths and attempts < 20 * target_paths:
+        attempts += 1
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        try:
+            sequences = k_shortest_paths(topology, nodes[int(a)], nodes[int(b)], 1)
+        except NoPathError:
+            continue
+        path = MeasurementPath(topology, sequences[0])
+        if dedupe:
+            key = path.key()
+            if key in seen:
+                continue
+            seen.add(key)
+        path_set.append(path)
+    return topology, path_set
+
+
 def backends_benchmark(*, repeat: int = 3, seed: int = 2017) -> dict:
     """Dense-vs-sparse backend crossover curve plus the ISP-scale headline.
 
@@ -590,11 +627,7 @@ def backends_benchmark(*, repeat: int = 3, seed: int = 2017) -> dict:
       The ``speedup`` entry is the acceptance headline for the sparse
       backend (target: >= 3x on factorise + estimate).
     """
-    from repro.routing.ksp import k_shortest_paths
-    from repro.routing.paths import MeasurementPath, PathSet
     from repro.routing.routing_matrix import density
-    from repro.exceptions import NoPathError
-    from repro.topology.generators.isp import large_isp_topology
 
     start = time.perf_counter()
     rng = np.random.default_rng(seed)
@@ -621,23 +654,9 @@ def backends_benchmark(*, repeat: int = 3, seed: int = 2017) -> dict:
             }
         )
 
-    # ISP scale: real shortest paths on the large topology.  Pairs are
-    # sampled (the quadratic all-pairs enumeration is exactly what the
-    # pair_budget knob exists to avoid) until the path count clears the
-    # acceptance floor.
-    topology = large_isp_topology(seed=seed)
-    nodes = topology.nodes()
-    path_set = PathSet(topology)
-    target_paths = 1600
-    attempts = 0
-    while path_set.num_paths < target_paths and attempts < 20 * target_paths:
-        attempts += 1
-        a, b = rng.choice(len(nodes), size=2, replace=False)
-        try:
-            sequences = k_shortest_paths(topology, nodes[int(a)], nodes[int(b)], 1)
-        except NoPathError:
-            continue
-        path_set.append(MeasurementPath(topology, sequences[0]))
+    # ISP scale: real shortest paths on the large topology, sampled until
+    # the path count clears the acceptance floor.
+    topology, path_set = _isp_path_set(seed, 1600)
     matrix = path_set.routing_matrix()
     observed = matrix @ rng.uniform(1.0, 20.0, size=matrix.shape[1])
     isp_repeat = max(1, min(repeat, 2))  # the dense SVD here costs seconds
@@ -749,6 +768,135 @@ def estimators_benchmark(*, repeat: int = 3, inner_loops: int = 200, seed: int =
     }
 
 
+#: Online-bench scale presets: path-count target on the large ISP topology.
+_ONLINE_SCALES = {"small": 800, "isp_large": 2500}
+
+
+def online_benchmark(
+    *,
+    repeat: int = 3,
+    epochs: int = 6,
+    seed: int = 2017,
+    scales: tuple = ("small", "isp_large"),
+) -> dict:
+    """Per-epoch churn latency: incremental ``evolve`` vs full refactorize.
+
+    Real shortest paths on the large ISP topology (~2.5k routers), sparse
+    backend, wide regime (paths < links, so the small side is the
+    ``R R^T`` Gram).  Each epoch one path fails and a fresh reserve path
+    joins — the dominant churn pattern :meth:`LinearSystem.evolve` fuses
+    into a single-allocation Cholesky replace.  Two latencies per epoch:
+
+    - ``evolve_s`` — bring the system current incrementally (rank-1
+      kernels + round-trip certification + seeding), best of ``repeat``.
+    - ``refactorize_s`` — the alternative: rebuild ``LinearSystem`` cold
+      and force its factorization (Gram build + ``cho_factor`` + rank
+      certificate), best of ``repeat``.
+
+    The online check (estimate + residual) is timed separately on both
+    arms — it is identical downstream work, and its estimates are
+    compared per epoch (``max_abs_err``) so the headline speedup comes
+    with a bit-consistency certificate in every benchmarked phase.
+    ``speedup.online_per_epoch`` (isp_large) is the acceptance headline;
+    ``speedup.online_small`` backs the CI smoke floor.
+    """
+    from repro.tomography.linear_system import LinearSystem
+
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    sections: dict = {}
+    speedups: dict = {}
+    for scale in scales:
+        target = _ONLINE_SCALES[scale]
+        topology, path_set = _isp_path_set(seed, target + epochs, dedupe=True)
+        full_matrix = path_set.sparse_routing_matrix()
+        base = full_matrix[:target].tocsr()
+        reserve = full_matrix[target : target + epochs]
+        n = base.shape[1]
+        x_true = rng.uniform(1.0, 20.0, size=n)
+        system = LinearSystem(base, backend="sparse")
+        system.estimate(system.predict(x_true))  # warm the factorization
+
+        records = []
+        evolve_total = refactor_total = check_inc_total = check_cold_total = 0.0
+        worst_err = 0.0
+        for epoch in range(min(epochs, reserve.shape[0])):
+            index = int(rng.integers(0, system.num_paths))
+            new_row = np.asarray(reserve[epoch].todense()).ravel()
+
+            evolve_s = _best_of(
+                lambda: system.evolve(remove_indices=[index], add_rows=[new_row]),
+                repeat,
+            )
+            evolved = system.evolve(remove_indices=[index], add_rows=[new_row])
+
+            def refactorize() -> None:
+                cold = LinearSystem(evolved.raw_matrix, backend="sparse")
+                cold.rank  # noqa: B018 — forces Gram build + cho_factor + certificate
+
+            refactor_s = _best_of(refactorize, repeat)
+            observed = evolved.predict(x_true)
+            check_inc_s = _best_of(lambda: evolved.estimate(observed), repeat)
+            cold = LinearSystem(evolved.raw_matrix, backend="sparse")
+            check_cold_s = _best_of(lambda: cold.estimate(observed), repeat)
+            err = float(
+                np.abs(evolved.estimate(observed) - cold.estimate(observed)).max()
+            )
+
+            evolve_total += evolve_s
+            refactor_total += refactor_s
+            check_inc_total += check_inc_s
+            check_cold_total += check_cold_s
+            worst_err = max(worst_err, err)
+            records.append(
+                {
+                    "epoch": epoch,
+                    "removed_index": index,
+                    "incremental": bool(evolved.evolved_incrementally),
+                    "evolve_s": evolve_s,
+                    "refactorize_s": refactor_s,
+                    "check_incremental_s": check_inc_s,
+                    "check_cold_s": check_cold_s,
+                    "speedup": refactor_s / evolve_s if evolve_s > 0 else float("inf"),
+                    "max_abs_err": err,
+                }
+            )
+            system = evolved
+
+        sections[scale] = {
+            "nodes": topology.num_nodes,
+            "links": n,
+            "paths": target,
+            "epochs": len(records),
+            "incremental_epochs": sum(r["incremental"] for r in records),
+            "evolve_total_s": evolve_total,
+            "refactorize_total_s": refactor_total,
+            "check_incremental_total_s": check_inc_total,
+            "check_cold_total_s": check_cold_total,
+            "max_abs_err": worst_err,
+            "consistent": worst_err <= 1e-8,
+            "per_epoch": records,
+        }
+        speedups[f"online_{'per_epoch' if scale == 'isp_large' else scale}"] = (
+            refactor_total / evolve_total if evolve_total > 0 else float("inf")
+        )
+        speedups[
+            f"online_{'isp_large' if scale == 'isp_large' else scale}_end_to_end"
+        ] = (
+            (refactor_total + check_cold_total) / (evolve_total + check_inc_total)
+            if evolve_total + check_inc_total > 0
+            else float("inf")
+        )
+    return {
+        "bench": "online",
+        "repeat": repeat,
+        "epochs": epochs,
+        "wall_s": time.perf_counter() - start,
+        "scales": sections,
+        "speedup": speedups,
+    }
+
+
 def full_perf_benchmark(*, repeat: int = 3) -> dict:
     """All benchmark sections in one payload (what ``BENCH_perf.json`` holds)."""
     return {
@@ -758,6 +906,7 @@ def full_perf_benchmark(*, repeat: int = 3) -> dict:
         "sweep_cache": sweep_cache_benchmark(repeat=repeat),
         "backends": backends_benchmark(repeat=repeat),
         "estimators": estimators_benchmark(repeat=repeat),
+        "online": online_benchmark(repeat=repeat),
     }
 
 

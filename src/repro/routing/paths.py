@@ -141,6 +141,7 @@ class PathSet:
     def __init__(self, topology: Topology, paths: Iterable[MeasurementPath] = ()) -> None:
         self.topology = topology
         self._paths: list[MeasurementPath] = []
+        self._version = 0
         for path in paths:
             self.append(path)
 
@@ -157,6 +158,29 @@ class PathSet:
             # Raises LinkNotFoundError if the index is out of range.
             self.topology.link(index)
         self._paths.append(path)
+        self._version += 1
+
+    def remove(self, index: int) -> MeasurementPath:
+        """Remove and return the path at row ``index`` (churn event).
+
+        Later rows shift up by one — exactly the row deletion that
+        :meth:`~repro.tomography.linear_system.LinearSystem.evolve`
+        applies to the routing matrix.
+        """
+        if not 0 <= index < len(self._paths):
+            raise ValidationError(f"path index {index} out of range [0, {len(self._paths)})")
+        self._version += 1
+        return self._paths.pop(index)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every append/remove.
+
+        Caches keyed by object identity (the sweep engine's per-scenario
+        memo) compare this to detect that a path set churned underneath
+        them and their memoised routing matrix went stale.
+        """
+        return self._version
 
     @property
     def num_paths(self) -> int:

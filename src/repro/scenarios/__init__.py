@@ -46,6 +46,13 @@ from repro.scenarios.timeseries import (
     MeasurementCampaign,
     RoundResult,
 )
+from repro.scenarios.streaming import (
+    ChurnEvent,
+    EpochResult,
+    StreamResult,
+    StreamingCampaign,
+    random_churn_schedule,
+)
 
 __all__ = [
     "Scenario",
@@ -64,6 +71,11 @@ __all__ = [
     "CampaignResult",
     "MeasurementCampaign",
     "RoundResult",
+    "ChurnEvent",
+    "EpochResult",
+    "StreamResult",
+    "StreamingCampaign",
+    "random_churn_schedule",
     "knowledge_sensitivity_experiment",
     "load_scenario",
     "save_scenario",

@@ -74,11 +74,16 @@ class FactorizationCache:
         self._solvers: dict[tuple, IncrementalLpSolver] = {}
         self._auditors: dict[tuple, TomographyAuditor] = {}
         self._estimators: dict[tuple, object] = {}
-        # Per-scenario memo of (scenario, routing matrix, system): keyed by
-        # object identity, holding a strong reference so an id() can never
-        # be recycled under us.  The cache's lifetime is one worker shard,
-        # so pinning the scenarios it served is the intended footprint.
-        self._scenario_systems: dict[int, tuple[Scenario, np.ndarray, LinearSystem]] = {}
+        # Per-scenario memo of (scenario, path-set version, routing matrix,
+        # system): keyed by object identity, holding a strong reference so
+        # an id() can never be recycled under us.  The cache's lifetime is
+        # one worker shard, so pinning the scenarios it served is the
+        # intended footprint.  The path-set version detects churn: a
+        # scenario whose paths mutated after being memoised must not be
+        # served its pre-churn matrix or factorization.
+        self._scenario_systems: dict[
+            int, tuple[Scenario, int, np.ndarray, LinearSystem]
+        ] = {}
         self.store: FactorizationStore | None = (
             default_store() if store is _FROM_ENV else store  # type: ignore[assignment]
         )
@@ -156,12 +161,28 @@ class FactorizationCache:
         kernel (the digest-keyed layer underneath deduplicates them).
         """
         memo = self._scenario_systems.get(id(scenario))
+        version = scenario.path_set.version
         if memo is not None and memo[0] is scenario:
-            self._count("system", True, digest=memo[2].digest)
-            return memo[2]
+            if memo[1] == version:
+                self._count("system", True, digest=memo[3].digest)
+                return memo[3]
+            # The path set churned underneath the memo: the memoised
+            # matrix (and the digest-keyed factorization behind it) is
+            # pre-churn state.  Evict and rebuild — the fresh matrix
+            # hashes to a new digest, so the store can never serve the
+            # stale entry for this scenario again.
+            del self._scenario_systems[id(scenario)]
+            self.stats["scenario_stale_evict"] += 1
+            if obs.is_enabled():
+                obs.event(
+                    "sweep_store_stale_evict",
+                    stale_digest=memo[3].digest,
+                    stale_version=memo[1],
+                    version=version,
+                )
         routing_matrix = scenario.path_set.routing_matrix()
         system = self.system_for(routing_matrix)
-        self._scenario_systems[id(scenario)] = (scenario, routing_matrix, system)
+        self._scenario_systems[id(scenario)] = (scenario, version, routing_matrix, system)
         return system
 
     def context_for(

@@ -40,6 +40,15 @@ from repro import config
 from repro.exceptions import ValidationError
 from repro.perf import instrumentation as perf
 from repro.utils.linalg import compact_svd, pinv_from_svd
+from repro.utils.updates import (
+    cholesky_append,
+    cholesky_delete,
+    cholesky_downdate,
+    cholesky_replace,
+    cholesky_update,
+    svd_append_row,
+    svd_remove_row,
+)
 
 __all__ = [
     "DenseBackend",
@@ -68,6 +77,10 @@ _LSMR_TOL = 1e-13
 #: equations square the condition number; one or two refinement steps
 #: recover the accuracy of a backward-stable direct solve.
 _REFINE_STEPS = 2
+
+#: Relative residual floor below which further refinement is pure
+#: roundoff churn and the loop exits early.
+_REFINE_ATOL = 64.0 * np.finfo(float).eps
 
 
 def _memoised_columns(memo, kind, cols, build):
@@ -120,6 +133,35 @@ def resolve_backend_name(
     if m * n >= AUTO_SIZE_THRESHOLD and density <= AUTO_DENSITY_THRESHOLD:
         return "sparse"
     return "dense"
+
+
+def _certified_rank(
+    s: np.ndarray, shape: tuple[int, int], rank_tol: float
+) -> int | None:
+    """Rank under the shared cutoff, or ``None`` when not certifiable.
+
+    Incrementally updated singular values carry more rounding error than
+    a cold SVD's, so the plain cutoff cannot be trusted near the
+    boundary.  The decision mirrors :class:`SparseBackend`'s certified
+    spectrum rule: every singular value must sit a factor of 4 away from
+    the decision threshold (itself floored at the update noise level);
+    ambiguous spectra return ``None`` and the caller refactorizes cold.
+    """
+    k = s.shape[0]
+    if k == 0:
+        return 0
+    s_max = float(s[0])
+    if s_max == 0.0:
+        return 0
+    m, n = shape
+    cutoff = rank_tol * max(m, n) * s_max
+    noise = s_max * np.sqrt(64.0 * k * np.finfo(float).eps)
+    threshold = max(cutoff, 8.0 * noise)
+    clear_above = s >= 4.0 * threshold
+    clear_below = s <= threshold / 4.0
+    if bool(np.all(clear_above | clear_below)):
+        return int(np.count_nonzero(clear_above))
+    return None
 
 
 class DenseBackend:
@@ -221,6 +263,107 @@ class DenseBackend:
             lambda c: self.residual_projector[:, c],
         )
 
+    # -- incremental evolution (LinearSystem.evolve seam) ------------------
+
+    def update_path(
+        self, row: np.ndarray, *, state: tuple | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Factors with ``row`` appended (Brand-style rank-1 SVD update).
+
+        ``state`` is an ``(u, s, vt)`` triple to evolve from; by default
+        the backend's own cached factors.  The returned triple follows
+        the same convention and can be chained through further updates.
+        """
+        u, s, vt = state if state is not None else self.factors[:3]
+        return svd_append_row(u, s, vt, np.asarray(row, dtype=float))
+
+    def downdate_path(
+        self, index: int, *, state: tuple | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Factors with row ``index`` removed, or ``None`` (refactorize)."""
+        u, s, vt = state if state is not None else self.factors[:3]
+        return svd_remove_row(u, s, vt, int(index))
+
+    def seed_evolution(self, target, remove_indices, add_rows) -> bool:
+        """Install incrementally evolved factors into ``target``.
+
+        ``target`` is the fresh backend of the evolved
+        :class:`~repro.tomography.linear_system.LinearSystem`; on success
+        its ``factors`` cache is pre-seeded so the cold SVD never runs.
+        Returns ``False`` — leaving ``target`` untouched — whenever the
+        incremental chain cannot be certified: no cached factors to
+        evolve from, an uncertifiable downdate or rank decision, or a
+        reconstruction/orthonormality probe outside tolerance.
+        """
+        if not isinstance(target, DenseBackend):
+            return False
+        if "factors" not in self.__dict__:
+            return False
+        if not remove_indices and not add_rows:
+            target.factors = self.factors
+            return True
+        if self._owner.num_links == 0:
+            return False
+        state = self.factors[:3]
+        for index in sorted(remove_indices, reverse=True):
+            state = self.downdate_path(index, state=state)
+            if state is None:
+                return False
+        for row in add_rows:
+            state = self.update_path(row, state=state)
+        u, s, vt = state
+        rank = _certified_rank(
+            s, (u.shape[0], vt.shape[1]), self._owner.rank_tol
+        )
+        if rank is None or not self._certify_factors(target, u, s, vt):
+            return False
+        target.factors = (u, s, vt, rank)
+        return True
+
+    #: Certification threshold for evolved SVD factors.  The estimate
+    #: parity contract is 1e-8, but pseudo-inverse amplification can
+    #: inflate factor drift by the condition number, so the factors must
+    #: be certified orders of magnitude tighter.  Healthy update chains
+    #: drift ~1e-14 per epoch; degenerate downdates (a removed row nearly
+    #: parallel to the retained subspace) land around 1e-9 and must fall
+    #: back to a cold factorization.
+    _CERT_TOL = 1e-12
+
+    def _certify_factors(self, target, u, s, vt) -> bool:
+        """Probe the evolved factors against the evolved matrix.
+
+        Cheap checks — reconstruction ``M v = U S V^T v`` on two
+        deterministic probe vectors (out-of-phase, so a drift direction
+        orthogonal to one probe still excites the other), and
+        orthonormality of both bases — bound the error the incremental
+        chain accumulated.  Any failure routes the target to a cold
+        factorization.
+        """
+        matrix = target._owner.matrix
+        m, k = u.shape
+        n = vt.shape[1]
+        grid = np.arange(n, dtype=float)
+        for probe in (np.cos(grid), np.sin(grid + 0.5)):
+            expected = matrix @ probe
+            rebuilt = u @ (s * (vt[:k] @ probe))
+            scale = max(1.0, float(np.abs(expected).max()) if m else 1.0)
+            if float(np.abs(rebuilt - expected).max(initial=0.0)) > self._CERT_TOL * scale:
+                return False
+        if k:
+            w = np.cos(np.arange(k, dtype=float))
+            drift = u.T @ (u @ w) - w
+            if float(np.abs(drift).max()) > self._CERT_TOL * max(
+                1.0, float(np.abs(w).max())
+            ):
+                return False
+        z = np.cos(grid)
+        drift = vt.T @ (vt @ z) - z
+        if float(np.abs(drift).max(initial=0.0)) > self._CERT_TOL * max(
+            1.0, float(np.abs(z).max(initial=0.0))
+        ):
+            return False
+        return True
+
 
 class SparseBackend:
     """Matrix-free sparse kernel: CSR storage, Gram/LSMR solves.
@@ -300,7 +443,11 @@ class SparseBackend:
         scale = float(np.abs(probe).max()) or 1.0
         if float(np.abs(back - probe).max()) > 1e-8 * scale:
             return None
-        return factor
+        # Stored as a CLEAN, Fortran-ordered upper triangle: cho_factor
+        # leaves garbage in the unused half, the rank-1 update kernels
+        # require (and preserve) the clean form, and keeping the LAPACK
+        # memory order lets every later cho_solve run copy-free.
+        return (np.asfortranarray(np.triu(factor[0])), False)
 
     # -- rank -------------------------------------------------------------
 
@@ -352,21 +499,32 @@ class SparseBackend:
     # -- solves -----------------------------------------------------------
 
     def _solve_gram_tall(self, ys: np.ndarray) -> np.ndarray:
-        """Full column rank: ``x = (R^T R)^{-1} R^T y`` with refinement."""
+        """Full column rank: ``x = (R^T R)^{-1} R^T y`` with refinement.
+
+        Refinement residuals use two sparse matvecs instead of a dense
+        Gram GEMV — same arithmetic, but ``O(nnz)`` instead of ``O(k^2)``
+        traffic — and stop early once the residual hits roundoff.
+        """
         factor = self._cholesky
         aty = self.matrix_t @ ys
+        scale = max(1.0, float(np.abs(aty).max(initial=0.0)))
         x = scipy.linalg.cho_solve(factor, aty, check_finite=False)
         for _ in range(_REFINE_STEPS):
-            residual = aty - self._gram @ x
+            residual = aty - self.matrix_t @ (self.matrix @ x)
+            if float(np.abs(residual).max(initial=0.0)) <= _REFINE_ATOL * scale:
+                break
             x = x + scipy.linalg.cho_solve(factor, residual, check_finite=False)
         return x
 
     def _solve_gram_wide(self, ys: np.ndarray) -> np.ndarray:
         """Full row rank: min-norm ``x = R^T (R R^T)^{-1} y`` with refinement."""
         factor = self._cholesky
+        scale = max(1.0, float(np.abs(ys).max(initial=0.0)))
         z = scipy.linalg.cho_solve(factor, ys, check_finite=False)
         for _ in range(_REFINE_STEPS):
-            residual = ys - self._gram @ z
+            residual = ys - self.matrix @ (self.matrix_t @ z)
+            if float(np.abs(residual).max(initial=0.0)) <= _REFINE_ATOL * scale:
+                break
             z = z + scipy.linalg.cho_solve(factor, residual, check_finite=False)
         return self.matrix_t @ z
 
@@ -515,6 +673,184 @@ class SparseBackend:
         unit = np.zeros((m, cols.size))
         unit[cols, np.arange(cols.size)] = 1.0
         return unit - (self.matrix @ self.estimate_many(unit))
+
+    # -- incremental evolution (LinearSystem.evolve seam) ------------------
+
+    def _evolution_state(self) -> tuple | None:
+        """``(matrix, chol)`` snapshot to evolve from, or ``None``.
+
+        Only the certified-Cholesky regime evolves incrementally: the
+        LSMR (rank-deficient) regime has no factor to patch, and a
+        system that was never solved has nothing worth carrying over.
+        The dense Gram is deliberately NOT part of the evolving state —
+        every consumer (refinement, certification) works from sparse
+        matvecs, so carrying the ``k x k`` Gram forward would only add a
+        full-matrix copy per epoch.
+        """
+        if "_cholesky" not in self.__dict__:
+            return None
+        if self._cholesky is None:
+            return None
+        return (self.matrix, self._cholesky[0])
+
+    def update_path(self, row: np.ndarray, *, state: tuple) -> tuple | None:
+        """State with ``row`` appended: Cholesky patched in O(k^2).
+
+        Tall systems rank-1-update the ``R^T R`` factor; wide systems
+        border the ``R R^T`` factor by one dimension.  Returns ``None``
+        when the append would flip the small side (wide -> tall) or the
+        bordered factor is not safely positive.
+        """
+        matrix, chol = state
+        m, n = matrix.shape
+        row = np.asarray(row, dtype=float)
+        new_matrix = scipy.sparse.vstack(
+            [matrix, scipy.sparse.csr_matrix(row)], format="csr"
+        )
+        if m >= n:
+            new_chol = cholesky_update(chol, row)
+        else:
+            if m + 1 >= n:
+                return None
+            b = matrix @ row
+            d = float(row @ row)
+            new_chol = cholesky_append(chol, b, d)
+            if new_chol is None:
+                return None
+        return (new_matrix, new_chol)
+
+    def downdate_path(self, index: int, *, state: tuple) -> tuple | None:
+        """State with row ``index`` removed, or ``None`` (refactorize).
+
+        Tall systems hyperbolically downdate the ``R^T R`` factor (which
+        can fail when the removal exhausts a pivot); wide systems delete
+        one dimension of the ``R R^T`` factor (always stable).
+        """
+        matrix, chol = state
+        m, n = matrix.shape
+        index = int(index)
+        keep = np.ones(m, dtype=bool)
+        keep[index] = False
+        new_matrix = matrix[keep]
+        if m >= n:
+            if m - 1 < n:
+                return None
+            row = np.asarray(matrix[index].todense()).ravel()
+            new_chol = cholesky_downdate(chol, row)
+            if new_chol is None:
+                return None
+        else:
+            new_chol = cholesky_delete(chol, index)
+        return (new_matrix, new_chol)
+
+    def replace_path(self, index: int, row: np.ndarray, *, state: tuple) -> tuple | None:
+        """State with row ``index`` swapped for ``row`` — fused, or ``None``.
+
+        The dominant churn pattern (one path fails, one recovers) would
+        naively copy the full Cholesky factor twice; on memory-bound
+        hosts those copies dwarf the O(k^2) arithmetic.  In the wide
+        regime this fuses the delete and the border into one
+        single-allocation pass (:func:`cholesky_replace`).  The tall
+        regime is already rank-1, so it simply chains the downdate and
+        update.
+        """
+        matrix, chol = state
+        m, n = matrix.shape
+        if m >= n:
+            shrunk = self.downdate_path(index, state=state)
+            if shrunk is None:
+                return None
+            return self.update_path(row, state=shrunk)
+        index = int(index)
+        row = np.asarray(row, dtype=float)
+        keep = np.ones(m, dtype=bool)
+        keep[index] = False
+        kept = matrix[keep]
+        new_matrix = scipy.sparse.vstack(
+            [kept, scipy.sparse.csr_matrix(row)], format="csr"
+        )
+        b = kept @ row
+        d = float(row @ row)
+        new_chol = cholesky_replace(chol, index, b, d)
+        if new_chol is None:
+            return None
+        return (new_matrix, new_chol)
+
+    def seed_evolution(self, target, remove_indices, add_rows) -> bool:
+        """Install an incrementally patched Cholesky into ``target``.
+
+        On success the target backend's ``matrix``/``_cholesky`` caches
+        are pre-seeded (full small-side rank, certified below), so its
+        first estimate pays no ``cho_factor``.  Returns ``False`` for a
+        cold rebuild whenever the chain leaves the certified regime: no
+        factor to evolve from, a failed downdate, a small-side
+        orientation flip, or a final round-trip probe out of tolerance.
+        """
+        if not isinstance(target, SparseBackend):
+            return False
+        state = self._evolution_state()
+        if state is None:
+            return False
+        if not remove_indices and not add_rows:
+            matrix, chol = state
+            self._seed_target(target, matrix, chol)
+            return True
+        removals = sorted(remove_indices, reverse=True)
+        additions = list(add_rows)
+        if len(removals) == 1 and len(additions) == 1:
+            state = self.replace_path(removals[0], additions[0], state=state)
+            if state is None:
+                return False
+            removals, additions = [], []
+        for index in removals:
+            state = self.downdate_path(index, state=state)
+            if state is None:
+                return False
+        for row in additions:
+            state = self.update_path(row, state=state)
+            if state is None:
+                return False
+        matrix, chol = state
+        if not self._certify_state(matrix, chol):
+            return False
+        self._seed_target(target, matrix, chol)
+        return True
+
+    @staticmethod
+    def _certify_state(matrix, chol) -> bool:
+        """Probe the patched factor against the evolved matrix itself.
+
+        The round trip ``chol^{-T} chol^{-1} (G p)`` — with ``G p``
+        computed from two sparse matvecs against the TRUE evolved matrix,
+        not any incrementally maintained copy — bounds the accumulated
+        drift of the whole update chain in one shot; the pivot floor
+        rejects factors that survived the chain numerically but are too
+        ill-conditioned to solve with.
+        """
+        m, n = matrix.shape
+        k = chol.shape[0]
+        if k == 0 or min(m, n) != k:
+            return False
+        diag = np.abs(np.diagonal(chol))
+        if diag.min() <= 1e-12 * max(diag.max(), 1.0):
+            return False
+        p = np.cos(np.arange(k, dtype=float))
+        if m >= n:
+            rhs = matrix.T @ (matrix @ p)
+        else:
+            rhs = matrix @ (matrix.T @ p)
+        back = scipy.linalg.cho_solve((chol, False), rhs, check_finite=False)
+        if float(np.abs(back - p).max()) > 1e-8 * max(1.0, float(np.abs(p).max())):
+            return False
+        return True
+
+    @staticmethod
+    def _seed_target(target, matrix, chol) -> None:
+        """Pre-seed the target backend's caches with the evolved state."""
+        target.matrix = matrix
+        target.matrix_t = matrix.T.tocsr()
+        target._cholesky = (chol, False)
+        target._rank = min(matrix.shape)
 
     # -- irreducibly dense operators (exact dense fallback) ---------------
 

@@ -28,7 +28,9 @@ import numpy as np
 import scipy.sparse
 
 from repro.analysis.contracts import check_routing_matrix, contract
+from repro.exceptions import ValidationError
 from repro.obs import core as obs
+from repro.perf import instrumentation as perf
 from repro.tomography.backends import (
     DenseBackend,
     SparseBackend,
@@ -215,6 +217,78 @@ class LinearSystem:
         # the instance attribute is exactly how it memoises itself.
         self._backend.factors = (u, s, vt, rank)
         return True
+
+    # -- incremental evolution --------------------------------------------
+
+    #: Whether the latest :meth:`evolve` seeded this system incrementally
+    #: (``None`` on systems that were built cold, not evolved).
+    evolved_incrementally: bool | None = None
+
+    def evolve(
+        self,
+        *,
+        add_rows: tuple | list = (),
+        remove_indices: tuple | list = (),
+    ) -> LinearSystem:
+        """A new system with rows removed and appended — factors patched.
+
+        ``remove_indices`` name rows of *this* system's matrix (unique,
+        in range); ``add_rows`` are appended after the removals, in
+        order.  The evolved system is a fresh :class:`LinearSystem` (new
+        digest, same ``rank_tol``, same backend pinned), but its backend
+        is seeded by rank-1 update/downdate of this system's factors
+        whenever the incremental chain can be certified — the cold
+        factorization then never runs.  Chains that cannot be certified
+        (no cached factors yet, a degenerate downdate, a small-side
+        orientation flip on the sparse backend) fall back transparently:
+        the returned system simply factorizes cold on first use.
+
+        The result's ``evolved_incrementally`` attribute records which
+        path was taken; a ``system_evolve`` obs event is emitted either
+        way.  This system is never mutated.
+        """
+        m, n = self._raw.shape
+        removals = sorted({int(i) for i in remove_indices})
+        if len(removals) != len(tuple(remove_indices)):
+            raise ValidationError("remove_indices must be unique")
+        if removals and not (0 <= removals[0] and removals[-1] < m):
+            raise ValidationError(
+                f"remove_indices must lie in [0, {m}), got {removals}"
+            )
+        added = [
+            check_finite_vector(row, "added row", length=n) for row in add_rows
+        ]
+        if scipy.sparse.issparse(self._raw):
+            keep = np.ones(m, dtype=bool)
+            keep[removals] = False
+            parts = [self._raw[keep]]
+            if added:
+                parts.append(scipy.sparse.csr_matrix(np.asarray(added)))
+            new_raw = scipy.sparse.vstack(parts, format="csr")
+        else:
+            new_raw = np.delete(self._raw, removals, axis=0)
+            if added:
+                new_raw = np.vstack([new_raw, np.asarray(added)])
+        new_system = LinearSystem(
+            new_raw, rank_tol=self._rank_tol, backend=self.backend_name
+        )
+        with perf.stage("system_evolve"):
+            perf.record_event("system_evolve")
+            incremental = self._backend.seed_evolution(
+                new_system._backend, removals, added
+            )
+        new_system.evolved_incrementally = incremental
+        if obs.is_enabled():
+            obs.event(
+                "system_evolve",
+                rows_removed=len(removals),
+                rows_added=len(added),
+                paths=new_system.num_paths,
+                links=new_system.num_links,
+                incremental=incremental,
+                backend=new_system.backend_name,
+            )
+        return new_system
 
     # -- basic shape ------------------------------------------------------
 

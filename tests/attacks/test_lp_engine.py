@@ -624,3 +624,74 @@ class TestSparsityCaching:
 
         block = scipy.sparse.eye(300, format="csr")
         assert _maybe_sparse(block) is block
+
+
+class TestRebase:
+    """Bound-only churn epochs reuse the warm model via changeRowBounds."""
+
+    def _solver(self, fig1_system_operator, **kwargs):
+        operator, x = fig1_system_operator
+        bands = BandConstraints.unbounded(10)
+        bands.require_at_most(9, float(x[9] + 50.0))
+        return IncrementalLpSolver(
+            operator, x, [0, 1, 2], 23, bands, cap=500.0, **kwargs
+        )
+
+    def test_rebase_matches_cold_solver(self, fig1_system_operator):
+        operator, x = fig1_system_operator
+        solver = self._solver(fig1_system_operator)
+        new_x = x + 3.0
+        new_bands = BandConstraints.unbounded(10)
+        new_bands.require_at_most(9, float(new_x[9] + 50.0))
+        solver.rebase(new_x, new_bands)
+        cold = IncrementalLpSolver(
+            operator, new_x, [0, 1, 2], 23, new_bands, cap=500.0
+        )
+        for overrides in ({}, {8: (float(new_x[8] + 801.0), math.inf)}):
+            a = solver.solve(overrides)
+            b = cold.solve(overrides)
+            assert a.feasible == b.feasible
+            if a.feasible:
+                assert a.damage == pytest.approx(b.damage, rel=1e-9, abs=1e-9)
+
+    def test_warm_model_survives_rebase(self, fig1_system_operator):
+        from repro.perf.instrumentation import PerfRecorder, recording
+
+        operator, x = fig1_system_operator
+        solver = self._solver(fig1_system_operator, engine="highs")
+        solver.solve({})  # builds the persistent model
+        persistent = solver._persistent
+        assert persistent is not None
+        solves_before = persistent.solves
+        new_x = x + 5.0
+        new_bands = BandConstraints.unbounded(10)
+        new_bands.require_at_most(9, float(new_x[9] + 50.0))
+        with recording(PerfRecorder()) as recorder:
+            solver.rebase(new_x, new_bands)
+            solver.solve({})
+        # The same HiGHS model object kept solving: one rebase event, no
+        # model rebuild, and the solve counter continued from where it was.
+        assert recorder.counters["lp_rebase"] == 1
+        assert recorder.counters.get("lp_model_build", 0) == 0
+        assert solver._persistent is persistent
+        assert persistent.solves == solves_before + 1
+
+    def test_rebase_before_warm_build_is_clean(self, fig1_system_operator):
+        from repro.perf.instrumentation import PerfRecorder, recording
+
+        operator, x = fig1_system_operator
+        solver = self._solver(fig1_system_operator, engine="highs")
+        new_x = x + 1.0
+        solver.rebase(new_x, BandConstraints.unbounded(10))
+        with recording(PerfRecorder()) as recorder:
+            solver.solve({})
+        # First solve after an early rebase builds the model exactly once,
+        # already on the rebased bounds.
+        assert recorder.counters["lp_model_build"] == 1
+
+    def test_rebase_validation(self, fig1_system_operator):
+        solver = self._solver(fig1_system_operator)
+        with pytest.raises(ValidationError, match="length"):
+            solver.rebase(np.ones(4), BandConstraints.unbounded(10))
+        with pytest.raises(ValidationError, match="per link"):
+            solver.rebase(np.ones(10), BandConstraints.unbounded(4))

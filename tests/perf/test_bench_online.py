@@ -1,0 +1,48 @@
+"""Smoke for the online (churn-epoch) benchmark.
+
+The full acceptance run (``repro bench online``) measures the isp_large
+scale; this smoke keeps CI honest on the small scale: every epoch must
+take the incremental path, match the cold rebuild to 1e-8, and beat it
+on wall clock.  The hard >= 3x floor only arms when
+``REPRO_BENCH_FLOOR`` is set (the dedicated CI bench step) — shared
+tier-1 runners are too noisy to gate a merge on a timing ratio.
+"""
+
+import os
+
+import pytest
+
+from repro import config
+from repro.perf.bench import online_benchmark
+
+pytestmark = pytest.mark.skipif(
+    config.get_str("REPRO_BACKEND").lower() == "dense",
+    reason="online bench pins the sparse backend",
+)
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return online_benchmark(repeat=2, epochs=3, scales=("small",))
+
+
+class TestOnlineBenchSmoke:
+    def test_every_epoch_incremental_and_consistent(self, payload):
+        section = payload["scales"]["small"]
+        assert section["epochs"] == 3
+        assert section["incremental_epochs"] == 3
+        assert section["consistent"]
+        assert section["max_abs_err"] <= 1e-8
+        for record in section["per_epoch"]:
+            assert record["incremental"]
+            assert record["evolve_s"] > 0.0
+            assert record["refactorize_s"] > 0.0
+
+    def test_speedup_keys_feed_the_trajectory(self, payload):
+        assert "online_small" in payload["speedup"]
+        assert "online_small_end_to_end" in payload["speedup"]
+        assert payload["speedup"]["online_small"] > 0.0
+
+    def test_incremental_beats_full_refactorize(self, payload):
+        floor = 3.0 if os.environ.get("REPRO_BENCH_FLOOR") else 1.0
+        assert payload["speedup"]["online_small"] >= floor, payload["speedup"]

@@ -347,3 +347,57 @@ class TestCacheIntegration:
         assert ("load", False, None) in ops  # the seeding process missed
         assert ("save", None, True) in ops  # ... and wrote
         assert ("load", True, None) in ops  # the second process hit
+
+
+class TestScenarioStaleness:
+    """Path churn under a memoised scenario must never serve stale factors."""
+
+    def test_churned_path_set_rekeys_the_memo(self, tmp_path):
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        scenario = paper_fig1_scenario()  # fresh: this test mutates it
+        cache = FactorizationCache(store=None)
+        log_path = tmp_path / "run.jsonl"
+        with obs.enabled(log_path):
+            stale = cache.scenario_system_for(scenario)
+            assert cache.scenario_system_for(scenario) is stale
+            scenario.path_set.remove(0)
+            fresh = cache.scenario_system_for(scenario)
+        assert fresh is not stale
+        assert fresh.num_paths == stale.num_paths - 1
+        assert fresh.digest != stale.digest
+        assert cache.stats["scenario_stale_evict"] == 1
+        events = [
+            r
+            for r in read_events(log_path)
+            if r.get("name") == "sweep_store_stale_evict"
+        ]
+        assert len(events) == 1
+        assert events[0]["stale_digest"] == stale.digest
+        assert events[0]["version"] > events[0]["stale_version"]
+
+    def test_rebuilt_memo_is_stable_again(self):
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        scenario = paper_fig1_scenario()
+        cache = FactorizationCache(store=None)
+        cache.scenario_system_for(scenario)
+        scenario.path_set.remove(1)
+        fresh = cache.scenario_system_for(scenario)
+        for _ in range(3):
+            assert cache.scenario_system_for(scenario) is fresh
+        assert cache.stats["scenario_stale_evict"] == 1
+
+    def test_estimates_follow_the_churned_matrix(self):
+        from repro.scenarios.simple_network import paper_fig1_scenario
+
+        scenario = paper_fig1_scenario()
+        cache = FactorizationCache(store=None)
+        cache.scenario_system_for(scenario)
+        scenario.path_set.remove(0)
+        system = cache.scenario_system_for(scenario)
+        reference = LinearSystem(scenario.path_set.routing_matrix())
+        observed = np.arange(system.num_paths, dtype=float)
+        assert np.abs(
+            system.estimate(observed) - reference.estimate(observed)
+        ).max() < 1e-8

@@ -264,3 +264,30 @@ class TestReproduce:
         fig4 = (out_dir / "fig4_chosen_victim.txt").read_text()
         assert "victim" in fig4
         assert "damage" in fig4
+
+
+class TestBenchOnline:
+    def test_online_target_dispatches_and_writes(self, tmp_path, capsys, monkeypatch):
+        import repro.perf.bench as bench
+
+        def fake_online(*, repeat):
+            return {
+                "bench": "online",
+                "repeat": repeat,
+                "wall_s": 0.25,
+                "scales": {},
+                "speedup": {"online_per_epoch": 9.0},
+            }
+
+        monkeypatch.setattr(bench, "online_benchmark", fake_online)
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "online", "--repeat", "2", "--trajectory"]) == 0
+        doc = json.loads(
+            (tmp_path / "benchmarks" / "results" / "BENCH_online.json").read_text()
+        )
+        assert doc["benchmarks"]["online"]["repeat"] == 2
+        trajectory = json.loads(
+            (tmp_path / "benchmarks" / "results" / "BENCH_trajectory.json").read_text()
+        )
+        point = trajectory["runs"][0]["benchmarks"]["online"]
+        assert point["speedup"]["online_per_epoch"] == 9.0

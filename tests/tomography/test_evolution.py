@@ -1,0 +1,213 @@
+"""Incremental evolution parity: patched factors vs a cold build.
+
+:meth:`LinearSystem.evolve` seeds the evolved system's backend by rank-1
+update/downdate of the parent's factors.  The contract is that an evolved
+system is *numerically indistinguishable* from one built cold over the
+same final matrix: identical estimates, residuals, rank, and nullspace
+span to 1e-8, on both backends, in both the tall (paths >= links) and
+wide (paths < links) regimes.  The hypothesis suite drives random churn
+chains through both constructions and compares; white-box perf-counter
+tests pin down that the fast path actually ran.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.perf.instrumentation import PerfRecorder, recording
+from repro.tomography.linear_system import LinearSystem
+
+PARITY_TOL = 1e-8
+
+BACKENDS = ("dense", "sparse")
+
+
+def _incidence(num_paths: int, num_links: int, hops: int, seed: int) -> np.ndarray:
+    """Random 0/1 path-link incidence matrix with ``hops`` ones per row."""
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_paths, num_links))
+    for i in range(num_paths):
+        cols = rng.choice(num_links, size=min(hops, num_links), replace=False)
+        matrix[i, cols] = 1.0
+    return matrix
+
+
+def _random_rows(count: int, num_links: int, hops: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(count):
+        row = np.zeros(num_links)
+        cols = rng.choice(num_links, size=min(hops, num_links), replace=False)
+        row[cols] = 1.0
+        rows.append(row)
+    return rows
+
+
+def _wrap(matrix: np.ndarray, backend: str):
+    """Sparse backend gets a scipy matrix — the production representation."""
+    if backend == "sparse":
+        return scipy.sparse.csr_matrix(matrix)
+    return matrix
+
+
+def _assert_parity(evolved: LinearSystem, cold: LinearSystem, seed: int) -> None:
+    """Evolved and cold systems must agree on every public observable."""
+    assert evolved.rank == cold.rank
+    rng = np.random.default_rng(seed)
+    observed = rng.uniform(0.0, 50.0, size=evolved.num_paths)
+    assert np.abs(evolved.estimate(observed) - cold.estimate(observed)).max() < PARITY_TOL
+    assert np.abs(evolved.residual(observed) - cold.residual(observed)).max() < PARITY_TOL
+    # Nullspace bases are not unique; their projectors N N^T are.
+    n_evolved = evolved.nullspace
+    n_cold = cold.nullspace
+    assert n_evolved.shape == n_cold.shape
+    if n_evolved.shape[1]:
+        gap = np.abs(n_evolved @ n_evolved.T - n_cold @ n_cold.T).max()
+        assert gap < PARITY_TOL
+
+
+churn_cases = st.tuples(
+    st.integers(min_value=0, max_value=2),  # removals
+    st.integers(min_value=0, max_value=2),  # additions
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+
+class TestEvolveParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(case=churn_cases)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_tall_regime_matches_cold_build(self, backend, case):
+        num_remove, num_add, seed = case
+        base = _incidence(14, 9, 4, seed)
+        system = LinearSystem(_wrap(base, backend), backend=backend)
+        system.rank  # warm the factorization so the patch path is live
+        rng = np.random.default_rng(seed + 1)
+        removals = sorted(
+            rng.choice(system.num_paths, size=num_remove, replace=False).tolist()
+        )
+        added = _random_rows(num_add, 9, 4, seed + 2)
+        evolved = system.evolve(remove_indices=removals, add_rows=added)
+        cold = LinearSystem(_wrap(np.asarray(evolved.matrix), backend), backend=backend)
+        _assert_parity(evolved, cold, seed + 3)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(case=churn_cases)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_wide_regime_matches_cold_build(self, backend, case):
+        num_remove, num_add, seed = case
+        base = _incidence(8, 17, 5, seed)
+        system = LinearSystem(_wrap(base, backend), backend=backend)
+        system.rank
+        rng = np.random.default_rng(seed + 1)
+        removals = sorted(
+            rng.choice(system.num_paths, size=num_remove, replace=False).tolist()
+        )
+        added = _random_rows(num_add, 17, 5, seed + 2)
+        evolved = system.evolve(remove_indices=removals, add_rows=added)
+        cold = LinearSystem(_wrap(np.asarray(evolved.matrix), backend), backend=backend)
+        _assert_parity(evolved, cold, seed + 3)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_chained_epochs_match_cold_build(self, backend, seed):
+        """Six epochs of 1-out/1-in churn — the streaming workload."""
+        base = _incidence(12, 16, 5, seed)
+        system = LinearSystem(_wrap(base, backend), backend=backend)
+        system.rank
+        rng = np.random.default_rng(seed + 1)
+        for epoch in range(6):
+            index = int(rng.integers(0, system.num_paths))
+            (row,) = _random_rows(1, 16, 5, seed + 10 + epoch)
+            system = system.evolve(remove_indices=[index], add_rows=[row])
+        cold = LinearSystem(_wrap(np.asarray(system.matrix), backend), backend=backend)
+        _assert_parity(system, cold, seed + 99)
+
+
+class TestEvolveFastPath:
+    """White-box: the rank-1 kernels actually ran (no silent cold rebuilds)."""
+
+    def test_sparse_replace_is_incremental(self):
+        base = _incidence(10, 20, 5, 7)
+        system = LinearSystem(scipy.sparse.csr_matrix(base), backend="sparse")
+        system.rank
+        (row,) = _random_rows(1, 20, 5, 8)
+        with recording(PerfRecorder()) as recorder:
+            evolved = system.evolve(remove_indices=[3], add_rows=[row])
+        assert evolved.evolved_incrementally
+        assert recorder.counters["system_evolve"] == 1
+        assert recorder.counters["cholesky_update"] >= 1
+        # The evolved system serves estimates without ever cold-factorizing.
+        with recording(PerfRecorder()) as recorder:
+            evolved.estimate(np.ones(evolved.num_paths))
+        assert recorder.counters.get("gram_cholesky", 0) == 0
+
+    def test_dense_churn_is_incremental(self):
+        base = _incidence(12, 8, 4, 11)
+        system = LinearSystem(base, backend="dense")
+        system.rank
+        (row,) = _random_rows(1, 8, 4, 12)
+        with recording(PerfRecorder()) as recorder:
+            evolved = system.evolve(remove_indices=[2], add_rows=[row])
+        assert evolved.evolved_incrementally
+        assert recorder.counters["svd_downdate"] == 1
+        assert recorder.counters["svd_update"] == 1
+
+    def test_unwarmed_parent_falls_back_cold(self):
+        base = _incidence(10, 6, 3, 3)
+        system = LinearSystem(base, backend="dense")
+        # No .rank touch: there are no factors to patch yet.
+        evolved = system.evolve(remove_indices=[0])
+        assert evolved.evolved_incrementally is False
+        cold = LinearSystem(np.asarray(evolved.matrix), backend="dense")
+        _assert_parity(evolved, cold, 4)
+
+    def test_noop_evolve_shares_factors(self):
+        base = _incidence(9, 7, 3, 5)
+        system = LinearSystem(base, backend="dense")
+        system.rank
+        evolved = system.evolve()
+        assert evolved.evolved_incrementally
+        assert evolved.rank == system.rank
+
+
+class TestEvolveValidation:
+    def test_duplicate_removals_rejected(self):
+        system = LinearSystem(_incidence(6, 5, 3, 1))
+        with pytest.raises(ValidationError, match="unique"):
+            system.evolve(remove_indices=[1, 1])
+
+    def test_out_of_range_removal_rejected(self):
+        system = LinearSystem(_incidence(6, 5, 3, 1))
+        with pytest.raises(ValidationError, match="remove_indices"):
+            system.evolve(remove_indices=[6])
+
+    def test_bad_row_length_rejected(self):
+        system = LinearSystem(_incidence(6, 5, 3, 1))
+        with pytest.raises(ValidationError):
+            system.evolve(add_rows=[np.ones(4)])
+
+    def test_parent_never_mutated(self):
+        base = _incidence(8, 6, 3, 2)
+        system = LinearSystem(base, backend="dense")
+        system.rank
+        before = np.asarray(system.matrix).copy()
+        system.evolve(remove_indices=[0], add_rows=[np.ones(6)])
+        assert np.array_equal(np.asarray(system.matrix), before)
+        assert system.num_paths == 8
